@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Mule-fraud detection (paper §7, finance).
+
+Bank transaction data is updated continuously by operational systems
+and simultaneously queried by SQL analytics.  The overlay retrofits a
+transfer graph onto the live ``Account``/``Txn`` tables, and a bounded
+``repeat`` traversal finds chains fraudster -> mule* -> beneficiary.
+
+The timeliness point from the paper: a transaction inserted by SQL is
+picked up by the *very next* graph traversal — no reload, no staleness.
+"""
+
+from repro.core import Db2Graph
+from repro.relational import Database
+from repro.workloads.finance import FinanceConfig, FinanceDataset, find_mule_chains
+
+
+def main() -> None:
+    dataset = FinanceDataset(FinanceConfig(n_accounts=300, n_rings=4))
+    db = Database()
+    dataset.install_relational(db)
+    print(
+        f"installed {len(dataset.accounts)} accounts, {len(dataset.txns)} transactions, "
+        f"{len(dataset.rings)} planted mule rings"
+    )
+
+    graph = Db2Graph.open(db, dataset.overlay_config())
+    g = graph.traversal()
+
+    fraudsters = g.V().hasLabel("account").has("kind", "fraudster").toList()
+    print("flagged fraudster accounts:", [v.value("accountID") for v in fraudsters])
+
+    chains = find_mule_chains(graph, max_hops=5)
+    print(f"\ndetected {len(chains)} fraudster->beneficiary chains:")
+    planted = {tuple(ring.chain) for ring in dataset.rings}
+    for chain in sorted(chains)[:12]:
+        marker = "PLANTED" if tuple(chain) in planted else "via shared accounts"
+        print(f"  {' -> '.join(map(str, chain))}  [{marker}]")
+
+    found = {tuple(chain) for chain in chains}
+    recovered = sum(1 for ring in planted if ring in found)
+    print(f"\nrecovered {recovered}/{len(planted)} planted rings")
+
+    # -- timeliness: a new transaction shows up immediately -----------------------
+    ring = dataset.rings[0]
+    new_beneficiary = ring.beneficiary
+    db.execute(
+        "INSERT INTO Txn VALUES (999001, ?, ?, 31337.0, 1700000000.0)",
+        [ring.fraudster, new_beneficiary],
+    )
+    direct = (
+        g.V(f"acct::{ring.fraudster}")
+        .out("transfer")
+        .has("kind", "beneficiary")
+        .dedup()
+        .toList()
+    )
+    print(
+        f"\nafter a live SQL insert, fraudster {ring.fraudster} now reaches a "
+        f"beneficiary directly: {[v.value('accountID') for v in direct]}"
+    )
+
+    # -- synergy: aggregate suspicious flow with SQL over graph results ------------
+    graph.register_table_function()
+    rows = db.execute(
+        "SELECT T.toAccount, SUM(T.amount) "
+        "FROM Txn AS T, "
+        "TABLE (graphQuery('gremlin', "
+        "'g.V().hasLabel(''account'').has(''kind'', ''mule'')"
+        ".valueTuple(''accountID'')')) AS M (accountID BIGINT) "
+        "WHERE T.fromAccount = M.accountID "
+        "GROUP BY T.toAccount ORDER BY SUM(T.amount) DESC LIMIT 5"
+    ).rows
+    print("\ntop recipients of money leaving mule accounts (SQL + graph):")
+    for account, total in rows:
+        print(f"  account {account}: {total:,.2f}")
+
+
+if __name__ == "__main__":
+    main()

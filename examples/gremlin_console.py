@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""An interactive Gremlin console over a Db2 Graph overlay (paper §4:
+"a command line interface called Gremlin console ... users can have a
+SQL console and a Gremlin console opened side by side").
+
+Both consoles in one: lines starting with ``sql>``-style ``\\sql``
+prefix run against the relational engine; anything else is evaluated
+as Gremlin against the overlay graph.  The same data answers both.
+
+Usage:  python examples/gremlin_console.py
+Commands:
+    g.V().hasLabel('patient').count().next()   -- Gremlin
+    \\sql SELECT COUNT(*) FROM Patient          -- SQL on the same data
+    \\stats                                     -- SQL issued by the graph layer
+    \\topology                                  -- resolved overlay mapping
+    \\quit
+"""
+
+import sys
+
+from repro.core import Db2Graph
+from repro.graph import GraphError
+from repro.relational import Database, DatabaseError
+from repro.workloads.healthcare import HealthcareConfig, HealthcareDataset
+
+
+def build_graph() -> tuple[Database, Db2Graph]:
+    dataset = HealthcareDataset(HealthcareConfig(n_patients=50))
+    db = Database()
+    dataset.install_relational(db)
+    graph = Db2Graph.open(db, dataset.overlay_config())
+    graph.register_table_function()
+    return db, graph
+
+
+def run_console(db: Database, graph: Db2Graph, stdin=None) -> None:
+    stdin = stdin or sys.stdin
+    print(__doc__)
+    print("healthcare dataset loaded; `g` is ready.\n")
+    variables: dict = {}
+    while True:
+        try:
+            print("gremlin> ", end="", flush=True)
+            line = stdin.readline()
+        except KeyboardInterrupt:  # pragma: no cover
+            break
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        if line in ("\\quit", "\\q", "exit"):
+            break
+        try:
+            if line.startswith("\\sql "):
+                result = db.execute(line[5:])
+                for row in result.rows[:20]:
+                    print(" ", row)
+                print(f"  ({len(result.rows)} rows)")
+            elif line == "\\stats":
+                for key, value in graph.stats().items():
+                    print(f"  {key}: {value}")
+            elif line == "\\topology":
+                print(graph.topology.describe())
+            else:
+                from repro.graph.gremlin_parser import GremlinScriptEvaluator
+
+                evaluator = GremlinScriptEvaluator(graph.traversal(), variables)
+                result = evaluator.evaluate(line)
+                variables.update(evaluator.variables)
+                if isinstance(result, list):
+                    for item in result[:20]:
+                        print(" ", item)
+                    print(f"  ({len(result)} results)")
+                else:
+                    print(" ", result)
+        except (GraphError, DatabaseError) as exc:
+            print(f"  error: {exc}")
+
+
+if __name__ == "__main__":
+    database, db2graph = build_graph()
+    run_console(database, db2graph)

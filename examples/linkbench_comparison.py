@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Mini LinkBench comparison across the three engines (paper §8).
+
+Generates a small LinkBench dataset, installs it into (a) the
+relational engine queried through Db2 Graph, (b) the GDB-X-like native
+store, and (c) the JanusGraph-like KV store, cross-checks that all
+three return identical results, then prints a small latency table —
+a hand-runnable taste of Figure 5 (the full harness lives under
+``benchmarks/``).
+"""
+
+import time
+
+from repro.baselines import JanusLikeStore, NativeGraphStore
+from repro.core import Db2Graph
+from repro.graph import GraphTraversalSource
+from repro.relational import Database
+from repro.workloads.linkbench import (
+    LINKBENCH_QUERIES,
+    LinkBenchConfig,
+    LinkBenchDataset,
+    LinkBenchWorkload,
+)
+
+
+def main() -> None:
+    dataset = LinkBenchDataset(LinkBenchConfig(name="demo", n_vertices=3000, seed=5))
+    stats = dataset.stats()
+    print(
+        f"dataset: {stats.n_vertices} vertices, {stats.n_edges} edges, "
+        f"avg degree {stats.avg_degree:.1f}, max degree {stats.max_degree}"
+    )
+
+    db = Database(enforce_foreign_keys=False)
+    dataset.install_relational(db)
+    db2graph = Db2Graph.open(db, dataset.overlay_config())
+
+    native = NativeGraphStore(cache_records=100_000)
+    dataset.load_into_store(native)
+    native.open_graph()
+
+    janus = JanusLikeStore()
+    dataset.load_into_store(janus)
+    janus.open_graph()
+
+    engines = {
+        "Db2 Graph": db2graph.traversal,
+        "GDB-X (native)": lambda: GraphTraversalSource(native),
+        "JanusGraph (kv)": lambda: GraphTraversalSource(janus),
+    }
+
+    # -- cross-engine agreement -----------------------------------------------
+    workload = LinkBenchWorkload(dataset)
+    disagreements = 0
+    for _ in range(100):
+        kind = workload.rng.choice(list(LINKBENCH_QUERIES))
+        call = workload.sample(kind)
+        sizes = {name: len(call.run(make()) ) for name, make in engines.items()}
+        if len(set(sizes.values())) != 1:
+            disagreements += 1
+            print("DISAGREEMENT on", kind, call.args, sizes)
+    print(f"cross-checked 100 random queries: {disagreements} disagreements")
+
+    # -- latency table -----------------------------------------------------------
+    print(f"\n{'query':<12}" + "".join(f"{name:>18}" for name in engines))
+    for kind in LINKBENCH_QUERIES:
+        calls = [workload.sample(kind) for _ in range(150)]
+        line = f"{kind:<12}"
+        for name, make in engines.items():
+            for call in calls[:20]:  # warm up
+                call.run(make())
+            start = time.perf_counter()
+            for call in calls[20:]:
+                call.run(make())
+            mean_ms = (time.perf_counter() - start) / (len(calls) - 20) * 1e3
+            line += f"{mean_ms:>15.3f}ms"
+        print(line)
+
+    native.close()
+    janus.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Offline-friendly editable install: ``python setup.py develop``.
+
+The package itself is configured in pyproject.toml; this file exists
+because editable installs via pip need the `wheel` package, which is
+not available in fully offline environments.
+"""
+
+from setuptools import setup
+
+setup()

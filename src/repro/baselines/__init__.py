@@ -1,0 +1,28 @@
+"""``repro.baselines`` — the comparison systems of the paper's
+evaluation (§8), built from scratch:
+
+* :class:`~repro.baselines.native.NativeGraphStore` — the GDB-X
+  stand-in: a native graph database with index-free adjacency, a
+  denormalized on-disk record file, and a bounded record cache.
+* :class:`~repro.baselines.janus.JanusLikeStore` — the JanusGraph
+  stand-in: vertices serialized (properties + entire adjacency list)
+  into single values of a log-structured key-value store.
+* :mod:`~repro.baselines.loader` — export/load/open pipelines with the
+  timing and disk-usage breakdown of Table 3.
+"""
+
+from .kvstore import DiskModel, LogStructuredKVStore
+from .native import NativeGraphStore
+from .janus import JanusLikeStore
+from .loader import ExportResult, LoadReport, export_tables_to_csv, load_into_store
+
+__all__ = [
+    "DiskModel",
+    "LogStructuredKVStore",
+    "NativeGraphStore",
+    "JanusLikeStore",
+    "ExportResult",
+    "LoadReport",
+    "export_tables_to_csv",
+    "load_into_store",
+]

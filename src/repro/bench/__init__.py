@@ -1,0 +1,21 @@
+"""``repro.bench`` — measurement harness for the paper's evaluation:
+latency timing, concurrent-client throughput (measured + modelled),
+engine setup fixtures shared by the benchmark modules, and paper-style
+table/series reporting."""
+
+from .harness import EngineUnderTest, LatencyResult, measure_latency, build_engines
+from .concurrency import ThroughputResult, measure_throughput, modelled_throughput
+from .reporting import format_table, format_bytes, format_seconds
+
+__all__ = [
+    "EngineUnderTest",
+    "LatencyResult",
+    "measure_latency",
+    "build_engines",
+    "ThroughputResult",
+    "measure_throughput",
+    "modelled_throughput",
+    "format_table",
+    "format_bytes",
+    "format_seconds",
+]

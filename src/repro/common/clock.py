@@ -1,0 +1,41 @@
+"""Clock abstraction.
+
+The temporal (system-time) machinery stamps row versions with wallclock
+timestamps.  Tests inject a :class:`ManualClock` so ``AS OF`` queries
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    def now(self) -> float:
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to — for deterministic tests."""
+
+    def __init__(self, start: float = 1000.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float = 1.0) -> float:
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError("clock cannot move backwards")
+        self._now = float(timestamp)

@@ -1,0 +1,137 @@
+"""AutoOverlay (paper §5.1, Algorithms 1 and 2): generate a graph
+overlay configuration from the catalog's primary/foreign keys.
+
+* Any table with a primary key becomes a vertex table; if it also has
+  foreign keys it doubles as edge table(s), one per foreign key.
+* A table with k >= 2 foreign keys but no primary key (a many-to-many
+  relationship) becomes C(k, 2) edge tables, one per ordered pair of
+  foreign keys in declaration order.
+* Vertex ids are the primary key prefixed with the table name; labels
+  are fixed to table names; all remaining columns become properties.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..relational.database import Database
+from ..relational.schema import ForeignKey, TableSchema
+from .overlay import EdgeTableConfig, LabelSpec, OverlayConfig, VertexTableConfig
+
+
+def identify_tables(
+    schemas: list[TableSchema],
+) -> tuple[list[TableSchema], list[TableSchema]]:
+    """Algorithm 1: split tables into vertex tables and edge tables."""
+    vertex_tables: list[TableSchema] = []
+    edge_tables: list[TableSchema] = []
+    for schema in schemas:
+        if schema.has_primary_key:
+            vertex_tables.append(schema)
+            if schema.foreign_keys:
+                edge_tables.append(schema)
+        elif len(schema.foreign_keys) >= 2:
+            edge_tables.append(schema)
+    return vertex_tables, edge_tables
+
+
+def generate_overlay(
+    database: Database, table_names: list[str] | None = None
+) -> OverlayConfig:
+    """Algorithms 1+2 against a live catalog.
+
+    ``table_names`` restricts the overlay to a subset of tables (the
+    paper: "If only a subset of tables in a database are of interest,
+    the user can also explicitly list these tables").
+    """
+    catalog = database.catalog
+    if table_names is None:
+        schemas = [t.schema for t in catalog.tables()]
+    else:
+        schemas = [catalog.get_table(name).schema for name in table_names]
+    selected = {s.name.lower() for s in schemas}
+
+    vertex_tables, edge_tables = identify_tables(schemas)
+    config = OverlayConfig()
+
+    # Algorithm 2, vertex configs
+    for schema in vertex_tables:
+        config.v_tables.append(
+            VertexTableConfig(
+                table_name=schema.name,
+                id_spec=_prefixed_id(schema.name, schema.primary_key),
+                label=LabelSpec(constant=schema.name),
+                prefixed_id=True,
+                properties=[
+                    c.name for c in schema.columns if c.name not in schema.primary_key
+                ],
+            )
+        )
+
+    # Algorithm 2, edge configs
+    for schema in edge_tables:
+        if schema.has_primary_key:
+            for fk in schema.foreign_keys:
+                if fk.ref_table.lower() not in selected:
+                    continue
+                ref_schema = catalog.get_table(fk.ref_table).schema
+                label = f"{schema.name}_{ref_schema.name}"
+                config.e_tables.append(
+                    EdgeTableConfig(
+                        table_name=schema.name,
+                        config_name=_unique_name(config, label),
+                        src_v_table=schema.name,
+                        src_v_spec=_prefixed_id(schema.name, schema.primary_key),
+                        dst_v_table=ref_schema.name,
+                        dst_v_spec=_prefixed_id(ref_schema.name, fk.columns),
+                        implicit_edge_id=True,
+                        label=LabelSpec(constant=label),
+                        properties=[
+                            c.name
+                            for c in schema.columns
+                            if c.name not in schema.primary_key and c.name not in fk.columns
+                        ],
+                    )
+                )
+        else:
+            usable = [
+                fk for fk in schema.foreign_keys if fk.ref_table.lower() in selected
+            ]
+            for fk1, fk2 in itertools.combinations(usable, 2):
+                ref1 = catalog.get_table(fk1.ref_table).schema
+                ref2 = catalog.get_table(fk2.ref_table).schema
+                label = f"{ref1.name}_{schema.name}_{ref2.name}"
+                excluded = set(fk1.columns) | set(fk2.columns)
+                config.e_tables.append(
+                    EdgeTableConfig(
+                        table_name=schema.name,
+                        config_name=_unique_name(config, label),
+                        src_v_table=ref1.name,
+                        src_v_spec=_prefixed_id(ref1.name, fk1.columns),
+                        dst_v_table=ref2.name,
+                        dst_v_spec=_prefixed_id(ref2.name, fk2.columns),
+                        implicit_edge_id=True,
+                        label=LabelSpec(constant=label),
+                        properties=[
+                            c.name for c in schema.columns if c.name not in excluded
+                        ],
+                    )
+                )
+
+    config.validate_internal()
+    return config
+
+
+def _prefixed_id(table_name: str, columns: tuple[str, ...] | list[str]) -> str:
+    parts = [f"'{table_name}'"] + list(columns)
+    return "::".join(parts)
+
+
+def _unique_name(config: OverlayConfig, base: str) -> str:
+    existing = {e.name.lower() for e in config.e_tables}
+    if base.lower() not in existing:
+        return base
+    counter = 2
+    while f"{base}_{counter}".lower() in existing:
+        counter += 1
+    return f"{base}_{counter}"

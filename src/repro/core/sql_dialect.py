@@ -1,0 +1,302 @@
+"""The SQL Dialect module (paper §6, Figure 3).
+
+Generates every SQL statement the Graph Structure module needs,
+parameterized so that repeated query *shapes* hit the relational
+engine's prepared-statement cache ("pre-compiled SQL templates for
+these frequent patterns", §6.1).  It also tracks which (table,
+predicate-columns) patterns occur frequently and suggests — or creates
+— indexes for them, playing the role of the paper's hints to the Db2
+index advisor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..graph.predicates import P
+from ..relational.database import Connection
+from ..relational.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class SqlPredicate:
+    """One WHERE conjunct: ``column op values``."""
+
+    column: str
+    op: str  # '=', '<>', '<', '<=', '>', '>=', 'IN', 'NOT IN', 'IS NULL', 'IS NOT NULL'
+    values: tuple[Any, ...] = ()
+
+    def render(self) -> tuple[str, list[Any]]:
+        if self.op in ("IS NULL", "IS NOT NULL"):
+            return f"{self.column} {self.op}", []
+        if self.op in ("IN", "NOT IN"):
+            holes = ", ".join("?" for _ in self.values)
+            return f"{self.column} {self.op} ({holes})", list(self.values)
+        return f"{self.column} {self.op} ?", [self.values[0]]
+
+    def shape(self) -> str:
+        """Value-free fingerprint for pattern tracking."""
+        if self.op in ("IN", "NOT IN"):
+            return f"{self.column.lower()} {self.op}[{len(self.values)}]"
+        return f"{self.column.lower()} {self.op}"
+
+
+def predicate_to_sql(column: str, predicate: P) -> list[SqlPredicate] | None:
+    """Translate a Gremlin predicate to SQL conjuncts; ``None`` when the
+    predicate has no clean SQL form (caller falls back to in-memory)."""
+    from ..graph.predicates import TextP
+
+    if isinstance(predicate, TextP):
+        return _text_predicate_to_sql(column, predicate)
+    op = predicate.op
+    if op == "eq":
+        if predicate.value is None:
+            return [SqlPredicate(column, "IS NULL")]
+        return [SqlPredicate(column, "=", (predicate.value,))]
+    if op == "neq":
+        if predicate.value is None:
+            return [SqlPredicate(column, "IS NOT NULL")]
+        return [SqlPredicate(column, "<>", (predicate.value,))]
+    if op == "gt":
+        return [SqlPredicate(column, ">", (predicate.value,))]
+    if op == "gte":
+        return [SqlPredicate(column, ">=", (predicate.value,))]
+    if op == "lt":
+        return [SqlPredicate(column, "<", (predicate.value,))]
+    if op == "lte":
+        return [SqlPredicate(column, "<=", (predicate.value,))]
+    if op == "within":
+        if not predicate.value:
+            return None
+        return [SqlPredicate(column, "IN", tuple(predicate.value))]
+    if op == "without":
+        if not predicate.value:
+            return None
+        return [SqlPredicate(column, "NOT IN", tuple(predicate.value))]
+    if op == "between":
+        return [
+            SqlPredicate(column, ">=", (predicate.value,)),
+            SqlPredicate(column, "<", (predicate.other,)),
+        ]
+    if op == "inside":
+        return [
+            SqlPredicate(column, ">", (predicate.value,)),
+            SqlPredicate(column, "<", (predicate.other,)),
+        ]
+    return None  # 'outside' needs OR — evaluated in memory
+
+
+def _text_predicate_to_sql(column: str, predicate: "P") -> list[SqlPredicate] | None:
+    """TextP -> LIKE.  Operands containing LIKE wildcards fall back to
+    in-memory evaluation (our LIKE has no ESCAPE clause)."""
+    operand = predicate.value
+    if not isinstance(operand, str) or "%" in operand or "_" in operand:
+        return None
+    patterns = {
+        "startingWith": (f"{operand}%", "LIKE"),
+        "endingWith": (f"%{operand}", "LIKE"),
+        "containing": (f"%{operand}%", "LIKE"),
+        "notStartingWith": (f"{operand}%", "NOT LIKE"),
+        "notEndingWith": (f"%{operand}", "NOT LIKE"),
+        "notContaining": (f"%{operand}%", "NOT LIKE"),
+    }
+    entry = patterns.get(predicate.op)
+    if entry is None:
+        return None
+    pattern, op = entry
+    return [SqlPredicate(column, op, (pattern,))]
+
+
+@dataclass
+class DialectStats:
+    queries_issued: int = 0
+    rows_fetched: int = 0
+    prepared_hits: int = 0
+
+    def reset(self) -> None:
+        self.queries_issued = 0
+        self.rows_fetched = 0
+        self.prepared_hits = 0
+
+
+class FrequentPatternTracker:
+    """Counts query shapes; shapes above a threshold are *frequent*
+    (paper §6.1) and drive index suggestions."""
+
+    def __init__(self, threshold: int = 16):
+        self.threshold = threshold
+        self._counts: dict[tuple[str, tuple[str, ...]], int] = {}
+        self._lock = threading.Lock()
+
+    def record(self, table: str, predicates: Sequence[SqlPredicate]) -> None:
+        equality_columns = tuple(
+            sorted(p.column.lower() for p in predicates if p.op in ("=", "IN"))
+        )
+        if not equality_columns:
+            return
+        key = (table.lower(), equality_columns)
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def frequent_patterns(self) -> list[tuple[str, tuple[str, ...], int]]:
+        with self._lock:
+            return sorted(
+                (
+                    (table, columns, count)
+                    for (table, columns), count in self._counts.items()
+                    if count >= self.threshold
+                ),
+                key=lambda item: -item[2],
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+class SqlDialect:
+    def __init__(
+        self,
+        connection: Connection,
+        track_patterns: bool = True,
+        pattern_threshold: int = 16,
+        use_prepared: bool = True,
+    ):
+        self.connection = connection
+        self.stats = DialectStats()
+        self.tracker = FrequentPatternTracker(pattern_threshold) if track_patterns else None
+        self.log: list[str] | None = None  # set to [] to capture generated SQL
+        # use_prepared=False re-parses/re-plans every statement — the
+        # ablation of the paper's pre-compiled SQL templates (§6.1)
+        self.use_prepared = use_prepared
+
+    # -- statement building ------------------------------------------------------
+
+    @staticmethod
+    def build_select(
+        table: str,
+        columns: Sequence[str] | None,
+        predicates: Sequence[SqlPredicate] = (),
+        aggregate: tuple[str, str | None] | None = None,
+    ) -> tuple[str, list[Any]]:
+        """Return (sql, params) for one table query.
+
+        ``aggregate`` is ``(kind, column)`` with kinds ``count``,
+        ``sum``, ``min``, ``max``, or ``sum_count`` (for distributed
+        means across tables).
+        """
+        if aggregate is not None:
+            kind, agg_column = aggregate
+            if kind == "count":
+                select_list = "COUNT(*)"
+            elif kind == "sum_count":
+                select_list = f"SUM({agg_column}), COUNT({agg_column})"
+            elif kind in ("sum", "min", "max"):
+                select_list = f"{kind.upper()}({agg_column})"
+            else:
+                raise CatalogError(f"unknown aggregate kind {kind!r}")
+        elif columns:
+            select_list = ", ".join(columns)
+        else:
+            select_list = "*"
+        sql = f"SELECT {select_list} FROM {table}"
+        params: list[Any] = []
+        if predicates:
+            fragments = []
+            for predicate in predicates:
+                fragment, values = predicate.render()
+                fragments.append(fragment)
+                params.extend(values)
+            sql += " WHERE " + " AND ".join(fragments)
+        return sql, params
+
+    # -- execution -----------------------------------------------------------------
+
+    def select(
+        self,
+        table: str,
+        columns: Sequence[str] | None,
+        predicates: Sequence[SqlPredicate] = (),
+        aggregate: tuple[str, str | None] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run a generated query; rows come back as lowercase-keyed dicts."""
+        sql, params = self.build_select(table, columns, predicates, aggregate)
+        if self.log is not None:
+            self.log.append(sql)
+        if self.tracker is not None and aggregate is None:
+            self.tracker.record(table, predicates)
+        if self.use_prepared:
+            prepared = self.connection.prepare(sql)
+            if prepared.executions >= 1:  # compiled by an earlier execution
+                self.stats.prepared_hits += 1
+            result = prepared.execute(self.connection, params)
+        else:
+            result = self.connection.execute(sql, params)
+        self.stats.queries_issued += 1
+        self.stats.rows_fetched += len(result.rows)
+        keys = [c.lower() for c in result.columns]
+        return [dict(zip(keys, row)) for row in result.rows]
+
+    def aggregate_value(
+        self,
+        table: str,
+        kind: str,
+        column: str | None,
+        predicates: Sequence[SqlPredicate] = (),
+    ) -> Any:
+        rows = self.select(table, None, predicates, aggregate=(kind, column))
+        if not rows:
+            return None
+        return next(iter(rows[0].values()))
+
+    def sum_and_count(
+        self, table: str, column: str, predicates: Sequence[SqlPredicate] = ()
+    ) -> tuple[float, int]:
+        rows = self.select(table, None, predicates, aggregate=("sum_count", column))
+        values = list(rows[0].values())
+        return (values[0] or 0, values[1] or 0)
+
+    def insert(self, table: str, columns: Sequence[str], values: Sequence[Any]) -> None:
+        """Parameterized INSERT (used by graph mutation steps: addV/addE
+        translate straight to SQL, so they ride the same transaction as
+        any other statement on the connection)."""
+        column_list = ", ".join(columns)
+        holes = ", ".join("?" for _ in columns)
+        sql = f"INSERT INTO {table} ({column_list}) VALUES ({holes})"
+        if self.log is not None:
+            self.log.append(sql)
+        if self.use_prepared:
+            self.connection.prepare(sql).execute(self.connection, list(values))
+        else:
+            self.connection.execute(sql, list(values))
+        self.stats.queries_issued += 1
+
+    # -- index advisor -----------------------------------------------------------------
+
+    def suggest_indexes(self) -> list[tuple[str, tuple[str, ...]]]:
+        """Frequent patterns whose equality columns have no index yet."""
+        if self.tracker is None:
+            return []
+        suggestions: list[tuple[str, tuple[str, ...]]] = []
+        catalog = self.connection.database.catalog
+        for table, columns, _count in self.tracker.frequent_patterns():
+            if not catalog.has_table(table):
+                continue  # views cannot be indexed
+            storage = catalog.get_table(table).storage
+            if storage.index_on(columns) is None:
+                suggestions.append((table, columns))
+        return suggestions
+
+    def create_suggested_indexes(self) -> list[str]:
+        """Act on the advisor's suggestions; returns created index names."""
+        created: list[str] = []
+        for table, columns in self.suggest_indexes():
+            name = f"advisor_{table}_{'_'.join(columns)}".lower()
+            if self.connection.database.catalog.has_index(name):
+                continue
+            column_list = ", ".join(columns)
+            self.connection.execute(f"CREATE INDEX {name} ON {table} ({column_list})")
+            created.append(name)
+        return created

@@ -1,0 +1,66 @@
+"""The ``graphQuery`` polymorphic table function (paper §4).
+
+Bridges graph results back into SQL: the function evaluates a Gremlin
+script and converts its results into rows, which the SQL layer then
+coerces to the column types declared at the call site::
+
+    SELECT patientID, AVG(steps)
+    FROM DeviceData AS D,
+         TABLE(graphQuery('gremlin', '...')) AS P (patientID BIGINT, subscriptionID BIGINT)
+    WHERE D.subscriptionID = P.subscriptionID
+    GROUP BY patientID
+
+Only Gremlin results convertible to rows are supported (the paper's
+footnote 1): scalars become one-column rows, tuples/lists multi-column
+rows, dicts rows of their values, and vertices/edges ``(id, label)``
+pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from ..graph.errors import GraphError
+from ..graph.model import Edge, Element, Vertex
+
+
+def make_graph_query_function(graph: Any) -> Callable[..., Iterable[tuple]]:
+    """Build the table function closure for one opened Db2Graph."""
+
+    def graph_query(session: Any, language: str, script: str) -> Iterator[tuple]:
+        if str(language).lower() != "gremlin":
+            raise GraphError(
+                f"graphQuery supports language 'gremlin', got {language!r}"
+            )
+        result = graph.execute(script)
+        yield from rows_from_result(result)
+
+    return graph_query
+
+
+def rows_from_result(result: Any) -> Iterator[tuple]:
+    """Convert a Gremlin result value into a row stream."""
+    if result is None:
+        return
+    if not isinstance(result, (list, tuple, set, frozenset)):
+        result = [result]
+    for item in result:
+        yield _row(item)
+
+
+def _row(item: Any) -> tuple:
+    if isinstance(item, tuple):
+        return item
+    if isinstance(item, dict):
+        return tuple(item.values())
+    if isinstance(item, (Vertex, Edge)):
+        return (item.id, item.label)
+    if isinstance(item, list):
+        return tuple(_scalar(x) for x in item)
+    return (item,)
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, Element):
+        return value.id
+    return value

@@ -1,0 +1,37 @@
+"""``repro.graph`` — the property graph model and Gremlin-style
+traversal engine (the reproduction's TinkerPop substitute).
+
+Public surface::
+
+    from repro.graph import GraphTraversalSource, InMemoryGraph, P, __
+
+    g = GraphTraversalSource(InMemoryGraph())
+    g.V().hasLabel('person').out('knows').values('name').toList()
+"""
+
+from .errors import ElementNotFoundError, GraphError, GremlinSyntaxError, TraversalError
+from .memory import InMemoryGraph
+from .model import Direction, Edge, GraphProvider, Pushdown, Vertex
+from .predicates import P, TextP
+from .strategy import StrategyRegistry, TraversalStrategy
+from .traversal import GraphTraversalSource, Traversal, __
+
+__all__ = [
+    "GraphTraversalSource",
+    "Traversal",
+    "__",
+    "P",
+    "TextP",
+    "Vertex",
+    "Edge",
+    "Direction",
+    "Pushdown",
+    "GraphProvider",
+    "InMemoryGraph",
+    "TraversalStrategy",
+    "StrategyRegistry",
+    "GraphError",
+    "GremlinSyntaxError",
+    "TraversalError",
+    "ElementNotFoundError",
+]

@@ -1,0 +1,25 @@
+"""Exceptions for the graph traversal engine."""
+
+from __future__ import annotations
+
+
+class GraphError(Exception):
+    """Base class for all graph layer errors."""
+
+
+class GremlinSyntaxError(GraphError):
+    """Raised when a Gremlin query string cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class TraversalError(GraphError):
+    """Raised for invalid traversal construction or execution."""
+
+
+class ElementNotFoundError(GraphError):
+    """Raised when a vertex or edge id cannot be resolved."""

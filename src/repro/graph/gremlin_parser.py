@@ -1,0 +1,383 @@
+"""A parser/interpreter for Gremlin query *strings*.
+
+The paper's ``graphQuery`` polymorphic table function (§4) receives
+Gremlin as a SQL string literal, and the Gremlin Console interface does
+the same.  This module evaluates such scripts against a
+:class:`~repro.graph.traversal.GraphTraversalSource` without ``eval``:
+a small tokenizer + recursive-descent parser executes method chains
+directly on the traversal API.
+
+Supported surface (the subset the paper's queries use, plus headroom):
+
+* ``g.V(...)`` / ``g.E(...)`` chains with all fluent steps;
+* anonymous sub-traversals inside ``repeat``/``filter``/``union``/
+  ``until``/``emit``/``where``/``not`` — written either bare
+  (``repeat(out('isa'))``) or with ``__.`` prefix;
+* predicates ``P.eq/neq/gt/gte/lt/lte/within/without/between/inside/outside``;
+* literals: ints, floats, single/double-quoted strings, ``true``/
+  ``false``/``null``, and ``[a, b, c]`` lists;
+* variables: ``x = g.V()...next(); g.V(x)...`` — multi-statement
+  scripts separated by ``;``;
+* comparisons inside ``filter(...)``: ``filter(outV().id() == id2)``
+  is rewritten to ``filter(__.outV().id_().is_(P.eq(id2)))``;
+* terminal calls ``next()``, ``toList()``, ``toSet()``, ``iterate()``,
+  ``tryNext()``, ``hasNext()``.
+
+Python-keyword renames are transparent: ``in`` -> ``in_``, ``is`` ->
+``is_``, ``not`` -> ``not_``, ``id`` -> ``id_``, ``as`` -> ``as_``,
+``sum``/``min``/``max`` -> ``sum_``/``min_``/``max_``, ``filter`` ->
+``filter_``, ``map`` -> ``map_``, ``range`` -> ``range_``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .errors import GremlinSyntaxError
+from .predicates import P
+from .traversal import GraphTraversalSource, Traversal, __
+
+_NAME_MAP = {
+    "in": "in_",
+    "is": "is_",
+    "not": "not_",
+    "id": "id_",
+    "as": "as_",
+    "sum": "sum_",
+    "min": "min_",
+    "max": "max_",
+    "filter": "filter_",
+    "map": "map_",
+    "range": "range_",
+    "from": "from_",
+}
+
+_TERMINALS = {"next", "toList", "toSet", "iterate", "tryNext", "hasNext", "explain"}
+
+_STEP_STARTERS = {
+    # step names that may open an anonymous traversal without "__."
+    "out", "in", "both", "outE", "inE", "bothE", "outV", "inV", "bothV",
+    "otherV", "has", "hasLabel", "hasId", "hasNot", "values", "valueMap",
+    "id", "label", "count", "dedup", "store", "aggregate", "cap", "repeat",
+    "union", "coalesce", "where", "not", "is", "filter", "order", "limit",
+    "path", "select", "fold", "unfold", "simplePath", "constant", "loops",
+    "valueTuple", "sum", "mean", "min", "max", "groupCount", "emit", "until",
+    "times", "group", "project", "choose", "optional", "identity",
+    "sideEffect", "addV", "addE",
+}
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+IDENT, NUMBER, STRING, OP, EOF = "IDENT", "NUMBER", "STRING", "OP", "EOF"
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            parts: list[str] = []
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    parts.append(text[j + 1])
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                parts.append(text[j])
+                j += 1
+            else:
+                raise GremlinSyntaxError("unterminated string", i)
+            tokens.append(_Token(STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # don't swallow a method call like 1.out(...)
+                    if j + 1 < n and not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "lL":  # Gremlin long suffix: 42L
+                tokens.append(_Token(NUMBER, text[i:j], i))
+                i = j + 1
+                continue
+            tokens.append(_Token(NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(_Token(IDENT, text[i:j], i))
+            i = j
+            continue
+        if text.startswith(("==", "!=", ">=", "<="), i):
+            tokens.append(_Token(OP, text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in ".(),;=[]<>":
+            tokens.append(_Token(OP, ch, i))
+            i += 1
+            continue
+        raise GremlinSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(_Token(EOF, "", n))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+
+class GremlinScriptEvaluator:
+    """Evaluates a Gremlin script against a traversal source."""
+
+    def __init__(self, g: GraphTraversalSource, variables: dict[str, Any] | None = None):
+        self.g = g
+        self.variables: dict[str, Any] = dict(variables or {})
+        self._tokens: list[_Token] = []
+        self._pos = 0
+
+    # -- public API -------------------------------------------------------------
+
+    def evaluate(self, script: str) -> Any:
+        """Run a ``;``-separated script; return the last statement's value.
+
+        A trailing traversal without a terminal call is materialized
+        with ``toList()``.
+        """
+        self._tokens = _tokenize(script)
+        self._pos = 0
+        result: Any = None
+        while not self._at(EOF):
+            result = self._statement()
+            while self._accept_op(";"):
+                pass
+        if isinstance(result, Traversal):
+            result = result.toList()
+        return result
+
+    # -- token helpers --------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _at(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == OP and token.value == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._peek()
+        if not self._accept_op(op):
+            raise GremlinSyntaxError(f"expected {op!r}, found {token.value!r}", token.position)
+
+    # -- grammar -----------------------------------------------------------------------
+
+    def _statement(self) -> Any:
+        # assignment: ident '=' expr   (but not '==')
+        if (
+            self._at(IDENT)
+            and self._peek(1).kind == OP
+            and self._peek(1).value == "="
+            and not (self._peek(2).kind == OP and self._peek(2).value == "=")
+        ):
+            name = self._advance().value
+            self._advance()  # '='
+            value = self._expression()
+            if isinstance(value, Traversal):
+                value = value.toList()
+            self.variables[name] = value
+            return value
+        return self._expression()
+
+    def _expression(self) -> Any:
+        value = self._chain_or_literal()
+        token = self._peek()
+        if token.kind == OP and token.value in ("==", "!=", ">", "<", ">=", "<="):
+            self._advance()
+            other = self._chain_or_literal()
+            return _Comparison(token.value, value, other)
+        return value
+
+    def _chain_or_literal(self) -> Any:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == STRING:
+            self._advance()
+            return token.value
+        if token.kind == OP and token.value == "[":
+            self._advance()
+            items: list[Any] = []
+            if not (self._peek().kind == OP and self._peek().value == "]"):
+                items.append(self._expression())
+                while self._accept_op(","):
+                    items.append(self._expression())
+            self._expect_op("]")
+            return items
+        if token.kind == IDENT:
+            return self._ident_expression()
+        raise GremlinSyntaxError(f"unexpected token {token.value!r}", token.position)
+
+    def _ident_expression(self) -> Any:
+        token = self._advance()
+        word = token.value
+        if word in ("true", "false"):
+            return word == "true"
+        if word == "null":
+            return None
+        if word == "P":
+            return self._predicate()
+        if word == "TextP":
+            return self._predicate(text=True)
+        if word == "g":
+            return self._chain(self.g)
+        if word == "__":
+            self._expect_op(".")
+            return self._anonymous_chain()
+        # step name opening an anonymous traversal: repeat(out('isa')...)
+        if word in _STEP_STARTERS and self._peek().kind == OP and self._peek().value == "(":
+            return self._anonymous_chain(first_name=word)
+        # plain variable reference
+        if word in self.variables:
+            value = self.variables[word]
+            # allow chains off a variable holding a traversal/list? keep simple
+            return value
+        raise GremlinSyntaxError(f"unknown identifier {word!r}", token.position)
+
+    def _predicate(self, text: bool = False) -> P:
+        from .predicates import TextP
+
+        kind = TextP if text else P
+        self._expect_op(".")
+        name_token = self._advance()
+        if name_token.kind != IDENT:
+            raise GremlinSyntaxError("expected predicate name", name_token.position)
+        factory = getattr(kind, name_token.value, None)
+        if factory is None or name_token.value.startswith("_"):
+            raise GremlinSyntaxError(
+                f"unknown predicate {kind.__name__}.{name_token.value}",
+                name_token.position,
+            )
+        args = self._arguments()
+        return factory(*args)
+
+    def _anonymous_chain(self, first_name: str | None = None) -> Traversal:
+        traversal = __.start()
+        if first_name is not None:
+            traversal = self._apply_call(traversal, first_name)
+        else:
+            name = self._method_name()
+            traversal = self._apply_call(traversal, name)
+        return self._chain(traversal)
+
+    def _chain(self, receiver: Any) -> Any:
+        while self._peek().kind == OP and self._peek().value == ".":
+            self._advance()
+            name = self._method_name()
+            if name in _TERMINALS and isinstance(receiver, Traversal):
+                self._expect_op("(")
+                self._expect_op(")")
+                receiver = getattr(receiver, name)()
+                continue
+            receiver = self._apply_call(receiver, name)
+        return receiver
+
+    def _method_name(self) -> str:
+        token = self._advance()
+        if token.kind != IDENT:
+            raise GremlinSyntaxError(f"expected method name, found {token.value!r}", token.position)
+        return token.value
+
+    def _apply_call(self, receiver: Any, name: str) -> Any:
+        args = self._arguments()
+        method_name = _NAME_MAP.get(name, name)
+        method = getattr(receiver, method_name, None)
+        if method is None:
+            raise GremlinSyntaxError(f"unknown step {name!r}")
+        converted = [self._convert_argument(name, a) for a in args]
+        return method(*converted)
+
+    def _convert_argument(self, step_name: str, arg: Any) -> Any:
+        if isinstance(arg, _Comparison):
+            return arg.to_filter()
+        return arg
+
+    def _arguments(self) -> list[Any]:
+        self._expect_op("(")
+        args: list[Any] = []
+        if not (self._peek().kind == OP and self._peek().value == ")"):
+            args.append(self._expression())
+            while self._accept_op(","):
+                args.append(self._expression())
+        self._expect_op(")")
+        return args
+
+
+@dataclass
+class _Comparison:
+    """A comparison between a sub-traversal and a value, as appears in
+    ``filter(outV().id() == id2)``.  Rewritten to a filter traversal."""
+
+    op: str
+    left: Any
+    right: Any
+
+    def to_filter(self) -> Traversal:
+        traversal, value = self.left, self.right
+        op = self.op
+        if not isinstance(traversal, Traversal):
+            traversal, value = self.right, self.left
+            op = {">": "<", "<": ">", ">=": "<=", "<=": ">="}.get(op, op)
+        if not isinstance(traversal, Traversal):
+            raise GremlinSyntaxError("comparison requires a sub-traversal on one side")
+        predicate = {
+            "==": P.eq,
+            "!=": P.neq,
+            ">": P.gt,
+            "<": P.lt,
+            ">=": P.gte,
+            "<=": P.lte,
+        }[op](value)
+        return traversal.is_(predicate)
+
+
+def evaluate_gremlin(
+    g: GraphTraversalSource, script: str, variables: dict[str, Any] | None = None
+) -> Any:
+    """Convenience wrapper: evaluate one script, return the final value."""
+    return GremlinScriptEvaluator(g, variables).evaluate(script)

@@ -1,0 +1,183 @@
+"""Gremlin-style predicates (``P.eq``, ``P.within``, ...).
+
+A predicate is a named test over a single value.  The traversal engine
+evaluates predicates in-memory via :meth:`P.test`; the Db2 Graph SQL
+dialect instead *translates* them to SQL WHERE fragments (predicate
+pushdown, paper §6.2) — which is why the operator name and operands are
+kept as data rather than as an opaque lambda.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .errors import TraversalError
+
+
+class P:
+    """A predicate: operator name plus operand(s)."""
+
+    __slots__ = ("op", "value", "other")
+
+    def __init__(self, op: str, value: Any, other: Any = None):
+        self.op = op
+        self.value = value
+        self.other = other
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def eq(value: Any) -> "P":
+        return P("eq", value)
+
+    @staticmethod
+    def neq(value: Any) -> "P":
+        return P("neq", value)
+
+    @staticmethod
+    def gt(value: Any) -> "P":
+        return P("gt", value)
+
+    @staticmethod
+    def gte(value: Any) -> "P":
+        return P("gte", value)
+
+    @staticmethod
+    def lt(value: Any) -> "P":
+        return P("lt", value)
+
+    @staticmethod
+    def lte(value: Any) -> "P":
+        return P("lte", value)
+
+    @staticmethod
+    def within(*values: Any) -> "P":
+        if len(values) == 1 and isinstance(values[0], (list, tuple, set, frozenset)):
+            values = tuple(values[0])
+        return P("within", tuple(values))
+
+    @staticmethod
+    def without(*values: Any) -> "P":
+        if len(values) == 1 and isinstance(values[0], (list, tuple, set, frozenset)):
+            values = tuple(values[0])
+        return P("without", tuple(values))
+
+    @staticmethod
+    def between(low: Any, high: Any) -> "P":
+        """low <= value < high (TinkerPop semantics)."""
+        return P("between", low, high)
+
+    @staticmethod
+    def inside(low: Any, high: Any) -> "P":
+        """low < value < high."""
+        return P("inside", low, high)
+
+    @staticmethod
+    def outside(low: Any, high: Any) -> "P":
+        """value < low or value > high."""
+        return P("outside", low, high)
+
+    @staticmethod
+    def of(value: Any) -> "P":
+        """Coerce a raw value into an equality predicate."""
+        return value if isinstance(value, P) else P.eq(value)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def test(self, value: Any) -> bool:
+        op = self.op
+        if op == "eq":
+            return value == self.value
+        if op == "neq":
+            return value != self.value
+        if value is None:
+            return False
+        try:
+            if op == "gt":
+                return value > self.value
+            if op == "gte":
+                return value >= self.value
+            if op == "lt":
+                return value < self.value
+            if op == "lte":
+                return value <= self.value
+            if op == "within":
+                return value in self.value
+            if op == "without":
+                return value not in self.value
+            if op == "between":
+                return self.value <= value < self.other
+            if op == "inside":
+                return self.value < value < self.other
+            if op == "outside":
+                return value < self.value or value > self.other
+        except TypeError:
+            return False
+        raise TraversalError(f"unknown predicate {op!r}")
+
+    def __repr__(self) -> str:
+        if self.other is not None:
+            return f"P.{self.op}({self.value!r}, {self.other!r})"
+        return f"P.{self.op}({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, P)
+            and self.op == other.op
+            and self.value == other.value
+            and self.other == other.other
+        )
+
+    def __hash__(self) -> int:
+        value = tuple(self.value) if isinstance(self.value, (list, set)) else self.value
+        return hash((self.op, value, self.other))
+
+
+class TextP(P):
+    """TinkerPop text predicates.  The SQL dialect pushes these down as
+    LIKE patterns when the operand contains no wildcard characters."""
+
+    @staticmethod
+    def startingWith(prefix: str) -> "TextP":
+        return TextP("startingWith", prefix)
+
+    @staticmethod
+    def endingWith(suffix: str) -> "TextP":
+        return TextP("endingWith", suffix)
+
+    @staticmethod
+    def containing(text: str) -> "TextP":
+        return TextP("containing", text)
+
+    @staticmethod
+    def notStartingWith(prefix: str) -> "TextP":
+        return TextP("notStartingWith", prefix)
+
+    @staticmethod
+    def notEndingWith(suffix: str) -> "TextP":
+        return TextP("notEndingWith", suffix)
+
+    @staticmethod
+    def notContaining(text: str) -> "TextP":
+        return TextP("notContaining", text)
+
+    def test(self, value) -> bool:
+        if not isinstance(value, str):
+            return False
+        op = self.op
+        if op == "startingWith":
+            return value.startswith(self.value)
+        if op == "endingWith":
+            return value.endswith(self.value)
+        if op == "containing":
+            return self.value in value
+        if op == "notStartingWith":
+            return not value.startswith(self.value)
+        if op == "notEndingWith":
+            return not value.endswith(self.value)
+        if op == "notContaining":
+            return self.value not in value
+        raise TraversalError(f"unknown text predicate {op!r}")
+
+    def __repr__(self) -> str:
+        return f"TextP.{self.op}({self.value!r})"

@@ -1,0 +1,57 @@
+"""Traversal strategy framework.
+
+Mirrors TinkerPop's *Provider Strategy* API (paper §6.1): a strategy
+inspects and mutates a traversal's step list before execution.  Db2
+Graph registers its four compile-time optimizations
+(:mod:`repro.core.strategies`) through this hook; the traversal engine
+itself ships only with semantics-preserving defaults.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .traversal import Traversal
+
+
+class TraversalStrategy:
+    """Base class.  Lower ``priority`` runs first."""
+
+    priority = 100
+    name = "strategy"
+
+    def apply(self, traversal: "Traversal") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class StrategyRegistry:
+    def __init__(self, strategies: list[TraversalStrategy] | None = None):
+        self._strategies = list(strategies or [])
+
+    def add(self, strategy: TraversalStrategy) -> "StrategyRegistry":
+        self._strategies.append(strategy)
+        return self
+
+    def remove(self, name: str) -> "StrategyRegistry":
+        self._strategies = [s for s in self._strategies if s.name != name]
+        return self
+
+    def copy(self) -> "StrategyRegistry":
+        return StrategyRegistry(list(self._strategies))
+
+    def apply_all(self, traversal: "Traversal") -> None:
+        for strategy in sorted(self._strategies, key=lambda s: s.priority):
+            strategy.apply(traversal)
+
+    def names(self) -> list[str]:
+        return [s.name for s in sorted(self._strategies, key=lambda s: s.priority)]
+
+    def __len__(self) -> int:
+        return len(self._strategies)
+
+    def __iter__(self):
+        return iter(self._strategies)

@@ -1,0 +1,565 @@
+"""The fluent Gremlin-style traversal DSL.
+
+``GraphTraversalSource`` (obtained from a backend's ``.traversal()``)
+spawns :class:`Traversal` objects; each fluent call appends a step.
+Python keywords force a few renames (``in_``, ``is_``, ``not_``,
+``as_``, ``id_``, ``sum_``, ``min_``, ``max_``, ``filter_``,
+``map_``, ``range_``); the Gremlin string parser maps the original
+Gremlin names onto these.
+
+Anonymous traversals (``__.out()`` etc.) are unbound step lists used
+inside ``repeat``/``filter``/``union``; they bind to the enclosing
+traversal's provider at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from .errors import TraversalError
+from .model import Direction, GraphProvider, Pushdown
+from .predicates import P
+from .steps import (
+    AddEdgeStep,
+    AddVertexStep,
+    AsStep,
+    CapStep,
+    ChooseStep,
+    CoalesceStep,
+    ConstantStep,
+    CountStep,
+    DedupStep,
+    EdgeVertexStep,
+    FilterLambdaStep,
+    FilterTraversalStep,
+    FoldStep,
+    GraphStep,
+    GroupCountStep,
+    GroupStep,
+    HasNotStep,
+    HasStep,
+    IdentityStep,
+    IdStep,
+    IsStep,
+    LabelStep,
+    LimitStep,
+    MapLambdaStep,
+    MaxStep,
+    MeanStep,
+    MinStep,
+    OptionalStep,
+    OrderStep,
+    PathStep,
+    ProjectStep,
+    PropertiesStep,
+    RepeatStep,
+    SelectStep,
+    SideEffectStep,
+    SimplePathStep,
+    Step,
+    StoreStep,
+    SumStep,
+    TraversalContext,
+    Traverser,
+    UnfoldStep,
+    UnionStep,
+    ValueMapStep,
+    ValueTupleStep,
+    VertexStep,
+    run_steps,
+)
+from .strategy import StrategyRegistry
+
+
+class Traversal:
+    """A chain of steps plus (for bound traversals) a source."""
+
+    def __init__(self, source: "GraphTraversalSource | None" = None):
+        self.source = source
+        self.steps: list[Step] = []
+        self._compiled = False
+        self._result_iter: Iterator[Traverser] | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _append(self, step: Step) -> "Traversal":
+        if self._compiled:
+            raise TraversalError("cannot extend a traversal after execution started")
+        self.steps.append(step)
+        return self
+
+    def clone(self) -> "Traversal":
+        copied = Traversal(self.source)
+        copied.steps = list(self.steps)
+        return copied
+
+    # -- GSA steps -----------------------------------------------------------
+
+    def V(self, *ids: Any) -> "Traversal":
+        return self._append(GraphStep("vertex", _flatten_ids(ids)))
+
+    def E(self, *ids: Any) -> "Traversal":
+        return self._append(GraphStep("edge", _flatten_ids(ids)))
+
+    def out(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.OUT, labels, "vertex"))
+
+    def in_(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.IN, labels, "vertex"))
+
+    def both(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.BOTH, labels, "vertex"))
+
+    def outE(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.OUT, labels, "edge"))
+
+    def inE(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.IN, labels, "edge"))
+
+    def bothE(self, *labels: str) -> "Traversal":
+        return self._append(VertexStep(Direction.BOTH, labels, "edge"))
+
+    def outV(self) -> "Traversal":
+        return self._append(EdgeVertexStep(Direction.OUT))
+
+    def inV(self) -> "Traversal":
+        return self._append(EdgeVertexStep(Direction.IN))
+
+    def bothV(self) -> "Traversal":
+        return self._append(EdgeVertexStep(Direction.BOTH))
+
+    def otherV(self) -> "Traversal":
+        return self._append(EdgeVertexStep(Direction.OTHER))
+
+    # -- filters --------------------------------------------------------------
+
+    def has(self, *args: Any) -> "Traversal":
+        """``has(key)``, ``has(key, value)``, ``has(key, P)``, or
+        ``has(label, key, value)``."""
+        if len(args) == 1:
+            key = args[0]
+            return self._append(FilterLambdaStep(lambda o: o.has_property(key)))
+        if len(args) == 2:
+            return self._append(HasStep([(args[0], P.of(args[1]))]))
+        if len(args) == 3:
+            return self._append(
+                HasStep([("~label", P.eq(args[0])), (args[1], P.of(args[2]))])
+            )
+        raise TraversalError("has() takes 1-3 arguments")
+
+    def hasLabel(self, *labels: str) -> "Traversal":
+        predicate = P.eq(labels[0]) if len(labels) == 1 else P.within(*labels)
+        return self._append(HasStep([("~label", predicate)]))
+
+    def hasId(self, *ids: Any) -> "Traversal":
+        flattened = _flatten_ids(ids) or []
+        predicate = P.eq(flattened[0]) if len(flattened) == 1 else P.within(*flattened)
+        return self._append(HasStep([("~id", predicate)]))
+
+    def hasNot(self, key: str) -> "Traversal":
+        return self._append(HasNotStep(key))
+
+    def is_(self, predicate: Any) -> "Traversal":
+        return self._append(IsStep(P.of(predicate)))
+
+    def filter_(self, condition: "Traversal | Callable[[Any], bool]") -> "Traversal":
+        if isinstance(condition, Traversal):
+            return self._append(FilterTraversalStep(condition))
+        return self._append(FilterLambdaStep(condition))
+
+    def where(self, condition: "Traversal") -> "Traversal":
+        return self._append(FilterTraversalStep(condition))
+
+    def not_(self, condition: "Traversal") -> "Traversal":
+        return self._append(FilterTraversalStep(condition, negated=True))
+
+    def dedup(self) -> "Traversal":
+        return self._append(DedupStep())
+
+    def limit(self, count: int) -> "Traversal":
+        return self._append(LimitStep(0, count))
+
+    def range_(self, low: int, high: int) -> "Traversal":
+        return self._append(LimitStep(low, high if high >= 0 else None))
+
+    def skip(self, count: int) -> "Traversal":
+        return self._append(LimitStep(count, None))
+
+    def simplePath(self) -> "Traversal":
+        return self._append(SimplePathStep())
+
+    # -- maps ------------------------------------------------------------------
+
+    def values(self, *keys: str) -> "Traversal":
+        if any(not isinstance(k, str) for k in keys):
+            raise TraversalError("values() takes property-name strings")
+        return self._append(PropertiesStep(tuple(keys)))
+
+    def valueTuple(self, *keys: str) -> "Traversal":
+        return self._append(ValueTupleStep(tuple(keys)))
+
+    def valueMap(self, *keys: str, with_tokens: bool = False) -> "Traversal":
+        return self._append(ValueMapStep(tuple(keys), with_tokens))
+
+    def id_(self) -> "Traversal":
+        return self._append(IdStep())
+
+    def label(self) -> "Traversal":
+        return self._append(LabelStep())
+
+    def map_(self, fn: Callable[[Any], Any]) -> "Traversal":
+        return self._append(MapLambdaStep(fn))
+
+    def path(self) -> "Traversal":
+        return self._append(PathStep())
+
+    def as_(self, label: str) -> "Traversal":
+        return self._append(AsStep(label))
+
+    def select(self, *keys: str) -> "Traversal":
+        return self._append(SelectStep(tuple(keys)))
+
+    def fold(self) -> "Traversal":
+        return self._append(FoldStep())
+
+    def unfold(self) -> "Traversal":
+        return self._append(UnfoldStep())
+
+    # -- misc maps / flow control -------------------------------------------------
+
+    def identity(self) -> "Traversal":
+        return self._append(IdentityStep())
+
+    def constant(self, value: Any) -> "Traversal":
+        return self._append(ConstantStep(value))
+
+    def sideEffect(self, effect: "Traversal | Callable[[Any], None]") -> "Traversal":
+        return self._append(SideEffectStep(effect))
+
+    def optional(self, sub: "Traversal") -> "Traversal":
+        return self._append(OptionalStep(sub))
+
+    def choose(
+        self,
+        condition: "Traversal",
+        true_branch: "Traversal",
+        false_branch: "Traversal | None" = None,
+    ) -> "Traversal":
+        return self._append(ChooseStep(condition, true_branch, false_branch))
+
+    def group(self) -> "Traversal":
+        return self._append(GroupStep())
+
+    def project(self, *names: str) -> "Traversal":
+        return self._append(ProjectStep(tuple(names)))
+
+    # -- mutation -------------------------------------------------------------------
+
+    def addV(self, label: str) -> "Traversal":
+        return self._append(AddVertexStep(label))
+
+    def addE(self, label: str) -> "Traversal":
+        return self._append(AddEdgeStep(label))
+
+    def property(self, key: str, value: Any) -> "Traversal":
+        """Modulator for the preceding addV()/addE()."""
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, (AddVertexStep, AddEdgeStep)):
+            last.properties[key] = value
+            return self
+        raise TraversalError("property() must follow addV() or addE()")
+
+    def from_(self, spec: Any) -> "Traversal":
+        last = self.steps[-1] if self.steps else None
+        if not isinstance(last, AddEdgeStep):
+            raise TraversalError("from_() must follow addE()")
+        last.from_vertex = spec
+        return self
+
+    def to(self, spec: Any) -> "Traversal":
+        last = self.steps[-1] if self.steps else None
+        if not isinstance(last, AddEdgeStep):
+            raise TraversalError("to() must follow addE()")
+        last.to_vertex = spec
+        return self
+
+    # -- side effects -------------------------------------------------------------
+
+    def store(self, key: str) -> "Traversal":
+        return self._append(StoreStep(key))
+
+    def aggregate(self, key: str) -> "Traversal":
+        # Eager vs lazy distinction doesn't matter for our pipelined
+        # executor; aggregate behaves as store.
+        return self._append(StoreStep(key))
+
+    def cap(self, key: str) -> "Traversal":
+        return self._append(CapStep(key))
+
+    # -- reducers ---------------------------------------------------------------
+
+    def count(self) -> "Traversal":
+        return self._append(CountStep())
+
+    def sum_(self) -> "Traversal":
+        return self._append(SumStep())
+
+    def mean(self) -> "Traversal":
+        return self._append(MeanStep())
+
+    def min_(self) -> "Traversal":
+        return self._append(MinStep())
+
+    def max_(self) -> "Traversal":
+        return self._append(MaxStep())
+
+    def groupCount(self) -> "Traversal":
+        return self._append(GroupCountStep())
+
+    def order(self) -> "Traversal":
+        return self._append(OrderStep())
+
+    def by(self, key: "str | Traversal | None" = None, order: str = "asc") -> "Traversal":
+        """Modulator for the preceding ``order()``/``groupCount()``/
+        ``group()``/``project()``."""
+        if not self.steps:
+            raise TraversalError("by() requires a preceding step")
+        last = self.steps[-1]
+        descending = order in ("desc", "decr")
+        if isinstance(last, OrderStep):
+            if isinstance(key, Traversal):
+                raise TraversalError("order().by() takes a property key")
+            last.comparators.append((key, descending))
+            return self
+        if isinstance(last, GroupCountStep):
+            if isinstance(key, Traversal):
+                raise TraversalError("groupCount().by() takes a property key")
+            last.by_key = key
+            return self
+        if isinstance(last, (GroupStep, ProjectStep)):
+            last.modulate(key)
+            return self
+        raise TraversalError(f"by() cannot modulate {last.name()}")
+
+    # -- branching ----------------------------------------------------------------
+
+    def union(self, *branches: "Traversal") -> "Traversal":
+        return self._append(UnionStep(branches))
+
+    def coalesce(self, *branches: "Traversal") -> "Traversal":
+        return self._append(CoalesceStep(branches))
+
+    def repeat(self, body: "Traversal") -> "Traversal":
+        return self._append(RepeatStep(body))
+
+    def times(self, count: int) -> "Traversal":
+        step = self._last_repeat()
+        step.times = count
+        return self
+
+    def until(self, condition: "Traversal") -> "Traversal":
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, RepeatStep) and last.until is None:
+            last.until = condition  # repeat().until() — do-while
+        else:
+            # until().repeat() — while-do; remember for the next repeat
+            pending = RepeatStep(Traversal(), until=condition, until_first=True)
+            self._append(pending)
+        return self
+
+    def emit(self, condition: "Traversal | None" = None) -> "Traversal":
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, RepeatStep):
+            last.emit = condition if condition is not None else True
+        else:
+            pending = RepeatStep(Traversal(), emit=condition if condition is not None else True)
+            pending.times = None
+            self._append(pending)
+        return self
+
+    def _last_repeat(self) -> RepeatStep:
+        if not self.steps or not isinstance(self.steps[-1], RepeatStep):
+            raise TraversalError("times()/until()/emit() must follow repeat()")
+        return self.steps[-1]
+
+    # -- execution -------------------------------------------------------------------
+
+    def compile(self) -> "Traversal":
+        """Apply the source's traversal strategies (idempotent)."""
+        if self._compiled:
+            return self
+        # Merge a pending until()/emit()-before-repeat marker into the
+        # following repeat step.
+        self._merge_pending_repeats()
+        if self.source is not None:
+            self.source.strategies.apply_all(self)
+        self._compiled = True
+        return self
+
+    def _merge_pending_repeats(self) -> None:
+        merged: list[Step] = []
+        pending: RepeatStep | None = None
+        for step in self.steps:
+            if isinstance(step, RepeatStep) and not step.body.steps:
+                pending = step
+                continue
+            if pending is not None and isinstance(step, RepeatStep):
+                step.until = step.until or pending.until
+                step.until_first = pending.until_first
+                if pending.emit and not step.emit:
+                    step.emit = pending.emit
+                pending = None
+            merged.append(step)
+        if pending is not None:
+            raise TraversalError("until()/emit() without a following repeat()")
+        self.steps = merged
+
+    def _execute(self) -> Iterator[Traverser]:
+        if self.source is None:
+            raise TraversalError("cannot execute an anonymous traversal directly")
+        self.compile()
+        # path tracking is needed for path()/simplePath() and for
+        # otherV(), which must know which endpoint the traverser came from
+        track = any(
+            isinstance(s, (PathStep, SimplePathStep))
+            or (isinstance(s, EdgeVertexStep) and s.direction is Direction.OTHER)
+            for s in self._all_steps()
+        )
+        ctx = TraversalContext(self.source.provider, track_paths=track)
+        return run_steps(self.steps, [], ctx)
+
+    def _all_steps(self) -> Iterator[Step]:
+        stack = list(self.steps)
+        while stack:
+            step = stack.pop()
+            yield step
+            if isinstance(step, RepeatStep):
+                stack.extend(step.body.steps)
+                if isinstance(step.until, Traversal):
+                    stack.extend(step.until.steps)
+            elif isinstance(step, (UnionStep, CoalesceStep)):
+                for branch in step.branches:
+                    stack.extend(branch.steps)
+            elif isinstance(step, FilterTraversalStep):
+                stack.extend(step.sub.steps)
+
+    # -- terminals ----------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Any]:
+        return (t.obj for t in self._ensure_iter())
+
+    def _ensure_iter(self) -> Iterator[Traverser]:
+        if self._result_iter is None:
+            self._result_iter = self._execute()
+        return self._result_iter
+
+    def toList(self) -> list[Any]:
+        return list(self)
+
+    def toSet(self) -> set[Any]:
+        return set(self)
+
+    def next(self) -> Any:
+        for obj in self:
+            return obj
+        raise TraversalError("traversal has no more results")
+
+    def tryNext(self) -> Any | None:
+        for obj in self:
+            return obj
+        return None
+
+    def hasNext(self) -> bool:
+        iterator = self._ensure_iter()
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return False
+        # push back
+        import itertools as _it
+
+        self._result_iter = _it.chain([first], iterator)
+        return True
+
+    def iterate(self) -> "Traversal":
+        for _ in self:
+            pass
+        return self
+
+    def explain(self) -> str:
+        self.compile()
+        return " -> ".join(step.name() for step in self.steps)
+
+    def __repr__(self) -> str:
+        return "Traversal[" + ", ".join(s.name() for s in self.steps) + "]"
+
+
+class GraphTraversalSource:
+    """``g`` — spawns traversals against a provider with a strategy set."""
+
+    def __init__(self, provider: GraphProvider, strategies: StrategyRegistry | None = None):
+        self.provider = provider
+        self.strategies = strategies or StrategyRegistry()
+
+    def V(self, *ids: Any) -> Traversal:
+        return Traversal(self).V(*ids)
+
+    def E(self, *ids: Any) -> Traversal:
+        return Traversal(self).E(*ids)
+
+    def addV(self, label: str) -> Traversal:
+        return Traversal(self).addV(label)
+
+    def addE(self, label: str) -> Traversal:
+        return Traversal(self).addE(label)
+
+    def with_strategies(self, *strategies: Any) -> "GraphTraversalSource":
+        registry = self.strategies.copy()
+        for strategy in strategies:
+            registry.add(strategy)
+        return GraphTraversalSource(self.provider, registry)
+
+    def without_strategies(self, *names: str) -> "GraphTraversalSource":
+        registry = self.strategies.copy()
+        for name in names:
+            registry.remove(name)
+        return GraphTraversalSource(self.provider, registry)
+
+    def __repr__(self) -> str:
+        return f"g[{self.provider.describe()}]"
+
+
+class _AnonymousTraversal:
+    """``__`` — builds unbound traversals for use inside steps."""
+
+    def __getattr__(self, name: str) -> Callable[..., Traversal]:
+        def start(*args: Any, **kwargs: Any) -> Traversal:
+            traversal = Traversal(None)
+            method = getattr(traversal, name, None)
+            if method is None:
+                raise TraversalError(f"unknown traversal step {name!r}")
+            return method(*args, **kwargs)
+
+        return start
+
+    def start(self) -> Traversal:
+        return Traversal(None)
+
+
+__ = _AnonymousTraversal()
+
+
+def _flatten_ids(ids: Sequence[Any]) -> list[Any] | None:
+    from .model import Element
+
+    if not ids:
+        return None
+    flattened: list[Any] = []
+    for item in ids:
+        if isinstance(item, (list, tuple, set, frozenset)):
+            flattened.extend(e.id if isinstance(e, Element) else e for e in item)
+        elif isinstance(item, Element):
+            flattened.append(item.id)
+        else:
+            flattened.append(item)
+    return flattened

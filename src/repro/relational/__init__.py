@@ -1,0 +1,69 @@
+"""``repro.relational`` — a from-scratch relational engine.
+
+This package is the reproduction's stand-in for IBM Db2: typed schemas
+with primary/foreign keys, a catalog, hash and sorted indexes, a SQL
+parser and planner/executor, non-materialized views, MVCC transactions,
+system-time temporal queries (``FOR SYSTEM_TIME AS OF``), GRANT/REVOKE
+access control, prepared statements, and polymorphic table functions.
+
+Quick use::
+
+    from repro.relational import Database
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR)")
+    db.execute("INSERT INTO t VALUES (1, 'a')")
+    rows = db.execute("SELECT name FROM t WHERE id = 1").rows
+"""
+
+from .database import Connection, Database
+from .errors import (
+    AccessDeniedError,
+    CatalogError,
+    ConstraintViolationError,
+    DatabaseError,
+    ExecutionError,
+    LockTimeoutError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeMismatchError,
+)
+from .executor import ResultSet
+from .schema import Column, ForeignKey, TableSchema
+from .types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    TIMESTAMP,
+    VARCHAR,
+    SqlType,
+    VarcharType,
+    type_from_name,
+)
+
+__all__ = [
+    "Database",
+    "Connection",
+    "ResultSet",
+    "TableSchema",
+    "Column",
+    "ForeignKey",
+    "SqlType",
+    "VarcharType",
+    "INTEGER",
+    "BIGINT",
+    "DOUBLE",
+    "VARCHAR",
+    "BOOLEAN",
+    "TIMESTAMP",
+    "type_from_name",
+    "DatabaseError",
+    "SqlSyntaxError",
+    "CatalogError",
+    "TypeMismatchError",
+    "ConstraintViolationError",
+    "TransactionError",
+    "LockTimeoutError",
+    "AccessDeniedError",
+    "ExecutionError",
+]

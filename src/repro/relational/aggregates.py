@@ -1,0 +1,111 @@
+"""Aggregate function accumulators (COUNT, SUM, AVG, MIN, MAX).
+
+Each accumulator follows SQL NULL semantics: NULL inputs are skipped,
+and SUM/AVG/MIN/MAX over an empty (or all-NULL) group yield NULL while
+COUNT yields 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import ExecutionError
+from .values import _compare  # total-order compare with type checking
+
+
+class Accumulator:
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class CountAccumulator(Accumulator):
+    """COUNT(expr) counts non-NULL values; COUNT(*) counts rows."""
+
+    def __init__(self, count_rows: bool = False):
+        self.count_rows = count_rows
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if self.count_rows or value is not None:
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self._sum: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"SUM requires numeric input, got {value!r}")
+        self._sum = value if self._sum is None else self._sum + value
+
+    def result(self) -> Any:
+        return self._sum
+
+
+class AvgAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"AVG requires numeric input, got {value!r}")
+        self._sum += value
+        self._count += 1
+
+    def result(self) -> float | None:
+        return self._sum / self._count if self._count else None
+
+
+class MinAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self._min: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._min is None or _compare(value, self._min) < 0:
+            self._min = value
+
+    def result(self) -> Any:
+        return self._min
+
+
+class MaxAccumulator(Accumulator):
+    def __init__(self) -> None:
+        self._max: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._max is None or _compare(value, self._max) > 0:
+            self._max = value
+
+    def result(self) -> Any:
+        return self._max
+
+
+def make_accumulator(name: str, star: bool = False) -> Accumulator:
+    upper = name.upper()
+    if upper == "COUNT":
+        return CountAccumulator(count_rows=star)
+    if upper == "SUM":
+        return SumAccumulator()
+    if upper == "AVG":
+        return AvgAccumulator()
+    if upper == "MIN":
+        return MinAccumulator()
+    if upper == "MAX":
+        return MaxAccumulator()
+    raise ExecutionError(f"unknown aggregate {name!r}")

@@ -1,0 +1,188 @@
+"""The public database facade: :class:`Database` and :class:`Connection`.
+
+A :class:`Database` owns the catalog, the transaction manager, the
+access-control lists, and the statement cache.  Clients open
+:class:`Connection` objects (one per user/session) and run SQL through
+them — exactly the surface the Db2 Graph layer programs against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Sequence
+
+from ..common.clock import Clock, SystemClock
+from .access import AccessControl
+from .catalog import Catalog
+from .errors import TransactionError
+from .executor import Executor, ResultSet
+from .planner import ExecContext
+from .prepared import PreparedStatement, StatementCache
+from .schema import TableSchema
+from .sql_parser import parse_script, parse_statement
+from .sql_ast import TransactionStmt
+from .transactions import Transaction, TransactionManager
+
+
+class Database:
+    def __init__(
+        self,
+        name: str = "db",
+        clock: Clock | None = None,
+        enforce_foreign_keys: bool = True,
+        admin_user: str = "admin",
+    ):
+        self.name = name
+        self.clock = clock or SystemClock()
+        self.catalog = Catalog()
+        self.txn_manager = TransactionManager(self.clock)
+        self.access = AccessControl(admin_user)
+        self.executor = Executor(self)
+        self.statement_cache = StatementCache(self)
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self.ddl_generation = 0
+        self._ddl_lock = threading.Lock()
+        self.statements_executed = 0
+
+    # -- connections -------------------------------------------------------
+
+    def connect(self, user: str = "admin") -> "Connection":
+        return Connection(self, user)
+
+    # -- convenience admin API ----------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run one statement as the admin user (autocommit)."""
+        return self.connect().execute(sql, params)
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Run a ``;``-separated script as the admin user."""
+        session = self.connect()
+        return [session.execute_parsed(stmt, ()) for stmt in parse_script(sql)]
+
+    def create_table(self, schema: TableSchema, owner: str = "admin") -> None:
+        self.catalog.create_table(schema, owner)
+        self.bump_ddl_generation()
+
+    def register_table_function(self, name: str, func) -> None:
+        """Register a polymorphic table function, callable in SQL via
+        ``TABLE(name(args)) AS alias (col type, ...)``."""
+        self.catalog.register_function(name, func)
+
+    def bump_ddl_generation(self) -> None:
+        with self._ddl_lock:
+            self.ddl_generation += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def table_row_count(self, table_name: str) -> int:
+        table = self.catalog.get_table(table_name)
+        return table.storage.visible_count(self.txn_manager.current_csn())
+
+    def now(self) -> float:
+        return self.clock.now()
+
+
+class Connection:
+    """A session: a user identity plus optional explicit transaction."""
+
+    def __init__(self, database: Database, user: str):
+        self.database = database
+        self.user = user
+        self.current_txn: Transaction | None = None
+
+    # -- SQL entry points ---------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        return self.execute_parsed(parse_statement(sql), params)
+
+    def execute_parsed(self, stmt: Any, params: Sequence[Any]) -> ResultSet:
+        self.database.statements_executed += 1
+        if isinstance(stmt, TransactionStmt):
+            return self._transaction_statement(stmt)
+        if self.current_txn is not None:
+            # READ COMMITTED between statements of the same transaction.
+            self.current_txn.refresh_snapshot()
+        return self.database.executor.execute(stmt, self, params)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Prepare via the shared statement cache (parse/plan once)."""
+        return self.database.statement_cache.get(sql)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        return self.execute(sql, params).rows
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        if self.current_txn is not None and self.current_txn.is_active:
+            raise TransactionError("transaction already open on this connection")
+        self.current_txn = self.database.txn_manager.begin()
+        return self.current_txn
+
+    def commit(self) -> None:
+        if self.current_txn is None or not self.current_txn.is_active:
+            raise TransactionError("no open transaction")
+        self.current_txn.commit()
+        self.current_txn = None
+
+    def rollback(self) -> None:
+        if self.current_txn is None or not self.current_txn.is_active:
+            raise TransactionError("no open transaction")
+        self.current_txn.rollback()
+        self.current_txn = None
+
+    def _transaction_statement(self, stmt: TransactionStmt) -> ResultSet:
+        if stmt.action == "BEGIN":
+            self.begin()
+        elif stmt.action == "COMMIT":
+            self.commit()
+        else:
+            self.rollback()
+        return ResultSet.from_count(0)
+
+    # -- executor support -----------------------------------------------------
+
+    def exec_context(self, params: Sequence[Any], txn: Transaction | None = None) -> ExecContext:
+        active = txn or self.current_txn
+        if active is not None and active.is_active:
+            snapshot = active.snapshot_csn
+            txn_id: int | None = active.txn_id
+        else:
+            snapshot = self.database.txn_manager.current_csn()
+            txn_id = None
+        return ExecContext(
+            database=self.database,
+            session=self,
+            params=list(params),
+            snapshot_csn=snapshot,
+            txn_id=txn_id,
+        )
+
+    def write_transaction(self, table_name: str) -> tuple[Transaction, bool]:
+        """A transaction holding the write lock on ``table_name``.
+
+        Returns ``(txn, own)`` — ``own`` is True when the transaction was
+        created for this statement (autocommit) and the caller must
+        commit/rollback it.  Explicit transactions keep write locks
+        until COMMIT/ROLLBACK (released by the transaction manager).
+        """
+        key = table_name.lower()
+        if self.current_txn is not None and self.current_txn.is_active:
+            txn = self.current_txn
+            if key not in txn.write_locks:
+                lock = self.database.catalog.get_table(table_name).lock
+                lock.acquire_write()
+                txn.write_locks[key] = lock
+            return txn, False
+        txn = self.database.txn_manager.begin()
+        lock = self.database.catalog.get_table(table_name).lock
+        lock.acquire_write()
+        txn.write_locks[key] = lock
+        return txn, True
+
+    # -- bulk loading ----------------------------------------------------------
+
+    def insert_rows(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert through the normal constraint path."""
+        return self.database.executor.insert_rows(table_name, list(rows), self)

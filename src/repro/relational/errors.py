@@ -1,0 +1,52 @@
+"""Exception hierarchy for the relational engine.
+
+Every error raised by :mod:`repro.relational` derives from
+:class:`DatabaseError`, so callers can catch one type at the API
+boundary.  The subclasses mirror the error classes a production RDBMS
+distinguishes: syntax, catalog, typing, constraint, transaction,
+authorization.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all relational engine errors."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """Raised when SQL text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CatalogError(DatabaseError):
+    """Raised for unknown or duplicate tables, views, columns, indexes."""
+
+
+class TypeMismatchError(DatabaseError):
+    """Raised when a value cannot be coerced to a column's SQL type."""
+
+
+class ConstraintViolationError(DatabaseError):
+    """Raised on primary key, unique, not-null, or foreign key violations."""
+
+
+class TransactionError(DatabaseError):
+    """Raised for invalid transaction state transitions."""
+
+
+class LockTimeoutError(TransactionError):
+    """Raised when a table lock cannot be acquired within the timeout."""
+
+
+class AccessDeniedError(DatabaseError):
+    """Raised when the current user lacks a required privilege."""
+
+
+class ExecutionError(DatabaseError):
+    """Raised for runtime evaluation failures (division by zero, etc.)."""

@@ -1,0 +1,153 @@
+"""Secondary indexes: hash (equality) and sorted (range).
+
+Index entries map a key tuple to the set of rowids whose *some* version
+carried that key.  Because rows are multi-versioned, an index probe is
+a superset: the executor re-checks the visible version's actual column
+values after the probe ("index post-verification").  This keeps index
+maintenance trivial under MVCC while remaining correct.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, Sequence
+
+from .errors import CatalogError
+
+
+class Index:
+    """Base index over ``columns`` of one table."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, table_name: str, columns: Sequence[str], unique: bool = False):
+        if not columns:
+            raise CatalogError("index requires at least one column")
+        self.name = name
+        self.table_name = table_name
+        self.columns = tuple(columns)
+        self.unique = unique
+        self.probes = 0
+
+    def add(self, key: tuple[Any, ...], rowid: int) -> None:
+        raise NotImplementedError
+
+    def discard(self, key: tuple[Any, ...], rowid: int) -> None:
+        raise NotImplementedError
+
+    def lookup(self, key: tuple[Any, ...]) -> Iterator[int]:
+        raise NotImplementedError
+
+    def supports_range(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name} ON {self.table_name}{self.columns})"
+
+
+class HashIndex(Index):
+    """Equality-probe index backed by a dict of rowid sets."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, table_name: str, columns: Sequence[str], unique: bool = False):
+        super().__init__(name, table_name, columns, unique)
+        self._buckets: dict[tuple[Any, ...], set[int]] = {}
+
+    def add(self, key: tuple[Any, ...], rowid: int) -> None:
+        self._buckets.setdefault(key, set()).add(rowid)
+
+    def discard(self, key: tuple[Any, ...], rowid: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> Iterator[int]:
+        self.probes += 1
+        return iter(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class SortedIndex(Index):
+    """B-tree-like index: a sorted key list supporting range scans.
+
+    Keys containing NULL are not indexed for ranges (SQL comparisons
+    with NULL are UNKNOWN), matching real engines that exclude NULL
+    keys from range predicates.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, name: str, table_name: str, columns: Sequence[str], unique: bool = False):
+        super().__init__(name, table_name, columns, unique)
+        self._keys: list[tuple[Any, ...]] = []
+        self._rowids: dict[tuple[Any, ...], set[int]] = {}
+
+    def supports_range(self) -> bool:
+        return True
+
+    def add(self, key: tuple[Any, ...], rowid: int) -> None:
+        if any(part is None for part in key):
+            return
+        if key not in self._rowids:
+            bisect.insort(self._keys, key)
+            self._rowids[key] = set()
+        self._rowids[key].add(rowid)
+
+    def discard(self, key: tuple[Any, ...], rowid: int) -> None:
+        bucket = self._rowids.get(key)
+        if bucket is None:
+            return
+        bucket.discard(rowid)
+        if not bucket:
+            del self._rowids[key]
+            pos = bisect.bisect_left(self._keys, key)
+            if pos < len(self._keys) and self._keys[pos] == key:
+                del self._keys[pos]
+
+    def lookup(self, key: tuple[Any, ...]) -> Iterator[int]:
+        self.probes += 1
+        return iter(self._rowids.get(key, ()))
+
+    def range(
+        self,
+        low: tuple[Any, ...] | None = None,
+        high: tuple[Any, ...] | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Yield rowids whose key falls in [low, high] (bounds optional)."""
+        self.probes += 1
+        start = 0
+        if low is not None:
+            start = (
+                bisect.bisect_left(self._keys, low)
+                if low_inclusive
+                else bisect.bisect_right(self._keys, low)
+            )
+        end = len(self._keys)
+        if high is not None:
+            end = (
+                bisect.bisect_right(self._keys, high)
+                if high_inclusive
+                else bisect.bisect_left(self._keys, high)
+            )
+        for pos in range(start, end):
+            yield from self._rowids[self._keys[pos]]
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._rowids.values())
+
+
+def make_index(
+    kind: str, name: str, table_name: str, columns: Sequence[str], unique: bool = False
+) -> Index:
+    if kind == "hash":
+        return HashIndex(name, table_name, columns, unique)
+    if kind in ("sorted", "btree"):
+        return SortedIndex(name, table_name, columns, unique)
+    raise CatalogError(f"unknown index kind {kind!r}")

@@ -1,0 +1,1005 @@
+"""Query planner and physical plan operators.
+
+The planner turns a SELECT AST into a tree of iterator-style plan
+nodes.  Planning resolves column references to tuple positions and
+picks indexes; execution then only runs compiled closures per row.
+
+Optimizations implemented (the ones the paper's generated SQL relies
+on — the graph layer counts on the relational engine doing its part):
+
+* WHERE-conjunct pushdown into single-table scans;
+* index selection: equality conjuncts (including IN lists) probe hash
+  or sorted indexes; range conjuncts use sorted indexes;
+* hash joins for equi-join conditions, nested loops otherwise;
+* aggregation without materializing input (streaming accumulators).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from . import sql_ast as A
+from .aggregates import make_accumulator
+from .catalog import Table, View
+from .errors import CatalogError, ExecutionError, SqlSyntaxError
+from .expressions import (
+    BinaryOp,
+    Between,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Param,
+    Scope,
+    UnaryOp,
+    contains_aggregate,
+    split_conjuncts,
+)
+from .values import _compare
+
+
+@dataclass
+class ExecContext:
+    """Everything a running statement needs at execution time."""
+
+    database: Any  # Database (untyped to avoid import cycle)
+    session: Any  # Connection
+    params: Sequence[Any] = ()
+    snapshot_csn: int = 0
+    txn_id: int | None = None
+
+    def scalar(self, expr: Expression, scope: Scope | None = None) -> Any:
+        """Evaluate an expression that needs no input row."""
+        compiled = expr.compile(scope or Scope([]))
+        return compiled((), self)
+
+
+ColumnList = list[tuple[str | None, str]]
+
+
+class PlanNode:
+    """Base class: ``columns`` (qualifier, name) and a row iterator."""
+
+    columns: ColumnList
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def scope(self) -> Scope:
+        return Scope(self.columns)
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self) -> list["PlanNode"]:
+        return []
+
+
+class ConstantRowNode(PlanNode):
+    """FROM-less SELECT: a single empty row."""
+
+    def __init__(self) -> None:
+        self.columns: ColumnList = []
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        yield ()
+
+
+class TableScanNode(PlanNode):
+    """Scan of a base table, with index selection and residual filter.
+
+    Index strategy is chosen at plan time from the pushed-down
+    conjuncts; key *values* are computed at run time, so the same plan
+    works for prepared statements with parameter markers.
+    """
+
+    def __init__(self, table: Table, alias: str, conjuncts: list[Expression], as_of: Expression | None):
+        self.table = table
+        self.alias = alias
+        self.as_of = as_of
+        schema = table.schema
+        self.columns = [(alias, c.name) for c in schema.columns]
+        scope = self.scope()
+
+        self._access_path = "scan"
+        self._index = None
+        self._key_fns: list[Callable] = []
+        self._in_fns: list[Callable] | None = None
+        self._range_low: tuple[Callable, bool] | None = None
+        self._range_high: tuple[Callable, bool] | None = None
+        residual = list(conjuncts)
+
+        eq_map: dict[str, Expression] = {}
+        in_map: dict[str, InList] = {}
+        range_map: dict[str, list[tuple[str, Expression]]] = {}
+        for conjunct in conjuncts:
+            kind = _classify_conjunct(conjunct, alias, schema)
+            if kind is None:
+                continue
+            form, column, payload = kind
+            if form == "eq" and column not in eq_map:
+                eq_map[column] = payload
+            elif form == "in" and column not in in_map and column not in eq_map:
+                in_map[column] = payload
+            elif form == "range":
+                range_map.setdefault(column, []).append(payload)
+
+        # NOTE: conjuncts that select the index key deliberately STAY in
+        # the residual filter — index entries are never removed under
+        # MVCC (a row version may have changed the key), so every probe
+        # is post-verified against the visible version's actual values.
+
+        # 1) full equality cover of an index -> point lookups
+        best: tuple[Any, list[str]] | None = None
+        for index in table.storage.indexes.values():
+            cols = [c.lower() for c in index.columns]
+            if all(c in eq_map for c in cols):
+                if best is None or len(cols) > len(best[1]):
+                    best = (index, cols)
+        if best is not None:
+            index, cols = best
+            self._access_path = "index_eq"
+            self._index = index
+            self._key_fns = [eq_map[c].compile(scope) for c in cols]
+        else:
+            # 2) single-column index + IN list -> multiple probes
+            for index in table.storage.indexes.values():
+                cols = [c.lower() for c in index.columns]
+                if len(cols) == 1 and cols[0] in in_map:
+                    in_list = in_map[cols[0]]
+                    self._access_path = "index_in"
+                    self._index = index
+                    self._in_fns = [item.compile(scope) for item in in_list.items]
+                    break
+            else:
+                # 3) sorted index + range conjunct(s) on its first column
+                for index in table.storage.indexes.values():
+                    if not index.supports_range():
+                        continue
+                    first = index.columns[0].lower()
+                    if first in range_map:
+                        self._access_path = "index_range"
+                        self._index = index
+                        for op, value_expr in range_map[first]:
+                            compiled = value_expr.compile(scope)
+                            if op in (">", ">="):
+                                self._range_low = (compiled, op == ">=")
+                            else:
+                                self._range_high = (compiled, op == "<=")
+                        # range conjuncts stay in the residual filter —
+                        # the index probe is a superset under MVCC.
+                        break
+
+        self._residual_fns = [c.compile(scope) for c in residual]
+        self.rows_scanned = 0
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        storage = self.table.storage
+        as_of_ts: float | None = None
+        if self.as_of is not None:
+            as_of_ts = ctx.scalar(self.as_of)
+            if as_of_ts is None:
+                raise ExecutionError("AS OF timestamp evaluated to NULL")
+            as_of_ts = float(as_of_ts)
+
+        if self._access_path == "index_eq":
+            key = tuple(fn((), ctx) for fn in self._key_fns)
+            candidates: Iterable[int] = sorted(self._index.lookup(key))
+        elif self._access_path == "index_in":
+            ids: set[int] = set()
+            for fn in self._in_fns or ():
+                value = fn((), ctx)
+                ids.update(self._index.lookup((value,)))
+            candidates = sorted(ids)
+        elif self._access_path == "index_range":
+            low = high = None
+            low_inc = high_inc = True
+            if self._range_low is not None:
+                low = (self._range_low[0]((), ctx),)
+                low_inc = self._range_low[1]
+            if self._range_high is not None:
+                high = (self._range_high[0]((), ctx),)
+                high_inc = self._range_high[1]
+            candidates = sorted(set(self._index.range(low, high, low_inc, high_inc)))
+        else:
+            candidates = None  # full scan
+
+        if candidates is None:
+            iterator = storage.scan(ctx.snapshot_csn, ctx.txn_id, as_of_ts)
+        else:
+            iterator = (
+                (rowid, values)
+                for rowid in candidates
+                if (values := storage.fetch(rowid, ctx.snapshot_csn, ctx.txn_id, as_of_ts))
+                is not None
+            )
+
+        residuals = self._residual_fns
+        for _rowid, values in iterator:
+            self.rows_scanned += 1
+            if all(fn(values, ctx) is True for fn in residuals):
+                yield values
+
+    def _describe(self) -> str:
+        detail = self._access_path
+        if self._index is not None:
+            detail += f" via {self._index.name}"
+        return f"TableScan({self.table.name} AS {self.alias}, {detail})"
+
+
+def _classify_conjunct(
+    conjunct: Expression, alias: str, schema
+) -> tuple[str, str, Any] | None:
+    """Recognize index-usable conjunct shapes on this table's columns."""
+    alias_l = alias.lower()
+
+    def own_column(expr: Expression) -> str | None:
+        if not isinstance(expr, ColumnRef):
+            return None
+        if expr.qualifier is not None and expr.qualifier.lower() != alias_l:
+            return None
+        if not schema.has_column(expr.name):
+            return None
+        return expr.name.lower()
+
+    def is_value(expr: Expression) -> bool:
+        return not expr.references()
+
+    if isinstance(conjunct, BinaryOp) and conjunct.op in ("=", "<", "<=", ">", ">="):
+        left_col = own_column(conjunct.left)
+        if left_col is not None and is_value(conjunct.right):
+            if conjunct.op == "=":
+                return ("eq", left_col, conjunct.right)
+            return ("range", left_col, (conjunct.op, conjunct.right))
+        right_col = own_column(conjunct.right)
+        if right_col is not None and is_value(conjunct.left):
+            if conjunct.op == "=":
+                return ("eq", right_col, conjunct.left)
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[conjunct.op]
+            return ("range", right_col, (flipped, conjunct.left))
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        column = own_column(conjunct.expr)
+        if column is not None and all(is_value(i) for i in conjunct.items):
+            return ("in", column, conjunct)
+    return None
+
+
+class AliasNode(PlanNode):
+    """Re-qualifies a child's output columns under a new alias (views,
+    subqueries)."""
+
+    def __init__(self, child: PlanNode, alias: str):
+        self.child = child
+        self.alias = alias
+        self.columns = [(alias, name) for _q, name in child.columns]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        return self.child.rows(ctx)
+
+    def _describe(self) -> str:
+        return f"Alias({self.alias})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class TableFunctionNode(PlanNode):
+    """TABLE(func(args)) AS alias (col type, ...) — calls a registered
+    polymorphic table function and coerces rows to the declared types."""
+
+    def __init__(self, func: Callable, args: list[Expression], alias: str, columns: list[tuple[str, Any]]):
+        self.func = func
+        self.args = args
+        self.alias = alias
+        self.declared = columns
+        self.columns = [(alias, name) for name, _t in columns]
+        self._arg_fns = [a.compile(Scope([])) for a in args]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        arg_values = [fn((), ctx) for fn in self._arg_fns]
+        width = len(self.declared)
+        for row in self.func(ctx.session, *arg_values):
+            row = tuple(row)
+            if len(row) != width:
+                raise ExecutionError(
+                    f"table function returned {len(row)} columns, expected {width}"
+                )
+            yield tuple(t.coerce(v) for (_n, t), v in zip(self.declared, row))
+
+    def _describe(self) -> str:
+        return f"TableFunction({self.alias})"
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+        self.columns = child.columns
+        self._fn = predicate.compile(child.scope())
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        fn = self._fn
+        for row in self.child.rows(ctx):
+            if fn(row, ctx) is True:
+                yield row
+
+    def _describe(self) -> str:
+        return f"Filter({self.predicate.sql()})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class NestedLoopJoinNode(PlanNode):
+    def __init__(self, left: PlanNode, right: PlanNode, kind: str, on: Expression | None):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.columns = left.columns + right.columns
+        self._on_fn = on.compile(self.scope()) if on is not None else None
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        right_rows = list(self.right.rows(ctx))
+        pad = (None,) * len(self.right.columns)
+        for lrow in self.left.rows(ctx):
+            matched = False
+            for rrow in right_rows:
+                combined = lrow + rrow
+                if self._on_fn is None or self._on_fn(combined, ctx) is True:
+                    matched = True
+                    yield combined
+            if self.kind == "LEFT" and not matched:
+                yield lrow + pad
+
+    def _describe(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class HashJoinNode(PlanNode):
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: list[Expression],
+        right_keys: list[Expression],
+        kind: str,
+        residual: Expression | None,
+    ):
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.columns = left.columns + right.columns
+        self._left_fns = [k.compile(left.scope()) for k in left_keys]
+        self._right_fns = [k.compile(right.scope()) for k in right_keys]
+        self._residual_fn = residual.compile(self.scope()) if residual is not None else None
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for rrow in self.right.rows(ctx):
+            key = tuple(fn(rrow, ctx) for fn in self._right_fns)
+            if any(part is None for part in key):
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(rrow)
+        pad = (None,) * len(self.right.columns)
+        for lrow in self.left.rows(ctx):
+            key = tuple(fn(lrow, ctx) for fn in self._left_fns)
+            matched = False
+            if not any(part is None for part in key):
+                for rrow in table.get(key, ()):
+                    combined = lrow + rrow
+                    if self._residual_fn is None or self._residual_fn(combined, ctx) is True:
+                        matched = True
+                        yield combined
+            if self.kind == "LEFT" and not matched:
+                yield lrow + pad
+
+    def _describe(self) -> str:
+        return f"HashJoin({self.kind})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+class ProjectNode(PlanNode):
+    def __init__(self, child: PlanNode, items: list[tuple[Expression, str]]):
+        self.child = child
+        self.columns = [(None, name) for _e, name in items]
+        scope = child.scope()
+        self._fns = [expr.compile(scope) for expr, _name in items]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        fns = self._fns
+        for row in self.child.rows(ctx):
+            yield tuple(fn(row, ctx) for fn in fns)
+
+    def _describe(self) -> str:
+        return f"Project({[n for _q, n in self.columns]})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class _AggSpec:
+    call: FunctionCall
+    arg_fn: Callable | None  # None for COUNT(*)
+
+
+class AggregateNode(PlanNode):
+    """Hash aggregation producing the final select-item outputs.
+
+    Select items and HAVING are rewritten so group expressions and
+    aggregate calls become references into the per-group result row.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: list[Expression],
+        items: list[tuple[Expression, str]],
+        having: Expression | None,
+    ):
+        self.child = child
+        self.group_exprs = group_exprs
+        child_scope = child.scope()
+        self._group_fns = [g.compile(child_scope) for g in group_exprs]
+
+        # Discover aggregate calls across select items and HAVING.
+        self._agg_specs: list[_AggSpec] = []
+        agg_index: dict[str, int] = {}
+
+        def register(call: FunctionCall) -> int:
+            key = call.sql()
+            if key not in agg_index:
+                arg_fn = None
+                if not call.star:
+                    if len(call.args) != 1:
+                        raise SqlSyntaxError(
+                            f"aggregate {call.name.upper()} expects one argument"
+                        )
+                    arg_fn = call.args[0].compile(child_scope)
+                agg_index[key] = len(self._agg_specs)
+                self._agg_specs.append(_AggSpec(call, arg_fn))
+            return agg_index[key]
+
+        group_sql = {g.sql(): i for i, g in enumerate(group_exprs)}
+        n_groups = len(group_exprs)
+
+        def rewrite(expr: Expression) -> Expression:
+            if expr.sql() in group_sql:
+                return ColumnRef(None, f"__g{group_sql[expr.sql()]}")
+            if isinstance(expr, FunctionCall) and expr.is_aggregate:
+                return ColumnRef(None, f"__a{register(expr)}")
+            if isinstance(expr, BinaryOp):
+                return BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+            if isinstance(expr, UnaryOp):
+                return UnaryOp(expr.op, rewrite(expr.operand))
+            if isinstance(expr, FunctionCall):
+                return FunctionCall(expr.name, tuple(rewrite(a) for a in expr.args))
+            if isinstance(expr, InList):
+                return InList(rewrite(expr.expr), tuple(rewrite(i) for i in expr.items), expr.negated)
+            if isinstance(expr, Between):
+                return Between(rewrite(expr.expr), rewrite(expr.low), rewrite(expr.high), expr.negated)
+            if isinstance(expr, IsNull):
+                return IsNull(rewrite(expr.expr), expr.negated)
+            if isinstance(expr, (Literal, Param)):
+                return expr
+            if isinstance(expr, ColumnRef):
+                raise SqlSyntaxError(
+                    f"column {expr.sql()!r} must appear in GROUP BY or an aggregate"
+                )
+            return expr
+
+        rewritten_items = [(rewrite(e), name) for e, name in items]
+        rewritten_having = rewrite(having) if having is not None else None
+
+        internal_columns: ColumnList = [(None, f"__g{i}") for i in range(n_groups)]
+        internal_columns += [(None, f"__a{i}") for i in range(len(self._agg_specs))]
+        internal_scope = Scope(internal_columns)
+        self._item_fns = [e.compile(internal_scope) for e, _n in rewritten_items]
+        self._having_fn = (
+            rewritten_having.compile(internal_scope) if rewritten_having is not None else None
+        )
+        self.columns = [(None, name) for _e, name in items]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        for row in self.child.rows(ctx):
+            key = tuple(fn(row, ctx) for fn in self._group_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [make_accumulator(s.call.name, s.call.star) for s in self._agg_specs]
+                groups[key] = accumulators
+            for spec, acc in zip(self._agg_specs, accumulators):
+                acc.add(True if spec.arg_fn is None else spec.arg_fn(row, ctx))
+        if not groups and not self.group_exprs:
+            groups[()] = [make_accumulator(s.call.name, s.call.star) for s in self._agg_specs]
+        for key, accumulators in groups.items():
+            internal = key + tuple(acc.result() for acc in accumulators)
+            if self._having_fn is not None and self._having_fn(internal, ctx) is not True:
+                continue
+            yield tuple(fn(internal, ctx) for fn in self._item_fns)
+
+    def _describe(self) -> str:
+        return f"Aggregate(groups={len(self.group_exprs)}, aggs={len(self._agg_specs)})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class SortNode(PlanNode):
+    def __init__(self, child: PlanNode, order_items: list[A.OrderItem]):
+        self.child = child
+        self.columns = child.columns
+        scope = child.scope()
+        self._keys = [(item.expr.compile(scope), item.descending) for item in order_items]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        materialized = list(self.child.rows(ctx))
+        keys = self._keys
+
+        def compare(a: tuple, b: tuple) -> int:
+            for fn, descending in keys:
+                va, vb = fn(a, ctx), fn(b, ctx)
+                if va is None and vb is None:
+                    continue
+                if va is None:
+                    result = -1
+                elif vb is None:
+                    result = 1
+                else:
+                    result = _compare(va, vb)
+                if result:
+                    return -result if descending else result
+            return 0
+
+        materialized.sort(key=functools.cmp_to_key(compare))
+        return iter(materialized)
+
+    def _describe(self) -> str:
+        return f"Sort({len(self._keys)} keys)"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.columns = child.columns
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class LimitNode(PlanNode):
+    def __init__(self, child: PlanNode, limit: int):
+        self.child = child
+        self.limit = limit
+        self.columns = child.columns
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        count = 0
+        for row in self.child.rows(ctx):
+            if count >= self.limit:
+                return
+            count += 1
+            yield row
+
+    def _describe(self) -> str:
+        return f"Limit({self.limit})"
+
+    def _children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlannedSelect:
+    root: PlanNode
+    output_names: list[str]
+    # Relations touched, as (name, privilege) — checked per execution so
+    # cached prepared plans still honour GRANT/REVOKE changes.
+    accessed: list[tuple[str, str]] = field(default_factory=list)
+    scanned_tables: list[str] = field(default_factory=list)
+
+
+class UnionNode(PlanNode):
+    """Concatenate branch outputs; branch arity must match (column
+    names come from the first branch).  UNION (without ALL) dedups."""
+
+    def __init__(self, branches: list[PlanNode], all_flags: list[bool]):
+        widths = {len(b.columns) for b in branches}
+        if len(widths) != 1:
+            raise SqlSyntaxError(
+                f"UNION branches have different column counts: {sorted(widths)}"
+            )
+        self.branches = branches
+        # SQL semantics: a single non-ALL UNION anywhere dedups the result
+        self.dedup = not all(all_flags)
+        self.columns = [(None, name) for _q, name in branches[0].columns]
+
+    def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        if not self.dedup:
+            for branch in self.branches:
+                yield from branch.rows(ctx)
+            return
+        seen: set[tuple] = set()
+        for branch in self.branches:
+            for row in branch.rows(ctx):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+    def _describe(self) -> str:
+        return f"Union({'DISTINCT' if self.dedup else 'ALL'}, {len(self.branches)})"
+
+    def _children(self) -> list[PlanNode]:
+        return list(self.branches)
+
+
+class Planner:
+    def __init__(self, database: Any):
+        self.database = database
+
+    def plan_select(self, stmt: "A.SelectStmt | A.UnionStmt") -> PlannedSelect:
+        accessed: list[tuple[str, str]] = []
+        scanned: list[str] = []
+        if isinstance(stmt, A.UnionStmt):
+            root = self._plan_union(stmt, accessed, scanned)
+        else:
+            root = self._plan_query(stmt, accessed, scanned)
+        names = [name for _q, name in root.columns]
+        return PlannedSelect(root, names, accessed, scanned)
+
+    def _plan_select_or_union(
+        self, stmt: "A.SelectStmt | A.UnionStmt", accessed: list, scanned: list
+    ) -> PlanNode:
+        if isinstance(stmt, A.UnionStmt):
+            return self._plan_union(stmt, accessed, scanned)
+        return self._plan_query(stmt, accessed, scanned)
+
+    def _plan_union(
+        self, stmt: A.UnionStmt, accessed: list[tuple[str, str]], scanned: list[str]
+    ) -> PlanNode:
+        branches = [self._plan_query(s, accessed, scanned) for s in stmt.selects]
+        node: PlanNode = UnionNode(branches, stmt.all_flags)
+        if stmt.order_by:
+            node = SortNode(node, stmt.order_by)
+        if stmt.limit is not None:
+            node = LimitNode(node, stmt.limit)
+        return node
+
+    # -- query block --------------------------------------------------------
+
+    def _plan_query(
+        self, stmt: A.SelectStmt, accessed: list[tuple[str, str]], scanned: list[str]
+    ) -> PlanNode:
+        where_conjuncts = split_conjuncts(stmt.where)
+
+        if stmt.from_first is None:
+            node: PlanNode = ConstantRowNode()
+            remaining = list(where_conjuncts)
+        else:
+            node, remaining = self._plan_from_tree(stmt, where_conjuncts, accessed, scanned)
+
+        for conjunct in remaining:
+            node = FilterNode(node, conjunct)
+
+        has_aggregates = bool(stmt.group_by) or any(
+            isinstance(item, A.SelectItem) and contains_aggregate(item.expr)
+            for item in stmt.items
+        ) or (stmt.having is not None and contains_aggregate(stmt.having))
+
+        pre_projection = node
+        if has_aggregates:
+            items = self._named_items(stmt.items, node, allow_star=False)
+            node = AggregateNode(node, stmt.group_by, items, stmt.having)
+        else:
+            if stmt.having is not None:
+                raise SqlSyntaxError("HAVING requires GROUP BY or aggregates")
+            items = self._named_items(stmt.items, node, allow_star=True)
+            node = ProjectNode(node, items)
+
+        if stmt.distinct:
+            node = DistinctNode(node)
+        if stmt.order_by:
+            try:
+                node = self._plan_order(node, stmt.order_by, stmt.items, items)
+            except CatalogError:
+                # ORDER BY references an input column not in the select
+                # list (legal SQL): sort before projecting instead
+                if has_aggregates or stmt.distinct:
+                    raise
+                node = ProjectNode(SortNode(pre_projection, stmt.order_by), items)
+        if stmt.limit is not None:
+            node = LimitNode(node, stmt.limit)
+        return node
+
+    def _plan_order(
+        self,
+        node: PlanNode,
+        order_by: list[A.OrderItem],
+        raw_items: list[A.SelectItem | A.StarItem],
+        named_items: list[tuple[Expression, str]],
+    ) -> PlanNode:
+        """Sort on the projected output.  ORDER BY may reference output
+        aliases or repeat a select-item expression (e.g. an aggregate);
+        both resolve to the output column."""
+        by_sql = {expr.sql().lower(): name for expr, name in named_items}
+        rewritten: list[A.OrderItem] = []
+        for item in order_by:
+            target = by_sql.get(item.expr.sql().lower())
+            if target is not None:
+                rewritten.append(A.OrderItem(ColumnRef(None, target), item.descending))
+            else:
+                rewritten.append(item)
+        return SortNode(node, rewritten)
+
+    def _named_items(
+        self, items: list[A.SelectItem | A.StarItem], child: PlanNode, allow_star: bool
+    ) -> list[tuple[Expression, str]]:
+        named: list[tuple[Expression, str]] = []
+        for item in items:
+            if isinstance(item, A.StarItem):
+                if not allow_star:
+                    raise SqlSyntaxError("* not allowed with GROUP BY/aggregates")
+                for qualifier, name in child.columns:
+                    if item.qualifier is None or (
+                        qualifier is not None
+                        and qualifier.lower() == item.qualifier.lower()
+                    ):
+                        named.append((ColumnRef(qualifier, name), name))
+                continue
+            named.append((item.expr, self._output_name(item)))
+        return named
+
+    @staticmethod
+    def _output_name(item: A.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ColumnRef):
+            return item.expr.name
+        return item.expr.sql()
+
+    # -- FROM clause ----------------------------------------------------------
+
+    def _plan_from_tree(
+        self,
+        stmt: A.SelectStmt,
+        where_conjuncts: list[Expression],
+        accessed: list[tuple[str, str]],
+        scanned: list[str],
+    ) -> tuple[PlanNode, list[Expression]]:
+        # Bucket WHERE conjuncts by the single alias they reference (for
+        # scan pushdown); multi-alias conjuncts become join predicates.
+        aliases = [stmt.from_first.alias.lower()]
+        for join in stmt.joins:
+            aliases.append(join.right.alias.lower())
+
+        per_alias: dict[str, list[Expression]] = {a: [] for a in aliases}
+        residual: list[Expression] = []
+        for conjunct in where_conjuncts:
+            refs = {q for q, _n in conjunct.references()}
+            refs.discard(None)
+            owners = self._owning_aliases(conjunct, aliases, stmt)
+            if len(owners) == 1:
+                per_alias[next(iter(owners))].append(conjunct)
+            else:
+                residual.append(conjunct)
+
+        node = self._plan_from_item(stmt.from_first, per_alias[aliases[0]], accessed, scanned)
+        placed = {aliases[0]}
+
+        for join in stmt.joins:
+            alias = join.right.alias.lower()
+            right_pushdown = per_alias[alias] if join.kind != "LEFT" else []
+            right = self._plan_from_item(join.right, right_pushdown, accessed, scanned)
+            on = join.on
+            extra: list[Expression] = []
+            if join.kind != "LEFT":
+                # pull applicable residual conjuncts into this join
+                still: list[Expression] = []
+                for conjunct in residual:
+                    owners = self._owning_aliases(conjunct, aliases, stmt)
+                    if owners <= placed | {alias}:
+                        extra.append(conjunct)
+                    else:
+                        still.append(conjunct)
+                residual = still
+            node = self._make_join(node, right, join.kind, on, extra)
+            placed.add(alias)
+            if join.kind == "LEFT" and per_alias[alias]:
+                # post-join filters referencing the nullable side
+                residual.extend(per_alias[alias])
+        return node, residual
+
+    def _owning_aliases(
+        self, conjunct: Expression, aliases: list[str], stmt: A.SelectStmt
+    ) -> set[str]:
+        """Which FROM aliases a conjunct's column references belong to."""
+        owners: set[str] = set()
+        unqualified: set[str] = set()
+        for qualifier, name in conjunct.references():
+            if qualifier is not None:
+                owners.add(qualifier)
+            else:
+                unqualified.add(name)
+        if unqualified:
+            # attribute unqualified columns to the alias that has them
+            sources = [stmt.from_first] + [j.right for j in stmt.joins]
+            for name in unqualified:
+                holders = [
+                    s.alias.lower() for s in sources if self._item_has_column(s, name)
+                ]
+                if len(holders) == 1:
+                    owners.add(holders[0])
+                else:
+                    owners.update(aliases)  # ambiguous/unknown: keep residual
+        return owners or set(aliases)
+
+    def _item_has_column(self, item: A.FromItem, name: str) -> bool:
+        if isinstance(item, A.FromTable):
+            catalog = self.database.catalog
+            if catalog.has_table(item.name):
+                return catalog.get_table(item.name).schema.has_column(name)
+            if catalog.has_view(item.name):
+                view_plan = self._view_columns(catalog.get_view(item.name))
+                return name.lower() in view_plan
+            return False
+        if isinstance(item, A.FromTableFunction):
+            return name.lower() in {n.lower() for n, _t in item.columns}
+        if isinstance(item, A.FromSubquery):
+            inner = Planner(self.database).plan_select(item.select)
+            return name.lower() in {n.lower() for n in inner.output_names}
+        return False
+
+    def _view_columns(self, view: View) -> set[str]:
+        if view.columns is None:
+            planned = Planner(self.database).plan_select(view.select)
+            view.columns = planned.output_names
+        return {c.lower() for c in view.columns}
+
+    def _plan_from_item(
+        self,
+        item: A.FromItem,
+        pushdown: list[Expression],
+        accessed: list[tuple[str, str]],
+        scanned: list[str],
+    ) -> PlanNode:
+        if isinstance(item, A.FromTable):
+            catalog = self.database.catalog
+            if catalog.has_table(item.name):
+                table = catalog.get_table(item.name)
+                accessed.append((table.name, "SELECT"))
+                scanned.append(table.name)
+                return TableScanNode(table, item.alias, pushdown, item.as_of)
+            if catalog.has_view(item.name):
+                view = catalog.get_view(item.name)
+                accessed.append((view.name, "SELECT"))
+                inner = self._plan_select_or_union(view.select, accessed, scanned)
+                if view.columns is None:
+                    view.columns = [name for _q, name in inner.columns]
+                node: PlanNode = AliasNode(inner, item.alias)
+                for conjunct in pushdown:
+                    node = FilterNode(node, conjunct)
+                return node
+            raise CatalogError(f"unknown relation {item.name!r}")
+        if isinstance(item, A.FromTableFunction):
+            func = self.database.catalog.get_function(item.func_name)
+            node = TableFunctionNode(func, item.args, item.alias, item.columns)
+            for conjunct in pushdown:
+                node = FilterNode(node, conjunct)
+            return node
+        if isinstance(item, A.FromSubquery):
+            inner = self._plan_select_or_union(item.select, accessed, scanned)
+            node = AliasNode(inner, item.alias)
+            for conjunct in pushdown:
+                node = FilterNode(node, conjunct)
+            return node
+        raise SqlSyntaxError(f"unsupported FROM item {item!r}")
+
+    def _make_join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        kind: str,
+        on: Expression | None,
+        extra: list[Expression],
+    ) -> PlanNode:
+        predicates = split_conjuncts(on) + extra
+        left_aliases = {q.lower() for q, _n in left.columns if q is not None}
+        right_aliases = {q.lower() for q, _n in right.columns if q is not None}
+
+        left_keys: list[Expression] = []
+        right_keys: list[Expression] = []
+        residual: list[Expression] = []
+        for predicate in predicates:
+            pair = self._equi_pair(predicate, left, right, left_aliases, right_aliases)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(predicate)
+
+        from .expressions import conjoin
+
+        if left_keys:
+            return HashJoinNode(
+                left, right, left_keys, right_keys, "LEFT" if kind == "LEFT" else "INNER",
+                conjoin(residual),
+            )
+        return NestedLoopJoinNode(
+            left, right, "LEFT" if kind == "LEFT" else "INNER", conjoin(residual)
+        )
+
+    def _equi_pair(
+        self,
+        predicate: Expression,
+        left: PlanNode,
+        right: PlanNode,
+        left_aliases: set[str],
+        right_aliases: set[str],
+    ) -> tuple[Expression, Expression] | None:
+        if not (isinstance(predicate, BinaryOp) and predicate.op == "="):
+            return None
+
+        def side_of(expr: Expression) -> str | None:
+            refs = expr.references()
+            if not refs:
+                return None
+            owners = set()
+            for qualifier, name in refs:
+                if qualifier is not None:
+                    owners.add(qualifier)
+                else:
+                    in_left = self._scope_has(left, name)
+                    in_right = self._scope_has(right, name)
+                    if in_left and not in_right:
+                        owners.add("__left__")
+                    elif in_right and not in_left:
+                        owners.add("__right__")
+                    else:
+                        return None
+            if owners <= (left_aliases | {"__left__"}):
+                return "left"
+            if owners <= (right_aliases | {"__right__"}):
+                return "right"
+            return None
+
+        a = side_of(predicate.left)
+        b = side_of(predicate.right)
+        if a == "left" and b == "right":
+            return predicate.left, predicate.right
+        if a == "right" and b == "left":
+            return predicate.right, predicate.left
+        return None
+
+    @staticmethod
+    def _scope_has(node: PlanNode, name: str) -> bool:
+        name = name.lower()
+        return any(n.lower() == name for _q, n in node.columns)

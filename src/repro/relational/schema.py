@@ -1,0 +1,117 @@
+"""Table schemas: columns, primary keys, foreign keys, uniqueness.
+
+The graph overlay's AutoOverlay toolkit (paper §5.1) infers vertex and
+edge tables from exactly this metadata, so primary/foreign keys are
+first-class here rather than an afterthought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .errors import CatalogError, ConstraintViolationError
+from .types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    def coerce(self, value: Any) -> Any:
+        coerced = self.sql_type.coerce(value)
+        if coerced is None and not self.nullable:
+            raise ConstraintViolationError(f"column {self.name!r} is NOT NULL")
+        return coerced
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key constraint: ``columns`` reference
+    ``ref_table(ref_columns)``."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise CatalogError("foreign key column count mismatch")
+
+
+class TableSchema:
+    """Schema for one table: ordered columns plus constraints."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] | None = None,
+        foreign_keys: Iterable[ForeignKey] = (),
+        unique: Iterable[Sequence[str]] = (),
+    ):
+        self.name = name
+        self.columns = list(columns)
+        self._index = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise CatalogError(f"duplicate column names in table {name!r}")
+        self.primary_key = tuple(primary_key or ())
+        self.foreign_keys = list(foreign_keys)
+        self.unique = [tuple(u) for u in unique]
+        for col in self.primary_key:
+            self.require_column(col)
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                self.require_column(col)
+        for constraint in self.unique:
+            for col in constraint:
+                self.require_column(col)
+
+    # -- lookup ---------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_position(name)]
+
+    def require_column(self, name: str) -> Column:
+        return self.column(name)
+
+    @property
+    def has_primary_key(self) -> bool:
+        return bool(self.primary_key)
+
+    # -- row handling ----------------------------------------------------
+
+    def coerce_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Type-check and coerce a full-width row."""
+        if len(values) != len(self.columns):
+            raise ConstraintViolationError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return tuple(col.coerce(v) for col, v in zip(self.columns, values))
+
+    def row_dict(self, row: Sequence[Any]) -> dict[str, Any]:
+        return {c.name: v for c, v in zip(self.columns, row)}
+
+    def key_of(self, row: Sequence[Any], key_columns: Sequence[str]) -> tuple[Any, ...]:
+        return tuple(row[self.column_position(c)] for c in key_columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.sql_type.name}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"

@@ -1,0 +1,204 @@
+"""Statement-level AST produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .expressions import Expression
+from .types import SqlType
+
+
+class Statement:
+    """Base class for all SQL statements."""
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expression
+    alias: str | None = None
+
+
+@dataclass
+class StarItem:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass
+class FromItem:
+    alias: str
+
+
+@dataclass
+class FromTable(FromItem):
+    """A base table or view reference, optionally time-travelled."""
+
+    name: str = ""
+    as_of: Expression | None = None
+
+
+@dataclass
+class FromTableFunction(FromItem):
+    """``TABLE(func(args)) AS alias (col type, ...)`` — the polymorphic
+    table function syntax the paper uses for ``graphQuery`` (§4)."""
+
+    func_name: str = ""
+    args: list[Expression] = field(default_factory=list)
+    columns: list[tuple[str, SqlType]] = field(default_factory=list)
+
+
+@dataclass
+class FromSubquery(FromItem):
+    select: "SelectStmt" = None  # type: ignore[assignment]
+
+
+@dataclass
+class JoinClause:
+    kind: str  # "INNER" | "LEFT" | "CROSS"
+    right: FromItem
+    on: Expression | None
+
+
+@dataclass
+class OrderItem:
+    expr: Expression
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt(Statement):
+    items: list[SelectItem | StarItem]
+    from_first: FromItem | None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass
+class UnionStmt(Statement):
+    """``select UNION [ALL] select [...]`` with trailing ORDER BY/LIMIT
+    applying to the combined result."""
+
+    selects: list[SelectStmt]
+    all_flags: list[bool] = field(default_factory=list)  # len = len(selects) - 1
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class InsertStmt(Statement):
+    table: str
+    columns: list[str] | None
+    rows: list[list[Expression]] | None = None
+    select: SelectStmt | None = None
+
+
+@dataclass
+class UpdateStmt(Statement):
+    table: str
+    assignments: list[tuple[str, Expression]]
+    where: Expression | None = None
+
+
+@dataclass
+class DeleteStmt(Statement):
+    table: str
+    where: Expression | None = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class ForeignKeyDef:
+    columns: list[str]
+    ref_table: str
+    ref_columns: list[str]
+
+
+@dataclass
+class CreateTableStmt(Statement):
+    name: str
+    columns: list[ColumnDef]
+    primary_key: list[str] = field(default_factory=list)
+    foreign_keys: list[ForeignKeyDef] = field(default_factory=list)
+    unique: list[list[str]] = field(default_factory=list)
+
+
+@dataclass
+class CreateViewStmt(Statement):
+    name: str
+    select: SelectStmt
+    or_replace: bool = False
+
+
+@dataclass
+class CreateIndexStmt(Statement):
+    name: str
+    table: str
+    columns: list[str]
+    kind: str = "hash"  # "hash" | "sorted"
+    unique: bool = False
+
+
+@dataclass
+class AlterTableAddColumnStmt(Statement):
+    table: str
+    column: ColumnDef
+
+
+@dataclass
+class DropStmt(Statement):
+    kind: str  # "TABLE" | "VIEW" | "INDEX"
+    name: str
+    if_exists: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Access control / transactions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GrantStmt(Statement):
+    privileges: list[str]  # e.g. ["SELECT", "INSERT"] or ["ALL"]
+    table: str
+    user: str
+
+
+@dataclass
+class RevokeStmt(Statement):
+    privileges: list[str]
+    table: str
+    user: str
+
+
+@dataclass
+class TransactionStmt(Statement):
+    action: str  # "BEGIN" | "COMMIT" | "ROLLBACK"

@@ -1,0 +1,726 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar highlights (case-insensitive keywords):
+
+* ``SELECT [DISTINCT] items FROM refs [JOIN ...] [WHERE] [GROUP BY]
+  [HAVING] [ORDER BY] [LIMIT n | FETCH FIRST n ROWS ONLY]``
+* table refs: ``name [FOR SYSTEM_TIME AS OF expr] [AS alias]``,
+  ``TABLE(func(args)) AS alias (col type, ...)``, ``(subquery) AS a``
+* ``INSERT INTO t [(cols)] VALUES (...), (...)`` or ``INSERT ... SELECT``
+* ``UPDATE t SET c = e [, ...] [WHERE]``, ``DELETE FROM t [WHERE]``
+* ``CREATE TABLE`` with column NOT NULL / PRIMARY KEY, table-level
+  ``PRIMARY KEY``, ``FOREIGN KEY ... REFERENCES``, ``UNIQUE``
+* ``CREATE [OR REPLACE] VIEW v AS select``
+* ``CREATE [UNIQUE] [SORTED] INDEX i ON t (cols)``
+* ``DROP TABLE|VIEW|INDEX [IF EXISTS] name``
+* ``GRANT/REVOKE privs ON t TO/FROM user``
+* ``BEGIN | COMMIT | ROLLBACK``
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import sql_ast as A
+from .errors import SqlSyntaxError
+from .expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Exists,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Param,
+    UnaryOp,
+)
+from .sql_lexer import EOF, IDENT, NUMBER, OP, PARAM, STRING, Token, tokenize
+from .types import type_from_name
+
+_RESERVED_STOP_WORDS = {
+    "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "FETCH", "ON",
+    "JOIN", "INNER", "LEFT", "CROSS", "AND", "OR", "NOT", "AS", "SET",
+    "VALUES", "UNION", "BY", "ASC", "DESC", "FOR", "INTO", "TO",
+}
+
+
+def parse_statement(sql: str) -> A.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.skip_semicolons()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_script(sql: str) -> list[A.Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: list[A.Statement] = []
+    parser.skip_semicolons()
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        parser.skip_semicolons()
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self.peek().kind == EOF
+
+    def accept_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        if token.kind == IDENT and token.value.upper() in {w.upper() for w in words}:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            token = self.peek()
+            raise SqlSyntaxError(f"expected {word}, found {token.value!r}", token.position)
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == OP and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            token = self.peek()
+            raise SqlSyntaxError(f"expected {op!r}, found {token.value!r}", token.position)
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise SqlSyntaxError(f"expected identifier, found {token.value!r}", token.position)
+        self.advance()
+        return token.value
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            token = self.peek()
+            raise SqlSyntaxError(f"unexpected trailing input {token.value!r}", token.position)
+
+    def skip_semicolons(self) -> None:
+        while self.accept_op(";"):
+            pass
+
+    # -- statements ---------------------------------------------------------
+
+    def statement(self) -> A.Statement:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise SqlSyntaxError(f"expected a statement, found {token.value!r}", token.position)
+        word = token.value.upper()
+        if word == "SELECT":
+            return self.select()
+        if word == "INSERT":
+            return self.insert()
+        if word == "UPDATE":
+            return self.update()
+        if word == "DELETE":
+            return self.delete()
+        if word == "CREATE":
+            return self.create()
+        if word == "ALTER":
+            return self.alter()
+        if word == "DROP":
+            return self.drop()
+        if word == "GRANT":
+            return self.grant(revoke=False)
+        if word == "REVOKE":
+            return self.grant(revoke=True)
+        if word in ("BEGIN", "COMMIT", "ROLLBACK"):
+            self.advance()
+            if word == "BEGIN":
+                self.accept_keyword("TRANSACTION") or self.accept_keyword("WORK")
+            return A.TransactionStmt(word)
+        raise SqlSyntaxError(f"unsupported statement {word!r}", token.position)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def select(self) -> "A.SelectStmt | A.UnionStmt":
+        first = self._select_core()
+        selects = [first]
+        all_flags: list[bool] = []
+        while self.accept_keyword("UNION"):
+            all_flags.append(self.accept_keyword("ALL"))
+            selects.append(self._select_core())
+        order_by: list[A.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = self._limit_clause()
+        if len(selects) == 1:
+            first.order_by = order_by
+            first.limit = limit
+            return first
+        return A.UnionStmt(
+            selects=selects, all_flags=all_flags, order_by=order_by, limit=limit
+        )
+
+    def _select_core(self) -> A.SelectStmt:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = self._select_items()
+        from_first: A.FromItem | None = None
+        joins: list[A.JoinClause] = []
+        if self.accept_keyword("FROM"):
+            from_first = self._from_item()
+            while True:
+                if self.accept_op(","):
+                    joins.append(A.JoinClause("CROSS", self._from_item(), None))
+                    continue
+                kind = self._join_kind()
+                if kind is None:
+                    break
+                right = self._from_item()
+                on = None
+                if kind != "CROSS":
+                    self.expect_keyword("ON")
+                    on = self.expression()
+                joins.append(A.JoinClause(kind, right, on))
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: list[Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_op(","):
+                group_by.append(self.expression())
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        return A.SelectStmt(
+            items=items,
+            from_first=from_first,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> list[A.SelectItem | A.StarItem]:
+        items: list[A.SelectItem | A.StarItem] = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> A.SelectItem | A.StarItem:
+        if self.peek().kind == OP and self.peek().value == "*":
+            self.advance()
+            return A.StarItem(None)
+        # alias.* form
+        if (
+            self.peek().kind == IDENT
+            and self.peek(1).kind == OP
+            and self.peek(1).value == "."
+            and self.peek(2).kind == OP
+            and self.peek(2).value == "*"
+        ):
+            qualifier = self.expect_ident()
+            self.advance()  # .
+            self.advance()  # *
+            return A.StarItem(qualifier)
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.peek().kind == IDENT and self.peek().value.upper() not in _RESERVED_STOP_WORDS:
+            alias = self.expect_ident()
+        return A.SelectItem(expr, alias)
+
+    def _join_kind(self) -> str | None:
+        if self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            return "INNER"
+        if self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            return "LEFT"
+        if self.accept_keyword("CROSS"):
+            self.expect_keyword("JOIN")
+            return "CROSS"
+        if self.accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _from_item(self) -> A.FromItem:
+        token = self.peek()
+        if token.matches_keyword("TABLE") and self.peek(1).kind == OP and self.peek(1).value == "(":
+            return self._table_function()
+        if token.kind == OP and token.value == "(":
+            self.advance()
+            select = self.select()
+            self.expect_op(")")
+            alias = self._alias(required=True)
+            return A.FromSubquery(alias=alias, select=select)
+        name = self.expect_ident()
+        as_of = None
+        if self.accept_keyword("FOR"):
+            self.expect_keyword("SYSTEM_TIME")
+            self.expect_keyword("AS")
+            self.expect_keyword("OF")
+            self.accept_keyword("TIMESTAMP")
+            as_of = self.expression()
+        alias = self._alias(required=False) or name
+        return A.FromTable(alias=alias, name=name, as_of=as_of)
+
+    def _table_function(self) -> A.FromTableFunction:
+        self.expect_keyword("TABLE")
+        self.expect_op("(")
+        func_name = self.expect_ident()
+        self.expect_op("(")
+        args: list[Expression] = []
+        if not (self.peek().kind == OP and self.peek().value == ")"):
+            args.append(self.expression())
+            while self.accept_op(","):
+                args.append(self.expression())
+        self.expect_op(")")
+        self.expect_op(")")
+        alias = self._alias(required=True)
+        columns: list[tuple[str, object]] = []
+        self.expect_op("(")
+        while True:
+            col_name = self.expect_ident()
+            col_type = self._type_name()
+            columns.append((col_name, col_type))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return A.FromTableFunction(alias=alias, func_name=func_name, args=args, columns=columns)
+
+    def _alias(self, required: bool) -> str | None:
+        if self.accept_keyword("AS"):
+            return self.expect_ident()
+        token = self.peek()
+        if token.kind == IDENT and token.value.upper() not in _RESERVED_STOP_WORDS:
+            return self.expect_ident()
+        if required:
+            raise SqlSyntaxError("alias required", token.position)
+        return None
+
+    def _order_item(self) -> A.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return A.OrderItem(expr, descending)
+
+    def _limit_clause(self) -> int | None:
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != NUMBER:
+                raise SqlSyntaxError("LIMIT expects a number", token.position)
+            self.advance()
+            return int(token.value)
+        if self.accept_keyword("FETCH"):
+            self.expect_keyword("FIRST")
+            token = self.peek()
+            if token.kind != NUMBER:
+                raise SqlSyntaxError("FETCH FIRST expects a number", token.position)
+            self.advance()
+            count = int(token.value)
+            self.accept_keyword("ROWS") or self.accept_keyword("ROW")
+            self.expect_keyword("ONLY")
+            return count
+        return None
+
+    # -- DML --------------------------------------------------------------
+
+    def insert(self) -> A.InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: list[str] | None = None
+        if self.peek().kind == OP and self.peek().value == "(":
+            self.advance()
+            columns = [self.expect_ident()]
+            while self.accept_op(","):
+                columns.append(self.expect_ident())
+            self.expect_op(")")
+        if self.accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self.accept_op(","):
+                rows.append(self._value_row())
+            return A.InsertStmt(table, columns, rows=rows)
+        if self.peek().matches_keyword("SELECT"):
+            return A.InsertStmt(table, columns, select=self.select())
+        token = self.peek()
+        raise SqlSyntaxError("expected VALUES or SELECT", token.position)
+
+    def _value_row(self) -> list[Expression]:
+        self.expect_op("(")
+        row = [self.expression()]
+        while self.accept_op(","):
+            row.append(self.expression())
+        self.expect_op(")")
+        return row
+
+    def update(self) -> A.UpdateStmt:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_op(","):
+            assignments.append(self._assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return A.UpdateStmt(table, assignments, where)
+
+    def _assignment(self) -> tuple[str, Expression]:
+        column = self.expect_ident()
+        self.expect_op("=")
+        return column, self.expression()
+
+    def delete(self) -> A.DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return A.DeleteStmt(table, where)
+
+    # -- DDL --------------------------------------------------------------
+
+    def create(self) -> A.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._create_table()
+        or_replace = False
+        if self.accept_keyword("OR"):
+            self.expect_keyword("REPLACE")
+            or_replace = True
+            self.expect_keyword("VIEW")
+            return self._create_view(or_replace)
+        if self.accept_keyword("VIEW"):
+            return self._create_view(or_replace)
+        unique = self.accept_keyword("UNIQUE")
+        kind = "sorted" if self.accept_keyword("SORTED") else "hash"
+        if self.accept_keyword("INDEX"):
+            return self._create_index(kind, unique)
+        token = self.peek()
+        raise SqlSyntaxError(f"unsupported CREATE target {token.value!r}", token.position)
+
+    def _create_table(self) -> A.CreateTableStmt:
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns: list[A.ColumnDef] = []
+        primary_key: list[str] = []
+        foreign_keys: list[A.ForeignKeyDef] = []
+        unique: list[list[str]] = []
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = self._column_list()
+            elif self.accept_keyword("FOREIGN"):
+                self.expect_keyword("KEY")
+                fk_cols = self._column_list()
+                self.expect_keyword("REFERENCES")
+                ref_table = self.expect_ident()
+                ref_cols = self._column_list()
+                foreign_keys.append(A.ForeignKeyDef(fk_cols, ref_table, ref_cols))
+            elif self.accept_keyword("UNIQUE"):
+                unique.append(self._column_list())
+            else:
+                col_name = self.expect_ident()
+                col_type = self._type_name()
+                nullable = True
+                col_pk = False
+                while True:
+                    if self.accept_keyword("NOT"):
+                        self.expect_keyword("NULL")
+                        nullable = False
+                    elif self.accept_keyword("PRIMARY"):
+                        self.expect_keyword("KEY")
+                        col_pk = True
+                        nullable = False
+                    else:
+                        break
+                columns.append(A.ColumnDef(col_name, col_type, nullable, col_pk))
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        inline_pk = [c.name for c in columns if c.primary_key]
+        if inline_pk and primary_key:
+            raise SqlSyntaxError("duplicate PRIMARY KEY specification")
+        return A.CreateTableStmt(
+            name=name,
+            columns=columns,
+            primary_key=primary_key or inline_pk,
+            foreign_keys=foreign_keys,
+            unique=unique,
+        )
+
+    def _column_list(self) -> list[str]:
+        self.expect_op("(")
+        cols = [self.expect_ident()]
+        while self.accept_op(","):
+            cols.append(self.expect_ident())
+        self.expect_op(")")
+        return cols
+
+    def _type_name(self):
+        name = self.expect_ident()
+        length = None
+        if self.peek().kind == OP and self.peek().value == "(":
+            self.advance()
+            token = self.peek()
+            if token.kind != NUMBER:
+                raise SqlSyntaxError("type length must be a number", token.position)
+            self.advance()
+            length = int(token.value)
+            self.expect_op(")")
+        return type_from_name(name, length)
+
+    def _create_view(self, or_replace: bool) -> A.CreateViewStmt:
+        name = self.expect_ident()
+        self.expect_keyword("AS")
+        select = self.select()
+        return A.CreateViewStmt(name, select, or_replace)
+
+    def _create_index(self, kind: str, unique: bool) -> A.CreateIndexStmt:
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        columns = self._column_list()
+        return A.CreateIndexStmt(name, table, columns, kind, unique)
+
+    def alter(self) -> A.Statement:
+        """ALTER TABLE t ADD [COLUMN] name type — existing rows get NULL."""
+        self.expect_keyword("ALTER")
+        self.expect_keyword("TABLE")
+        table = self.expect_ident()
+        self.expect_keyword("ADD")
+        self.accept_keyword("COLUMN")
+        name = self.expect_ident()
+        col_type = self._type_name()
+        return A.AlterTableAddColumnStmt(table, A.ColumnDef(name, col_type, nullable=True))
+
+    def drop(self) -> A.DropStmt:
+        self.expect_keyword("DROP")
+        for kind in ("TABLE", "VIEW", "INDEX"):
+            if self.accept_keyword(kind):
+                if_exists = False
+                if self.accept_keyword("IF"):
+                    self.expect_keyword("EXISTS")
+                    if_exists = True
+                return A.DropStmt(kind, self.expect_ident(), if_exists)
+        token = self.peek()
+        raise SqlSyntaxError(f"unsupported DROP target {token.value!r}", token.position)
+
+    def grant(self, revoke: bool) -> A.Statement:
+        self.expect_keyword("REVOKE" if revoke else "GRANT")
+        privileges = [self.expect_ident().upper()]
+        while self.accept_op(","):
+            privileges.append(self.expect_ident().upper())
+        self.expect_keyword("ON")
+        self.accept_keyword("TABLE")
+        table = self.expect_ident()
+        self.expect_keyword("FROM" if revoke else "TO")
+        user = self.expect_ident()
+        if revoke:
+            return A.RevokeStmt(privileges, table, user)
+        return A.GrantStmt(privileges, table, user)
+
+    # -- expressions --------------------------------------------------------
+
+    def expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self.peek()
+        if token.kind == OP and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            return BinaryOp(token.value, left, self._additive())
+        negated = False
+        if self.peek().matches_keyword("NOT") and self.peek(1).kind == IDENT and self.peek(
+            1
+        ).value.upper() in ("IN", "LIKE", "BETWEEN"):
+            self.advance()
+            negated = True
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            if self.peek().matches_keyword("SELECT"):
+                subquery = self.select()
+                self.expect_op(")")
+                return InSubquery(left, subquery, negated)
+            items = [self.expression()]
+            while self.accept_op(","):
+                items.append(self.expression())
+            self.expect_op(")")
+            return InList(left, tuple(items), negated)
+        if self.accept_keyword("LIKE"):
+            like: Expression = BinaryOp("LIKE", left, self._additive())
+            return UnaryOp("NOT", like) if negated else like
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            return Between(left, low, self._additive(), negated)
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, is_negated)
+        if negated:
+            raise SqlSyntaxError("dangling NOT", token.position)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("+", "-", "||"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == OP and token.value in ("*", "/"):
+                self.advance()
+                left = BinaryOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self.accept_op("-"):
+            return UnaryOp("-", self._unary())
+        if self.accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == NUMBER:
+            self.advance()
+            text = token.value
+            if any(ch in text for ch in ".eE"):
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind == PARAM:
+            self.advance()
+            param = Param(self._param_count)
+            self._param_count += 1
+            return param
+        if token.kind == OP and token.value == "(":
+            self.advance()
+            expr = self.expression()
+            self.expect_op(")")
+            return expr
+        if token.kind == IDENT:
+            word = token.value.upper()
+            if word == "NULL":
+                self.advance()
+                return Literal(None)
+            if word in ("TRUE", "FALSE"):
+                self.advance()
+                return Literal(word == "TRUE")
+            if word == "CAST":
+                return self._cast()
+            if word == "EXISTS":
+                self.advance()
+                self.expect_op("(")
+                subquery = self.select()
+                self.expect_op(")")
+                return Exists(subquery)
+            # function call?
+            if self.peek(1).kind == OP and self.peek(1).value == "(":
+                name = self.expect_ident()
+                self.advance()  # (
+                if self.peek().kind == OP and self.peek().value == "*":
+                    self.advance()
+                    self.expect_op(")")
+                    return FunctionCall(name, (), star=True)
+                args: list[Expression] = []
+                if not (self.peek().kind == OP and self.peek().value == ")"):
+                    args.append(self.expression())
+                    while self.accept_op(","):
+                        args.append(self.expression())
+                self.expect_op(")")
+                return FunctionCall(name, tuple(args))
+            # column reference (possibly qualified)
+            name = self.expect_ident()
+            if self.peek().kind == OP and self.peek().value == ".":
+                self.advance()
+                column = self.expect_ident()
+                return ColumnRef(name, column)
+            return ColumnRef(None, name)
+        raise SqlSyntaxError(f"unexpected token {token.value!r}", token.position)
+
+    def _cast(self) -> Expression:
+        """CAST(expr AS type) — implemented as a scalar conversion."""
+        self.expect_keyword("CAST")
+        self.expect_op("(")
+        expr = self.expression()
+        self.expect_keyword("AS")
+        target = self._type_name()
+        self.expect_op(")")
+        return _CastExpression(expr, target)
+
+
+class _CastExpression(Expression):
+    """Runtime type conversion via the SQL type's coerce."""
+
+    def __init__(self, expr: Expression, target):
+        self.expr = expr
+        self.target = target
+
+    def compile(self, scope):
+        inner = self.expr.compile(scope)
+        target = self.target
+        return lambda row, ctx: target.coerce(inner(row, ctx))
+
+    def references(self):
+        return self.expr.references()
+
+    def is_constant(self) -> bool:
+        return self.expr.is_constant()
+
+    def sql(self) -> str:
+        return f"CAST({self.expr.sql()} AS {self.target.name})"

@@ -1,0 +1,183 @@
+"""SQL type system.
+
+Each SQL type is a singleton-ish object that knows how to validate and
+coerce Python values, so the storage layer can keep rows as plain Python
+tuples while still enforcing column typing at the boundary.
+
+NULL is represented by Python ``None`` and is accepted by every type;
+NOT NULL enforcement happens at the schema level, not here.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from .errors import TypeMismatchError
+
+
+class SqlType:
+    """Base class for SQL column types."""
+
+    name = "UNKNOWN"
+
+    def coerce(self, value: Any) -> Any:
+        """Return ``value`` converted to this type's canonical Python
+        representation, or raise :class:`TypeMismatchError`."""
+        if value is None:
+            return None
+        return self._coerce(value)
+
+    def _coerce(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and repr(self) == repr(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self), repr(self)))
+
+
+class IntegerType(SqlType):
+    """INTEGER / BIGINT — arbitrary-precision Python int."""
+
+    name = "INTEGER"
+
+    def _coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store BOOLEAN {value!r} in {self.name}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to {self.name}")
+
+
+class BigIntType(IntegerType):
+    name = "BIGINT"
+
+
+class DoubleType(SqlType):
+    """DOUBLE — Python float."""
+
+    name = "DOUBLE"
+
+    def _coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store BOOLEAN {value!r} in DOUBLE")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to DOUBLE")
+
+
+class VarcharType(SqlType):
+    """VARCHAR(n) — Python str, optionally length-limited."""
+
+    def __init__(self, length: int | None = None):
+        self.length = length
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if self.length is None:
+            return "VARCHAR"
+        return f"VARCHAR({self.length})"
+
+    def _coerce(self, value: Any) -> str:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot store BOOLEAN in VARCHAR")
+        if isinstance(value, (int, float)):
+            value = str(value)
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"cannot coerce {value!r} to VARCHAR")
+        if self.length is not None and len(value) > self.length:
+            raise TypeMismatchError(
+                f"value of length {len(value)} exceeds VARCHAR({self.length})"
+            )
+        return value
+
+
+class BooleanType(SqlType):
+    name = "BOOLEAN"
+
+    def _coerce(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.upper() in ("TRUE", "FALSE"):
+            return value.upper() == "TRUE"
+        raise TypeMismatchError(f"cannot coerce {value!r} to BOOLEAN")
+
+
+class TimestampType(SqlType):
+    """TIMESTAMP — Python float seconds-since-epoch.
+
+    A float epoch keeps timestamps trivially comparable, which the
+    temporal (``FOR SYSTEM_TIME AS OF``) machinery relies on.  ISO-8601
+    strings and :class:`datetime.datetime` values coerce automatically.
+    """
+
+    name = "TIMESTAMP"
+
+    def _coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot store BOOLEAN in TIMESTAMP")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, datetime.datetime):
+            return value.timestamp()
+        if isinstance(value, str):
+            try:
+                return datetime.datetime.fromisoformat(value).timestamp()
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to TIMESTAMP")
+
+
+INTEGER = IntegerType()
+BIGINT = BigIntType()
+DOUBLE = DoubleType()
+VARCHAR = VarcharType()
+BOOLEAN = BooleanType()
+TIMESTAMP = TimestampType()
+
+_TYPE_NAMES = {
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "BIGINT": BIGINT,
+    "LONG": BIGINT,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "REAL": DOUBLE,
+    "VARCHAR": VARCHAR,
+    "STRING": VARCHAR,
+    "TEXT": VARCHAR,
+    "CHAR": VARCHAR,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "TIMESTAMP": TIMESTAMP,
+}
+
+
+def type_from_name(name: str, length: int | None = None) -> SqlType:
+    """Resolve a SQL type name (as written in DDL) to a type object."""
+    key = name.strip().upper()
+    if key not in _TYPE_NAMES:
+        raise TypeMismatchError(f"unknown SQL type {name!r}")
+    base = _TYPE_NAMES[key]
+    if isinstance(base, VarcharType) and length is not None:
+        return VarcharType(length)
+    return base

@@ -1,0 +1,161 @@
+"""Value semantics shared by the expression evaluator and the planner.
+
+SQL uses three-valued logic: a comparison involving NULL yields UNKNOWN
+(Python ``None`` here), and WHERE keeps only rows whose predicate is
+*True*.  The helpers in this module centralize that logic so every
+operator treats NULL the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .errors import ExecutionError
+
+
+def sql_eq(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    return _comparable(a) == _comparable(b)
+
+
+def sql_ne(a: Any, b: Any) -> bool | None:
+    eq = sql_eq(a, b)
+    return None if eq is None else not eq
+
+
+def sql_lt(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    return _compare(a, b) < 0
+
+
+def sql_le(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    return _compare(a, b) <= 0
+
+
+def sql_gt(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    return _compare(a, b) > 0
+
+
+def sql_ge(a: Any, b: Any) -> bool | None:
+    if a is None or b is None:
+        return None
+    return _compare(a, b) >= 0
+
+
+def sql_and(a: bool | None, b: bool | None) -> bool | None:
+    """Three-valued AND: False dominates UNKNOWN."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: bool | None, b: bool | None) -> bool | None:
+    """Three-valued OR: True dominates UNKNOWN."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: bool | None) -> bool | None:
+    return None if a is None else not a
+
+
+def _comparable(value: Any) -> Any:
+    """Normalize values so mixed int/float comparisons behave."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value) if isinstance(value, float) else value
+    return value
+
+
+def _compare(a: Any, b: Any) -> int:
+    """Total-order compare for non-NULL values of compatible types."""
+    if isinstance(a, bool) != isinstance(b, bool):
+        raise ExecutionError(f"cannot compare {a!r} with {b!r}")
+    numeric = (int, float)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return (a > b) - (a < b)
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    if isinstance(a, bool) and isinstance(b, bool):
+        return (a > b) - (a < b)
+    raise ExecutionError(f"cannot compare {type(a).__name__} with {type(b).__name__}")
+
+
+def sql_like(value: Any, pattern: Any) -> bool | None:
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards."""
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise ExecutionError("LIKE requires string operands")
+    import re
+
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
+    )
+    return re.fullmatch(regex, value) is not None
+
+
+def sql_add(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    _require_numeric(a, b, "+")
+    return a + b
+
+
+def sql_sub(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    _require_numeric(a, b, "-")
+    return a - b
+
+
+def sql_mul(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    _require_numeric(a, b, "*")
+    return a * b
+
+
+def sql_div(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    _require_numeric(a, b, "/")
+    if b == 0:
+        raise ExecutionError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        # SQL integer division truncates toward zero.
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def sql_concat(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    return _as_text(a) + _as_text(b)
+
+
+def _as_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    return value if isinstance(value, str) else str(value)
+
+
+def _require_numeric(a: Any, b: Any, op: str) -> None:
+    ok = (int, float)
+    if isinstance(a, bool) or isinstance(b, bool):
+        raise ExecutionError(f"operator {op} does not accept BOOLEAN")
+    if not (isinstance(a, ok) and isinstance(b, ok)):
+        raise ExecutionError(f"operator {op} requires numeric operands, got {a!r}, {b!r}")

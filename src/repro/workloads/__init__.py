@@ -1,0 +1,43 @@
+"""``repro.workloads`` — synthetic datasets and query workloads:
+
+* :mod:`~repro.workloads.linkbench` — the LinkBench graph benchmark
+  (paper §8: Tables 1 and 2, Figures 4-6);
+* :mod:`~repro.workloads.healthcare` — the §4 example scenario
+  (patients, diseases, ontology, wearable device data);
+* :mod:`~repro.workloads.finance` — mule-fraud detection (§7);
+* :mod:`~repro.workloads.police` — the law-enforcement dataset (§7),
+  used to exercise AutoOverlay.
+"""
+
+from .finance import FinanceConfig, FinanceDataset, find_mule_chains
+from .healthcare import (
+    HEALTHCARE_OVERLAY,
+    HealthcareConfig,
+    HealthcareDataset,
+    similar_diseases_script,
+    synergy_sql,
+)
+from .linkbench import (
+    LINKBENCH_QUERIES,
+    LinkBenchConfig,
+    LinkBenchDataset,
+    LinkBenchWorkload,
+)
+from .police import PoliceConfig, PoliceDataset
+
+__all__ = [
+    "LinkBenchConfig",
+    "LinkBenchDataset",
+    "LinkBenchWorkload",
+    "LINKBENCH_QUERIES",
+    "HealthcareConfig",
+    "HealthcareDataset",
+    "HEALTHCARE_OVERLAY",
+    "similar_diseases_script",
+    "synergy_sql",
+    "FinanceConfig",
+    "FinanceDataset",
+    "find_mule_chains",
+    "PoliceConfig",
+    "PoliceDataset",
+]

@@ -1,0 +1,193 @@
+"""The paper's §4 example scenario: patients, diseases, a disease
+ontology, and wearable-device data.
+
+Builds the exact five tables of Figure 2(a), the overlay configuration
+of §5 (verbatim structure), and a synthetic population: a disease
+ontology tree, patients with diseases drawn from its leaves, and daily
+exercise records keyed by subscription id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.overlay import OverlayConfig
+from ..relational.database import Database
+
+# The §5 overlay configuration, as a dict mirroring the paper's JSON.
+HEALTHCARE_OVERLAY = {
+    "v_tables": [
+        {
+            "table_name": "Patient",
+            "prefixed_id": True,
+            "id": "'patient'::patientID",
+            "fix_label": True,
+            "label": "'patient'",
+            "properties": ["patientID", "name", "address", "subscriptionID"],
+        },
+        {
+            "table_name": "Disease",
+            "id": "diseaseID",
+            "fix_label": True,
+            "label": "'disease'",
+            "properties": ["diseaseID", "conceptCode", "conceptName"],
+        },
+    ],
+    "e_tables": [
+        {
+            "table_name": "DiseaseOntology",
+            "src_v_table": "Disease",
+            "src_v": "sourceID",
+            "dst_v_table": "Disease",
+            "dst_v": "targetID",
+            "prefixed_edge_id": True,
+            "id": "'ontology'::sourceID::targetID",
+            "label": "type",
+        },
+        {
+            "table_name": "HasDisease",
+            "src_v_table": "Patient",
+            "src_v": "'patient'::patientID",
+            "dst_v_table": "Disease",
+            "dst_v": "diseaseID",
+            "implicit_edge_id": True,
+            "fix_label": True,
+            "label": "'hasDisease'",
+        },
+    ],
+}
+
+
+@dataclass
+class HealthcareConfig:
+    n_patients: int = 200
+    ontology_depth: int = 4
+    ontology_fanout: int = 3
+    diseases_per_patient: int = 2
+    device_days: int = 14
+    seed: int = 11
+
+
+class HealthcareDataset:
+    """Synthetic population over the Figure 2(a) schema."""
+
+    def __init__(self, config: HealthcareConfig | None = None):
+        self.config = config or HealthcareConfig()
+        rng = random.Random(self.config.seed)
+
+        # ontology: a tree of diseases; edges point child -> parent (isa)
+        self.diseases: list[tuple[int, str, str]] = []  # (diseaseID, code, name)
+        self.ontology: list[tuple[int, int, str]] = []  # (sourceID, targetID, 'isa')
+        next_id = 1
+        levels: list[list[int]] = [[next_id]]
+        self.diseases.append((next_id, "C001", "disease (root)"))
+        next_id += 1
+        for depth in range(1, self.config.ontology_depth):
+            level: list[int] = []
+            for parent in levels[depth - 1]:
+                for _child in range(self.config.ontology_fanout):
+                    disease_id = next_id
+                    next_id += 1
+                    self.diseases.append(
+                        (disease_id, f"C{disease_id:03d}", f"disease-{disease_id}")
+                    )
+                    self.ontology.append((disease_id, parent, "isa"))
+                    level.append(disease_id)
+            levels.append(level)
+        self.leaf_diseases = levels[-1]
+
+        # patients and their diseases
+        self.patients: list[tuple[int, str, str, int]] = []
+        self.has_disease: list[tuple[int, int, str]] = []
+        for patient_id in range(1, self.config.n_patients + 1):
+            subscription = 1000 + patient_id
+            self.patients.append(
+                (patient_id, f"patient-{patient_id}", f"{patient_id} Main St", subscription)
+            )
+            for disease_id in rng.sample(
+                self.leaf_diseases,
+                min(self.config.diseases_per_patient, len(self.leaf_diseases)),
+            ):
+                self.has_disease.append(
+                    (patient_id, disease_id, f"diagnosed day {rng.randint(1, 365)}")
+                )
+
+        # wearable device data
+        self.device_data: list[tuple[int, int, int, int]] = []
+        for _pid, _name, _addr, subscription in self.patients:
+            for day in range(1, self.config.device_days + 1):
+                self.device_data.append(
+                    (subscription, day, rng.randint(500, 15000), rng.randint(0, 120))
+                )
+
+    # -- install -----------------------------------------------------------------
+
+    def install_relational(self, db: Database) -> None:
+        db.execute(
+            "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, "
+            "address VARCHAR, subscriptionID BIGINT)"
+        )
+        db.execute(
+            "CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, "
+            "conceptName VARCHAR)"
+        )
+        db.execute(
+            "CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, "
+            "description VARCHAR, "
+            "FOREIGN KEY (patientID) REFERENCES Patient (patientID), "
+            "FOREIGN KEY (diseaseID) REFERENCES Disease (diseaseID))"
+        )
+        db.execute(
+            "CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, "
+            "type VARCHAR, "
+            "FOREIGN KEY (sourceID) REFERENCES Disease (diseaseID), "
+            "FOREIGN KEY (targetID) REFERENCES Disease (diseaseID))"
+        )
+        db.execute(
+            "CREATE TABLE DeviceData (subscriptionID BIGINT, day INT, steps INT, "
+            "exerciseMinutes INT)"
+        )
+        connection = db.connect()
+        connection.insert_rows("Patient", self.patients)
+        connection.insert_rows("Disease", self.diseases)
+        connection.insert_rows("HasDisease", self.has_disease)
+        connection.insert_rows("DiseaseOntology", self.ontology)
+        connection.insert_rows("DeviceData", self.device_data)
+        db.execute("CREATE INDEX idx_hasdisease_pid ON HasDisease (patientID)")
+        db.execute("CREATE INDEX idx_hasdisease_did ON HasDisease (diseaseID)")
+        db.execute("CREATE INDEX idx_ontology_src ON DiseaseOntology (sourceID)")
+        db.execute("CREATE INDEX idx_ontology_dst ON DiseaseOntology (targetID)")
+        db.execute("CREATE INDEX idx_device_sub ON DeviceData (subscriptionID)")
+
+    def overlay_config(self) -> OverlayConfig:
+        return OverlayConfig.from_dict(HEALTHCARE_OVERLAY)
+
+    def relational_table_names(self) -> list[str]:
+        return ["Patient", "Disease", "HasDisease", "DiseaseOntology"]
+
+
+# The §4 similar-diseases Gremlin script, parameterized by patient id.
+def similar_diseases_script(patient_id: int, hops: int = 2) -> str:
+    return (
+        f"similar_diseases = g.V().hasLabel('patient')"
+        f".has('patientID', {patient_id}).out('hasDisease')"
+        f".repeat(out('isa').dedup().store('x')).times({hops})"
+        f".repeat(in('isa').dedup().store('x')).times({hops})"
+        f".cap('x').next(); "
+        f"g.V(similar_diseases).in('hasDisease').dedup()"
+        f".valueTuple('patientID', 'subscriptionID')"
+    )
+
+
+def synergy_sql(patient_id: int) -> str:
+    """The paper's §4 SQL statement: graphQuery + join + aggregation."""
+    script = similar_diseases_script(patient_id).replace("'", "''")
+    return (
+        "SELECT P.patientID, AVG(steps), AVG(exerciseMinutes) "
+        "FROM DeviceData AS D, "
+        f"TABLE (graphQuery('gremlin', '{script}')) "
+        "AS P (patientID BIGINT, subscriptionID BIGINT) "
+        "WHERE D.subscriptionID = P.subscriptionID "
+        "GROUP BY P.patientID"
+    )

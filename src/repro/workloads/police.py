@@ -1,0 +1,109 @@
+"""Law-enforcement workload (paper §7): persons, organizations,
+arrests, warrants, vehicles, phones — with full primary/foreign key
+constraints, so it doubles as the AutoOverlay showcase (Algorithms 1
+and 2 infer the whole overlay from the catalog).
+
+Schema highlights that exercise every AutoOverlay branch:
+
+* ``Person``, ``Organization``, ``Arrest``, ``Vehicle``, ``Phone`` —
+  vertex tables (primary keys);
+* ``Arrest`` has a primary key *and* foreign keys (to Person) — a table
+  that is both vertex table and edge table;
+* ``Membership`` has two foreign keys and **no** primary key — the
+  many-to-many case that becomes C(k,2) edge tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational.database import Database
+
+
+@dataclass
+class PoliceConfig:
+    n_persons: int = 120
+    n_organizations: int = 8
+    n_arrests: int = 40
+    n_vehicles: int = 60
+    n_phones: int = 100
+    seed: int = 31
+
+
+class PoliceDataset:
+    def __init__(self, config: PoliceConfig | None = None):
+        self.config = config or PoliceConfig()
+        rng = random.Random(self.config.seed)
+        c = self.config
+
+        self.persons = [
+            (pid, f"person-{pid}", rng.choice(["suspect", "victim", "witness"]))
+            for pid in range(1, c.n_persons + 1)
+        ]
+        self.organizations = [
+            (oid, f"org-{oid}", rng.choice(["gang", "legitimate"]))
+            for oid in range(1, c.n_organizations + 1)
+        ]
+        # arrests reference the arrested person and the arresting officer
+        self.arrests = [
+            (
+                aid,
+                rng.randint(1, c.n_persons),
+                f"2025-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+                rng.choice(["theft", "assault", "fraud", "vandalism"]),
+            )
+            for aid in range(1, c.n_arrests + 1)
+        ]
+        self.vehicles = [
+            (vid, f"PLATE{vid:04d}", rng.randint(1, c.n_persons))
+            for vid in range(1, c.n_vehicles + 1)
+        ]
+        self.phones = [
+            (phid, f"+1-555-{phid:04d}", rng.randint(1, c.n_persons))
+            for phid in range(1, c.n_phones + 1)
+        ]
+        # memberships: person <-> organization, no primary key
+        pairs = set()
+        while len(pairs) < c.n_persons // 2:
+            pairs.add((rng.randint(1, c.n_persons), rng.randint(1, c.n_organizations)))
+        self.memberships = [
+            (person, org, rng.choice(["member", "leader"])) for person, org in sorted(pairs)
+        ]
+
+    def install_relational(self, db: Database) -> None:
+        db.execute(
+            "CREATE TABLE Person (personID BIGINT PRIMARY KEY, name VARCHAR, role VARCHAR)"
+        )
+        db.execute(
+            "CREATE TABLE Organization (orgID BIGINT PRIMARY KEY, name VARCHAR, "
+            "orgType VARCHAR)"
+        )
+        db.execute(
+            "CREATE TABLE Arrest (arrestID BIGINT PRIMARY KEY, personID BIGINT, "
+            "arrestDate VARCHAR, charge VARCHAR, "
+            "FOREIGN KEY (personID) REFERENCES Person (personID))"
+        )
+        db.execute(
+            "CREATE TABLE Vehicle (vehicleID BIGINT PRIMARY KEY, plate VARCHAR, "
+            "ownerID BIGINT, FOREIGN KEY (ownerID) REFERENCES Person (personID))"
+        )
+        db.execute(
+            "CREATE TABLE Phone (phoneID BIGINT PRIMARY KEY, number VARCHAR, "
+            "ownerID BIGINT, FOREIGN KEY (ownerID) REFERENCES Person (personID))"
+        )
+        db.execute(
+            "CREATE TABLE Membership (personID BIGINT, orgID BIGINT, role VARCHAR, "
+            "FOREIGN KEY (personID) REFERENCES Person (personID), "
+            "FOREIGN KEY (orgID) REFERENCES Organization (orgID))"
+        )
+        connection = db.connect()
+        connection.insert_rows("Person", self.persons)
+        connection.insert_rows("Organization", self.organizations)
+        connection.insert_rows("Arrest", self.arrests)
+        connection.insert_rows("Vehicle", self.vehicles)
+        connection.insert_rows("Phone", self.phones)
+        connection.insert_rows("Membership", self.memberships)
+
+    def table_names(self) -> list[str]:
+        return ["Person", "Organization", "Arrest", "Vehicle", "Phone", "Membership"]

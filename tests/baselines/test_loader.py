@@ -1,0 +1,103 @@
+"""Tests for the export/load/open pipelines (Table 3 machinery)."""
+
+import os
+
+import pytest
+
+from repro.baselines.janus import JanusLikeStore
+from repro.baselines.kvstore import DiskModel
+from repro.baselines.loader import (
+    export_tables_to_csv,
+    load_into_store,
+    measure_baseline_pipeline,
+    measure_db2graph_open,
+    relational_disk_usage,
+)
+from repro.baselines.native import NativeGraphStore
+from repro.core.overlay import OverlayConfig
+from repro.core.topology import Topology
+from repro.graph import GraphTraversalSource
+from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+
+@pytest.fixture
+def topology(paper_db):
+    return Topology(paper_db, OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY))
+
+
+TABLES = ["Patient", "Disease", "HasDisease", "DiseaseOntology"]
+
+
+class TestExport:
+    def test_csv_files_created(self, paper_db, tmp_path):
+        result = export_tables_to_csv(paper_db, TABLES, str(tmp_path))
+        assert len(result.files) == 4
+        assert result.csv_bytes > 0
+        assert result.seconds >= 0
+        patient_csv = (tmp_path / "patient.csv").read_text()
+        assert "Alice" in patient_csv
+        result.cleanup()
+        assert not any(os.path.exists(f) for f in result.files)
+
+    def test_relational_disk_usage(self, paper_db):
+        assert relational_disk_usage(paper_db, TABLES) > 0
+
+
+class TestLoad:
+    def test_load_native_via_topology(self, paper_db, topology):
+        store = NativeGraphStore(disk_model=DiskModel(0.0))
+        seconds = load_into_store(store, topology, paper_db)
+        assert seconds >= 0
+        assert store.vertex_count() == 7
+        assert store.edge_count() == 6
+        # the loaded graph answers the same queries
+        g = GraphTraversalSource(store)
+        assert g.V("patient::1").out("hasDisease").values("conceptName").toList() == [
+            "type 2 diabetes"
+        ]
+        store.close()
+
+    def test_load_janus_via_topology(self, paper_db, topology):
+        store = JanusLikeStore(disk_model=DiskModel(0.0))
+        load_into_store(store, topology, paper_db)
+        g = GraphTraversalSource(store)
+        assert g.V().count().next() == 7
+        assert g.E().hasLabel("isa").count().next() == 3
+        store.close()
+
+    def test_loaded_copy_is_stale_after_relational_update(self, paper_db, topology):
+        """The paper's core criticism of reload-based systems: the copy
+        does not see later SQL updates."""
+        store = NativeGraphStore(disk_model=DiskModel(0.0))
+        load_into_store(store, topology, paper_db)
+        paper_db.execute("INSERT INTO HasDisease VALUES (1, 10, 'late dx')")
+        g = GraphTraversalSource(store)
+        assert g.V("patient::1").out("hasDisease").count().next() == 1  # stale!
+        from repro.core import Db2Graph
+
+        live = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+        assert live.traversal().V("patient::1").out("hasDisease").count().next() == 2
+        store.close()
+
+
+class TestPipelines:
+    def test_baseline_pipeline_report(self, paper_db, topology):
+        store = NativeGraphStore(disk_model=DiskModel(0.0))
+        report = measure_baseline_pipeline("GDB-X", store, topology, paper_db, TABLES)
+        assert report.system == "GDB-X"
+        assert report.export_seconds > 0
+        assert report.load_seconds > 0
+        assert report.disk_usage_bytes > 0
+        assert report.total_seconds == pytest.approx(
+            report.export_seconds + report.load_seconds + report.open_seconds
+        )
+        store.close()
+
+    def test_db2graph_open_report(self, paper_db):
+        report = measure_db2graph_open(
+            paper_db, HEALTHCARE_TINY_OVERLAY, TABLES
+        )
+        assert report.export_seconds == 0.0
+        assert report.load_seconds == 0.0
+        assert report.open_seconds > 0
+        assert report.disk_usage_bytes > 0

@@ -1,0 +1,106 @@
+"""Tests for the benchmark harness itself (engines, latency,
+throughput model, reporting)."""
+
+import pytest
+
+from repro.bench.concurrency import measure_throughput, modelled_throughput
+from repro.bench.harness import (
+    EngineUnderTest,
+    build_engines,
+    clear_engine_cache,
+    measure_latency,
+)
+from repro.bench.reporting import format_bytes, format_seconds, format_table
+from repro.workloads.linkbench import LinkBenchConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = LinkBenchConfig(name="bench-test", n_vertices=800, seed=4)
+    result = build_engines(config, include_baselines=True, disk_read_latency=0.0)
+    yield result
+    clear_engine_cache()
+
+
+class TestBuildEngines:
+    def test_three_engines(self, setup):
+        assert [e.name for e in setup.engines] == ["Db2 Graph", "GDB-X", "JanusGraph"]
+
+    def test_engines_share_the_dataset(self, setup):
+        counts = set()
+        for engine in setup.engines:
+            counts.add(engine.traversal().V().count().next())
+        assert counts == {800}
+
+    def test_setup_is_cached(self, setup):
+        again = build_engines(
+            LinkBenchConfig(name="bench-test", n_vertices=800, seed=4),
+            include_baselines=True,
+            disk_read_latency=0.0,
+        )
+        assert again is setup
+
+
+class TestLatency:
+    def test_measure_latency_fields(self, setup):
+        result = measure_latency(
+            setup.engines[0], setup.workload, "getNode", iterations=20, warmup=5
+        )
+        assert result.engine == "Db2 Graph"
+        assert result.query == "getNode"
+        assert result.samples == 20
+        assert 0 < result.mean_seconds < 1
+        assert result.p50_seconds <= result.p95_seconds
+        assert result.mean_ms == pytest.approx(result.mean_seconds * 1e3)
+
+
+class TestThroughput:
+    def test_amdahl_model_limits(self):
+        # fully serial: no speedup
+        assert modelled_throughput(0.001, 1.0, 50, 32) == pytest.approx(1000)
+        # fully parallel: 32x on 32 cores
+        assert modelled_throughput(0.001, 0.0, 50, 32) == pytest.approx(32_000)
+        # degenerate service time
+        assert modelled_throughput(0.0, 0.5, 50, 32) == 0.0
+
+    def test_model_monotonic_in_serial_fraction(self):
+        values = [modelled_throughput(0.001, s, 50, 32) for s in (0.0, 0.3, 0.7, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_measure_throughput_fields(self, setup):
+        result = measure_throughput(
+            setup.engines[0], setup.workload, "getNode", clients=4, queries_per_client=5
+        )
+        assert result.measured_qps > 0
+        assert result.modelled_qps > 0
+        assert 0 <= result.serial_fraction <= 1
+
+    def test_baselines_more_serialized_than_relational(self, setup):
+        db2 = measure_throughput(
+            setup.engines[0], setup.workload, "getLinkList", clients=2, queries_per_client=5
+        )
+        native = measure_throughput(
+            setup.engines[1], setup.workload, "getLinkList", clients=2, queries_per_client=5
+        )
+        assert native.serial_fraction > db2.serial_fraction
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-5) == "50us"
+        assert format_seconds(0.0123) == "12.3ms"
+        assert format_seconds(3.5) == "3.50s"
+        assert format_seconds(300) == "5.0min"

@@ -1,0 +1,41 @@
+"""Unit tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.common.clock import ManualClock, SystemClock
+
+
+def test_system_clock_tracks_wall_time():
+    clock = SystemClock()
+    before = time.time()
+    now = clock.now()
+    after = time.time()
+    assert before <= now <= after
+
+
+def test_manual_clock_is_frozen():
+    clock = ManualClock(500.0)
+    assert clock.now() == 500.0
+    assert clock.now() == 500.0
+
+
+def test_manual_clock_advance():
+    clock = ManualClock(100.0)
+    assert clock.advance(5) == 105.0
+    assert clock.now() == 105.0
+
+
+def test_manual_clock_set():
+    clock = ManualClock(100.0)
+    clock.set(250.0)
+    assert clock.now() == 250.0
+
+
+def test_manual_clock_rejects_backwards():
+    clock = ManualClock(100.0)
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+    with pytest.raises(ValueError):
+        clock.set(50.0)

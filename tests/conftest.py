@@ -1,0 +1,105 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.core import Db2Graph
+from repro.relational import Database
+from repro.workloads.healthcare import HealthcareConfig, HealthcareDataset
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def clocked_db():
+    clock = ManualClock(1000.0)
+    return Database(clock=clock), clock
+
+
+@pytest.fixture
+def people_db(db):
+    """A tiny Person/Knows database used by many relational tests."""
+    db.execute("CREATE TABLE person (id INT PRIMARY KEY, name VARCHAR, age INT, city VARCHAR)")
+    db.execute(
+        "CREATE TABLE knows (src INT, dst INT, since INT, "
+        "FOREIGN KEY (src) REFERENCES person (id), "
+        "FOREIGN KEY (dst) REFERENCES person (id))"
+    )
+    db.execute(
+        "INSERT INTO person VALUES "
+        "(1, 'ada', 36, 'london'), (2, 'grace', 85, 'nyc'), "
+        "(3, 'alan', 41, 'london'), (4, 'edsger', 72, 'austin'), "
+        "(5, 'barbara', NULL, 'boston')"
+    )
+    db.execute("INSERT INTO knows VALUES (1, 2, 1950), (1, 3, 1940), (2, 4, 1968), (3, 4, 1970)")
+    return db
+
+
+HEALTHCARE_TINY_OVERLAY = {
+    "v_tables": [
+        {"table_name": "Patient", "prefixed_id": True, "id": "'patient'::patientID",
+         "fix_label": True, "label": "'patient'",
+         "properties": ["patientID", "name", "address", "subscriptionID"]},
+        {"table_name": "Disease", "id": "diseaseID", "fix_label": True,
+         "label": "'disease'", "properties": ["diseaseID", "conceptCode", "conceptName"]},
+    ],
+    "e_tables": [
+        {"table_name": "DiseaseOntology", "src_v_table": "Disease", "src_v": "sourceID",
+         "dst_v_table": "Disease", "dst_v": "targetID",
+         "prefixed_edge_id": True, "id": "'ontology'::sourceID::targetID", "label": "type"},
+        {"table_name": "HasDisease", "src_v_table": "Patient",
+         "src_v": "'patient'::patientID", "dst_v_table": "Disease", "dst_v": "diseaseID",
+         "implicit_edge_id": True, "fix_label": True, "label": "'hasDisease'"},
+    ],
+}
+
+
+@pytest.fixture
+def paper_db(db):
+    """The Figure 2(a) tables with the figure's example-ish content."""
+    db.execute(
+        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, "
+        "address VARCHAR, subscriptionID BIGINT)"
+    )
+    db.execute(
+        "CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, "
+        "conceptName VARCHAR)"
+    )
+    db.execute("CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR)")
+    db.execute("CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR)")
+    db.execute(
+        "INSERT INTO Patient VALUES (1, 'Alice', '1 Main St', 100), "
+        "(2, 'Bob', '2 Oak Ave', 200), (3, 'Carol', '3 Elm St', 300)"
+    )
+    db.execute(
+        "INSERT INTO Disease VALUES (10, 'D10', 'diabetes'), "
+        "(11, 'D11', 'type 2 diabetes'), (12, 'D12', 'metabolic disease'), "
+        "(13, 'D13', 'type 1 diabetes')"
+    )
+    db.execute(
+        "INSERT INTO HasDisease VALUES (1, 11, 'dx 2019'), (2, 10, 'dx 2018'), "
+        "(3, 13, 'dx 2020')"
+    )
+    db.execute(
+        "INSERT INTO DiseaseOntology VALUES (11, 10, 'isa'), (13, 10, 'isa'), (10, 12, 'isa')"
+    )
+    return db
+
+
+@pytest.fixture
+def paper_graph(paper_db):
+    return Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+
+
+@pytest.fixture
+def healthcare_graph():
+    dataset = HealthcareDataset(HealthcareConfig(n_patients=40, seed=3))
+    database = Database()
+    dataset.install_relational(database)
+    graph = Db2Graph.open(database, dataset.overlay_config())
+    return dataset, database, graph

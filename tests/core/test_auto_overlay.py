@@ -1,0 +1,148 @@
+"""Tests for AutoOverlay (paper §5.1, Algorithms 1 and 2)."""
+
+import pytest
+
+from repro.core import Db2Graph, generate_overlay, identify_tables
+from repro.core.auto_overlay import _prefixed_id
+from repro.relational import Column, ForeignKey, INTEGER, TableSchema, VARCHAR
+from repro.workloads.police import PoliceDataset
+
+
+def make_schema(name, columns, pk=None, fks=()):
+    return TableSchema(
+        name, [Column(c, INTEGER) for c in columns], primary_key=pk, foreign_keys=fks
+    )
+
+
+class TestAlgorithm1:
+    def test_pk_table_is_vertex_table(self):
+        schema = make_schema("t", ["id", "x"], pk=["id"])
+        vertices, edges = identify_tables([schema])
+        assert vertices == [schema]
+        assert edges == []
+
+    def test_pk_plus_fk_is_both(self):
+        ref = make_schema("ref", ["id"], pk=["id"])
+        schema = make_schema(
+            "t", ["id", "r"], pk=["id"], fks=[ForeignKey(("r",), "ref", ("id",))]
+        )
+        vertices, edges = identify_tables([ref, schema])
+        assert schema in vertices and schema in edges
+
+    def test_two_fks_no_pk_is_edge_table(self):
+        a = make_schema("a", ["id"], pk=["id"])
+        b = make_schema("b", ["id"], pk=["id"])
+        link = make_schema(
+            "link",
+            ["a_id", "b_id"],
+            fks=[ForeignKey(("a_id",), "a", ("id",)), ForeignKey(("b_id",), "b", ("id",))],
+        )
+        vertices, edges = identify_tables([a, b, link])
+        assert link not in vertices
+        assert link in edges
+
+    def test_one_fk_no_pk_is_nothing(self):
+        a = make_schema("a", ["id"], pk=["id"])
+        dangling = make_schema("d", ["a_id"], fks=[ForeignKey(("a_id",), "a", ("id",))])
+        vertices, edges = identify_tables([a, dangling])
+        assert dangling not in vertices and dangling not in edges
+
+
+class TestAlgorithm2:
+    @pytest.fixture
+    def police_db(self, db):
+        dataset = PoliceDataset()
+        dataset.install_relational(db)
+        return db, dataset
+
+    def test_vertex_configs(self, police_db):
+        db, _dataset = police_db
+        config = generate_overlay(db)
+        names = {v.table_name for v in config.v_tables}
+        assert names == {"Person", "Organization", "Arrest", "Vehicle", "Phone"}
+        person = config.vertex_table("Person")
+        assert person.prefixed_id is True
+        assert person.id_spec == "'Person'::personID"
+        assert person.label.constant == "Person"
+        # properties exclude the primary key
+        assert "personID" not in person.properties
+
+    def test_pk_fk_edge_config(self, police_db):
+        db, _dataset = police_db
+        config = generate_overlay(db)
+        arrest_edge = config.edge_table("Arrest_Person")
+        assert arrest_edge.table_name == "Arrest"
+        assert arrest_edge.src_v_table == "Arrest"
+        assert arrest_edge.src_v_spec == "'Arrest'::arrestID"
+        assert arrest_edge.dst_v_table == "Person"
+        assert arrest_edge.dst_v_spec == "'Person'::personID"
+        assert arrest_edge.implicit_edge_id is True
+        # edge properties exclude pk and fk columns
+        assert set(arrest_edge.properties or []) == {"arrestDate", "charge"}
+
+    def test_many_to_many_edge_config(self, police_db):
+        db, _dataset = police_db
+        config = generate_overlay(db)
+        membership = config.edge_table("Person_Membership_Organization")
+        assert membership.table_name == "Membership"
+        assert membership.src_v_table == "Person"
+        assert membership.dst_v_table == "Organization"
+        assert membership.properties == ["role"]
+
+    def test_restricting_to_table_subset(self, police_db):
+        db, _dataset = police_db
+        config = generate_overlay(db, ["Person", "Organization", "Membership"])
+        assert {v.table_name for v in config.v_tables} == {"Person", "Organization"}
+        assert [e.table_name for e in config.e_tables] == ["Membership"]
+
+    def test_fk_to_excluded_table_skipped(self, police_db):
+        db, _dataset = police_db
+        config = generate_overlay(db, ["Arrest"])  # Person excluded
+        assert config.e_tables == []
+
+    def test_generated_overlay_is_queryable(self, police_db):
+        db, dataset = police_db
+        graph = Db2Graph.open(db, generate_overlay(db))
+        g = graph.traversal()
+        assert g.V().hasLabel("Person").count().next() == len(dataset.persons)
+        assert g.V().hasLabel("Organization").count().next() == len(dataset.organizations)
+        # traverse memberships
+        orgs = g.V("Person::1").out("Person_Membership_Organization").toList()
+        expected = [o for p, o, _r in dataset.memberships if p == 1]
+        assert sorted(v.value("orgID") for v in orgs) == sorted(expected)
+
+    def test_generated_edges_match_rows(self, police_db):
+        db, dataset = police_db
+        graph = Db2Graph.open(db, generate_overlay(db))
+        g = graph.traversal()
+        assert g.E().hasLabel("Arrest_Person").count().next() == len(dataset.arrests)
+        assert g.E().hasLabel("Person_Membership_Organization").count().next() == len(
+            dataset.memberships
+        )
+
+    def test_duplicate_labels_uniquified(self, db):
+        # two FKs from the same table to the same ref table
+        db.execute("CREATE TABLE node (id INT PRIMARY KEY)")
+        db.execute(
+            "CREATE TABLE pair (a INT, b INT, "
+            "FOREIGN KEY (a) REFERENCES node (id), "
+            "FOREIGN KEY (b) REFERENCES node (id), "
+            "FOREIGN KEY (a) REFERENCES node (id))"
+        )
+        config = generate_overlay(db)
+        names = [e.name for e in config.e_tables]
+        assert len(names) == len(set(names))
+
+    def test_prefixed_id_helper(self):
+        assert _prefixed_id("T", ("a", "b")) == "'T'::a::b"
+
+
+class TestRoundtrip:
+    def test_config_survives_json(self, db):
+        dataset = PoliceDataset()
+        dataset.install_relational(db)
+        config = generate_overlay(db)
+        from repro.core import OverlayConfig
+
+        again = OverlayConfig.from_json(config.to_json())
+        assert again.to_dict() == config.to_dict()

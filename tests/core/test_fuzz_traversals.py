@@ -1,0 +1,189 @@
+"""Randomized differential testing: hypothesis composes random (but
+type-correct) traversal chains and runs them against both the overlay
+engine (Gremlin -> SQL) and the in-memory reference graph over
+identical data.  Any divergence is a bug in the translation layer.
+
+The chain composer tracks the traverser type (vertex / edge / value) so
+generated chains are always executable.  Order-sensitive steps (limit,
+range) are excluded: Gremlin guarantees no iteration order, so backends
+may legitimately differ there.  Both the fully optimized overlay engine
+and the strategy-free / runtime-optimizations-off one are checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Db2Graph, RuntimeOptimizations
+from repro.graph import GraphTraversalSource, InMemoryGraph, P, TextP, __
+from repro.relational import Database
+
+LABELS = ["La", "Lb"]
+EDGE_LABELS = ["Ea", "Eb"]
+
+
+def build_engines():
+    """A fixed, moderately tangled graph in both backends."""
+    memory = InMemoryGraph()
+    db = Database(enforce_foreign_keys=False)
+    for label in LABELS:
+        db.execute(f"CREATE TABLE v_{label} (id INT PRIMARY KEY, score INT, word VARCHAR)")
+    for label in EDGE_LABELS:
+        db.execute(f"CREATE TABLE e_{label} (src INT, dst INT, w INT)")
+
+    n = 14
+    for i in range(n):
+        label = LABELS[i % 2]
+        word = f"w{i % 5}x" if i % 3 else f"q{i}"
+        score = i % 6 if i % 4 else None
+        memory.add_vertex(i, label, {"score": score, "word": word})
+        db.execute(f"INSERT INTO v_{label} VALUES (?, ?, ?)", [i, score, word])
+    edges = [(i, (i * 5 + 2) % n, EDGE_LABELS[i % 2], i % 4) for i in range(n)]
+    edges += [
+        (i, (i * 3 + 7) % n, EDGE_LABELS[(i + 1) % 2], (i + 2) % 4)
+        for i in range(0, n, 2)
+    ]
+    for src, dst, label, w in edges:
+        memory.add_edge(label, src, dst, {"w": w})
+        db.execute(f"INSERT INTO e_{label} VALUES (?, ?, ?)", [src, dst, w])
+
+    overlay = {
+        "v_tables": [
+            {"table_name": f"v_{label}", "id": "id", "fix_label": True,
+             "label": f"'{label}'", "properties": ["score", "word"]}
+            for label in LABELS
+        ],
+        "e_tables": [
+            {"table_name": f"e_{label}", "src_v": "src", "dst_v": "dst",
+             "implicit_edge_id": True, "fix_label": True, "label": f"'{label}'",
+             "properties": ["w"]}
+            for label in EDGE_LABELS
+        ],
+    }
+    return (
+        GraphTraversalSource(memory),
+        Db2Graph.open(db, overlay),
+        Db2Graph.open(db, overlay, optimized=False,
+                      runtime_opts=RuntimeOptimizations.all_off()),
+    )
+
+
+_ENGINES = None
+
+
+def engines():
+    global _ENGINES
+    if _ENGINES is None:
+        _ENGINES = build_engines()
+    return _ENGINES
+
+
+# ---------------------------------------------------------------------------
+# Moves: (result_type, builder(traversal, operand), operand_strategy | None)
+# ---------------------------------------------------------------------------
+
+VERTEX_MOVES = [
+    ("vertex", lambda t, v: t.out(v), st.sampled_from(EDGE_LABELS)),
+    ("vertex", lambda t, v: t.in_(v), st.sampled_from(EDGE_LABELS)),
+    ("vertex", lambda t, v: t.out(), None),
+    ("vertex", lambda t, v: t.both(), None),
+    ("edge", lambda t, v: t.outE(v), st.sampled_from(EDGE_LABELS)),
+    ("edge", lambda t, v: t.inE(), None),
+    ("vertex", lambda t, v: t.hasLabel(v), st.sampled_from(LABELS)),
+    ("vertex", lambda t, v: t.has("score", P.gte(v)), st.integers(0, 6)),
+    ("vertex", lambda t, v: t.has("score", P.within(v, v + 2)), st.integers(0, 5)),
+    ("vertex", lambda t, v: t.has("word", TextP.startingWith(v)),
+     st.sampled_from(["w", "q", "w1"])),
+    ("vertex", lambda t, v: t.has("word", TextP.containing(v)),
+     st.sampled_from(["x", "1", "zz"])),
+    ("vertex", lambda t, v: t.hasNot("score"), None),
+    ("vertex", lambda t, v: t.dedup(), None),
+    ("vertex", lambda t, v: t.filter_(__.out()), None),
+    ("vertex", lambda t, v: t.not_(__.outE(v)), st.sampled_from(EDGE_LABELS)),
+    ("value", lambda t, v: t.values(v), st.sampled_from(["score", "word"])),
+    ("value", lambda t, v: t.id_(), None),
+    ("value", lambda t, v: t.label(), None),
+    ("vertex", lambda t, v: t.union(__.out(), __.in_()), None),
+    ("vertex", lambda t, v: t.repeat(__.out().dedup()).times(v), st.integers(1, 2)),
+    ("vertex", lambda t, v: t.optional(__.out(v)), st.sampled_from(EDGE_LABELS)),
+]
+
+EDGE_MOVES = [
+    ("vertex", lambda t, v: t.inV(), None),
+    ("vertex", lambda t, v: t.outV(), None),
+    ("edge", lambda t, v: t.has("w", P.lt(v)), st.integers(0, 4)),
+    ("edge", lambda t, v: t.hasLabel(v), st.sampled_from(EDGE_LABELS)),
+    ("edge", lambda t, v: t.dedup(), None),
+    ("value", lambda t, v: t.values("w"), None),
+    ("value", lambda t, v: t.label(), None),
+    ("edge", lambda t, v: t.filter_(__.inV().has("score", P.gte(v))), st.integers(0, 5)),
+]
+
+VALUE_MOVES = [
+    ("value", lambda t, v: t.dedup(), None),
+]
+
+TERMINALS = {
+    "vertex": [lambda t: t.count(), lambda t: t.id_(), None],
+    "edge": [lambda t: t.count(), None],
+    "value": [lambda t: t.count(), None],
+}
+
+POOLS = {"vertex": VERTEX_MOVES, "edge": EDGE_MOVES, "value": VALUE_MOVES}
+
+
+@st.composite
+def chains(draw):
+    """A recipe: start ids + [(type, move index, operand)] + terminal."""
+    start_ids = draw(
+        st.one_of(st.just(None), st.lists(st.integers(0, 15), min_size=1, max_size=3))
+    )
+    moves = []
+    current = "vertex"
+    for _ in range(draw(st.integers(0, 5))):
+        pool = POOLS[current]
+        index = draw(st.integers(0, len(pool) - 1))
+        operand_strategy = pool[index][2]
+        operand = draw(operand_strategy) if operand_strategy is not None else None
+        moves.append((current, index, operand))
+        current = pool[index][0]
+    terminal_index = draw(st.integers(0, len(TERMINALS[current]) - 1))
+    return start_ids, moves, current, terminal_index
+
+
+def apply_chain(g, recipe):
+    start_ids, moves, final_type, terminal_index = recipe
+    traversal = g.V() if start_ids is None else g.V(*start_ids)
+    for current, index, operand in moves:
+        traversal = POOLS[current][index][1](traversal, operand)
+    terminal = TERMINALS[final_type][terminal_index]
+    if terminal is not None:
+        traversal = terminal(traversal)
+    return traversal.toList()
+
+
+def normalize(results):
+    from repro.graph import Edge, Vertex
+
+    out = []
+    for item in results:
+        if isinstance(item, Edge):
+            out.append(("edge", item.label, str(item.out_v_id), str(item.in_v_id)))
+        elif isinstance(item, Vertex):
+            out.append(("vertex", str(item.id)))
+        else:
+            out.append(item)
+    return sorted(out, key=repr)
+
+
+@given(chains())
+@settings(max_examples=150, deadline=None)
+def test_fuzz_overlay_matches_memory(recipe):
+    g_memory, optimized, stripped = engines()
+    expected = normalize(apply_chain(g_memory, recipe))
+    for engine in (optimized, stripped):
+        actual = normalize(apply_chain(engine.traversal(), recipe))
+        assert actual == expected, (
+            f"divergence for chain {recipe}: overlay={actual} memory={expected}"
+        )

@@ -1,0 +1,135 @@
+"""Unit tests for id templates and implicit edge ids."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ids import IdTemplate, ImplicitEdgeId
+from repro.relational.errors import CatalogError
+
+
+class TestParse:
+    def test_single_column(self):
+        template = IdTemplate.parse("diseaseID")
+        assert template.is_single_column
+        assert template.columns == ("diseaseID",)
+        assert template.prefix is None
+
+    def test_prefixed(self):
+        template = IdTemplate.parse("'patient'::patientID")
+        assert template.prefix == "patient"
+        assert template.columns == ("patientID",)
+        assert template.constants == ("patient",)
+
+    def test_multi_column(self):
+        template = IdTemplate.parse("'ontology'::sourceID::targetID")
+        assert template.columns == ("sourceID", "targetID")
+        assert template.segment_count() == 3
+
+    def test_spec_roundtrip(self):
+        for spec in ("id", "'p'::a", "'x'::a::b"):
+            assert IdTemplate.parse(spec).spec() == spec
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(CatalogError):
+            IdTemplate.parse("a::::b")
+
+    def test_constant_only_rejected(self):
+        with pytest.raises(CatalogError):
+            IdTemplate.parse("'onlyconst'")
+
+    def test_equality(self):
+        assert IdTemplate.parse("'p'::a") == IdTemplate.parse("'p'::a")
+        assert IdTemplate.parse("'p'::a") != IdTemplate.parse("'q'::a")
+
+
+class TestRenderDecode:
+    def test_single_column_keeps_raw_value(self):
+        template = IdTemplate.parse("id")
+        assert template.render({"id": 42}) == 42
+        assert template.decode(42) == {"id": 42}
+
+    def test_prefixed_render(self):
+        template = IdTemplate.parse("'patient'::patientID")
+        assert template.render({"patientid": 7}) == "patient::7"
+
+    def test_prefixed_decode(self):
+        template = IdTemplate.parse("'patient'::patientID")
+        assert template.decode("patient::7") == {"patientID": "7"}
+
+    def test_decode_wrong_prefix_strict(self):
+        template = IdTemplate.parse("'patient'::patientID")
+        assert template.decode("disease::7") is None
+
+    def test_decode_wrong_prefix_naive_accepts(self):
+        template = IdTemplate.parse("'patient'::patientID")
+        assert template.decode("disease::7", strict=False) == {"patientID": "7"}
+
+    def test_decode_wrong_segment_count(self):
+        template = IdTemplate.parse("'p'::a::b")
+        assert template.decode("p::1") is None
+        assert template.decode("p::1::2::3") is None
+
+    def test_single_column_rejects_separator_strings_strict(self):
+        template = IdTemplate.parse("id")
+        assert template.decode("patient::1") is None
+        assert template.decode("patient::1", strict=False) == {"id": "patient::1"}
+
+    def test_decode_non_string_composite(self):
+        template = IdTemplate.parse("'p'::a")
+        assert template.decode(42) is None
+
+    def test_render_null_column_raises(self):
+        template = IdTemplate.parse("'p'::a")
+        with pytest.raises(CatalogError):
+            template.render({"a": None})
+
+    @given(st.integers(0, 10**9))
+    def test_property_prefixed_roundtrip(self, value):
+        template = IdTemplate.parse("'tbl'::col")
+        rendered = template.render({"col": value})
+        assert template.decode(rendered) == {"col": str(value)}
+
+    @given(st.integers(), st.integers())
+    def test_property_two_column_roundtrip(self, a, b):
+        template = IdTemplate.parse("'x'::a::b")
+        rendered = template.render({"a": a, "b": b})
+        decoded = template.decode(rendered)
+        assert decoded == {"a": str(a), "b": str(b)}
+
+
+class TestImplicitEdgeId:
+    def setup_method(self):
+        self.simple = ImplicitEdgeId(
+            IdTemplate.parse("src"), "knows", IdTemplate.parse("dst")
+        )
+        self.prefixed = ImplicitEdgeId(
+            IdTemplate.parse("'patient'::pid"), "hasDisease", IdTemplate.parse("did")
+        )
+
+    def test_render_simple(self):
+        assert self.simple.render({"src": 1, "dst": 2}) == "1::knows::2"
+
+    def test_decode_simple(self):
+        assert self.simple.decode("1::knows::2") == ("1", "2")
+
+    def test_decode_wrong_label_strict(self):
+        assert self.simple.decode("1::likes::2") is None
+
+    def test_decode_wrong_label_naive(self):
+        assert self.simple.decode("1::likes::2", strict=False) == ("1", "2")
+
+    def test_render_decode_prefixed_src(self):
+        rendered = self.prefixed.render({"pid": 7, "did": 10})
+        assert rendered == "patient::7::hasDisease::10"
+        assert self.prefixed.decode(rendered) == ("patient::7", "10")
+
+    def test_decode_wrong_shape(self):
+        assert self.simple.decode("1::2") is None
+        assert self.simple.decode(99) is None
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_property_roundtrip(self, a, b):
+        rendered = self.prefixed.render({"pid": a, "did": b})
+        src, dst = self.prefixed.decode(rendered)
+        assert src == f"patient::{a}"
+        assert dst == str(b)

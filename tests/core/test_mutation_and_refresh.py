@@ -1,0 +1,165 @@
+"""Tests for graph mutation through the overlay (addV/addE -> SQL
+INSERT) and the automatic catalog integration (§5.1 future work)."""
+
+import pytest
+
+from repro.core import Db2Graph
+from repro.graph import TraversalError, __
+from repro.relational import ConstraintViolationError, Database
+
+
+@pytest.fixture
+def social(db):
+    db.execute("CREATE TABLE Person (id BIGINT PRIMARY KEY, name VARCHAR, city VARCHAR)")
+    db.execute(
+        "CREATE TABLE Knows (src BIGINT, dst BIGINT, since INT, "
+        "FOREIGN KEY (src) REFERENCES Person (id), "
+        "FOREIGN KEY (dst) REFERENCES Person (id))"
+    )
+    db.execute("INSERT INTO Person VALUES (1, 'ada', 'london')")
+    overlay = {
+        "v_tables": [
+            {"table_name": "Person", "id": "id", "fix_label": True, "label": "'person'"}
+        ],
+        "e_tables": [
+            {"table_name": "Knows", "src_v_table": "Person", "src_v": "src",
+             "dst_v_table": "Person", "dst_v": "dst", "implicit_edge_id": True,
+             "fix_label": True, "label": "'knows'"}
+        ],
+    }
+    return db, Db2Graph.open(db, overlay)
+
+
+class TestAddVertex:
+    def test_addv_inserts_sql_row(self, social):
+        db, graph = social
+        vertex = (
+            graph.traversal()
+            .addV("person")
+            .property("id", 2)
+            .property("name", "grace")
+            .next()
+        )
+        assert vertex.id == 2 and vertex.value("name") == "grace"
+        assert db.execute("SELECT name FROM Person WHERE id = 2").rows == [("grace",)]
+
+    def test_addv_visible_to_next_traversal(self, social):
+        _db, graph = social
+        graph.traversal().addV("person").property("id", 3).property("name", "alan").iterate()
+        assert graph.traversal().V(3).values("name").toList() == ["alan"]
+
+    def test_addv_unknown_label_rejected(self, social):
+        _db, graph = social
+        with pytest.raises(TraversalError):
+            graph.traversal().addV("robot").next()
+
+    def test_addv_unknown_property_rejected(self, social):
+        _db, graph = social
+        with pytest.raises(TraversalError):
+            graph.traversal().addV("person").property("id", 9).property("nope", 1).next()
+
+    def test_addv_pk_violation_surfaces(self, social):
+        _db, graph = social
+        with pytest.raises(ConstraintViolationError):
+            graph.traversal().addV("person").property("id", 1).next()  # duplicate
+
+
+class TestAddEdge:
+    def test_adde_inserts_sql_row(self, social):
+        db, graph = social
+        graph.traversal().addV("person").property("id", 2).iterate()
+        edge = (
+            graph.traversal().addE("knows").from_(1).to(2).property("since", 1950).next()
+        )
+        assert edge.out_v_id == 1 and edge.in_v_id == 2
+        assert db.execute("SELECT since FROM Knows").rows == [(1950,)]
+        assert graph.traversal().V(1).out("knows").count().next() == 1
+
+    def test_adde_from_traversals(self, social):
+        _db, graph = social
+        graph.traversal().addV("person").property("id", 2).property("name", "g").iterate()
+        graph.traversal().addE("knows").from_(
+            __.V().has("name", "ada")
+        ).to(__.V().has("name", "g")).iterate()
+        assert graph.traversal().V(1).out("knows").values("name").toList() == ["g"]
+
+    def test_adde_fk_violation_surfaces(self, social):
+        _db, graph = social
+        with pytest.raises(ConstraintViolationError):
+            graph.traversal().addE("knows").from_(1).to(99).next()
+
+    def test_adde_respects_transactions(self, social):
+        db, graph = social
+        conn = graph.connection
+        conn.begin()
+        graph.traversal().addV("person").property("id", 5).iterate()
+        conn.rollback()
+        assert db.execute("SELECT COUNT(*) FROM Person").scalar() == 1
+
+    def test_adde_mid_traversal(self, social):
+        _db, graph = social
+        graph.traversal().addV("person").property("id", 2).iterate()
+        # every person adds a self-referential marker edge to ada
+        graph.traversal().V(2).addE("knows").to(1).iterate()
+        assert graph.traversal().V(2).out("knows").count().next() == 1
+
+
+class TestAutoRefresh:
+    def test_manual_overlay_picks_up_new_columns(self, db):
+        db.execute("CREATE TABLE T (id INT PRIMARY KEY, a VARCHAR)")
+        db.execute("INSERT INTO T VALUES (1, 'x')")
+        overlay = {
+            "v_tables": [
+                # properties omitted -> inferred from remaining columns
+                {"table_name": "T", "id": "id", "fix_label": True, "label": "'t'"}
+            ],
+            "e_tables": [],
+        }
+        graph = Db2Graph.open(db, overlay, auto_refresh=True)
+        assert graph.traversal().V(1).next().keys() == ["a"]
+        # widen the table: recreate with an extra column (no ALTER in
+        # our SQL subset) — the refresh picks it up
+        db.execute("DROP TABLE T")
+        db.execute("CREATE TABLE T (id INT PRIMARY KEY, a VARCHAR, b INT)")
+        db.execute("INSERT INTO T VALUES (1, 'x', 7)")
+        vertex = graph.traversal().V(1).next()
+        assert vertex.value("b") == 7
+        assert graph.refresh_count >= 1
+
+    def test_no_refresh_when_disabled(self, db):
+        db.execute("CREATE TABLE T (id INT PRIMARY KEY, a VARCHAR)")
+        overlay = {
+            "v_tables": [
+                {"table_name": "T", "id": "id", "fix_label": True, "label": "'t'"}
+            ],
+            "e_tables": [],
+        }
+        graph = Db2Graph.open(db, overlay, auto_refresh=False)
+        db.execute("CREATE TABLE Unrelated (x INT)")
+        graph.traversal().V().toList()
+        assert graph.refresh_count == 0
+
+    def test_open_auto_regenerates_on_new_table(self, db):
+        db.execute("CREATE TABLE A (id INT PRIMARY KEY, v VARCHAR)")
+        db.execute("INSERT INTO A VALUES (1, 'a')")
+        graph = Db2Graph.open_auto(db)
+        assert graph.traversal().V().count().next() == 1
+        # a brand-new table with a PK+FK appears in the graph automatically
+        db.execute(
+            "CREATE TABLE B (id INT PRIMARY KEY, a_id INT, "
+            "FOREIGN KEY (a_id) REFERENCES A (id))"
+        )
+        db.execute("INSERT INTO B VALUES (10, 1)")
+        g = graph.traversal()
+        assert g.V().count().next() == 2
+        assert g.V("B::10").out("B_A").count().next() == 1
+        assert graph.refresh_count >= 1
+
+    def test_open_auto_with_subset_stays_scoped(self, db):
+        db.execute("CREATE TABLE A (id INT PRIMARY KEY)")
+        db.execute("CREATE TABLE Z (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO A VALUES (1)")
+        db.execute("INSERT INTO Z VALUES (9)")
+        graph = Db2Graph.open_auto(db, ["A"])
+        db.execute("CREATE TABLE Newcomer (id INT PRIMARY KEY)")
+        assert graph.traversal().V().count().next() == 1  # still just A

@@ -1,0 +1,174 @@
+"""Tests for overlay configuration parsing and validation (paper §5)."""
+
+import json
+
+import pytest
+
+from repro.core.overlay import (
+    EdgeTableConfig,
+    LabelSpec,
+    OverlayConfig,
+    OverlayError,
+    VertexTableConfig,
+)
+
+PAPER_JSON = """
+{
+  "v_tables": [
+    {"table_name": "Patient", "prefixed_id": true, "id": "'patient'::patientID",
+     "fix_label": true, "label": "'patient'",
+     "properties": ["patientID", "name", "address", "subscriptionID"]},
+    {"table_name": "Disease", "id": "diseaseID", "fix_label": true,
+     "label": "'disease'", "properties": ["diseaseID", "conceptCode", "conceptName"]}
+  ],
+  "e_tables": [
+    {"table_name": "DiseaseOntology", "src_v_table": "Disease", "src_v": "sourceID",
+     "dst_v_table": "Disease", "dst_v": "targetID", "prefixed_edge_id": true,
+     "id": "'ontology'::sourceID::targetID", "label": "type"},
+    {"table_name": "HasDisease", "src_v_table": "Patient",
+     "src_v": "'patient'::patientID", "dst_v_table": "Disease", "dst_v": "diseaseID",
+     "implicit_edge_id": true, "fix_label": true, "label": "'hasDisease'"}
+  ]
+}
+"""
+
+
+class TestPaperConfig:
+    def test_parses(self):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        assert [v.table_name for v in config.v_tables] == ["Patient", "Disease"]
+        assert [e.table_name for e in config.e_tables] == ["DiseaseOntology", "HasDisease"]
+
+    def test_fixed_vs_column_labels(self):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        assert config.vertex_table("Patient").label.constant == "patient"
+        ontology = config.edge_table("DiseaseOntology")
+        assert ontology.label.column == "type"
+        assert not ontology.label.is_fixed
+
+    def test_prefixed_flags(self):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        assert config.vertex_table("Patient").prefixed_id is True
+        assert config.vertex_table("Disease").prefixed_id is False
+        assert config.edge_table("DiseaseOntology").prefixed_edge_id is True
+
+    def test_properties_default_none_means_infer(self):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        assert config.edge_table("HasDisease").properties is None
+        assert config.vertex_table("Patient").properties == [
+            "patientID", "name", "address", "subscriptionID",
+        ]
+
+    def test_json_roundtrip(self):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        again = OverlayConfig.from_json(config.to_json())
+        assert again.to_dict() == config.to_dict()
+
+    def test_save_and_load(self, tmp_path):
+        config = OverlayConfig.from_json(PAPER_JSON)
+        path = tmp_path / "overlay.json"
+        config.save(path)
+        assert OverlayConfig.from_file(path).to_dict() == config.to_dict()
+
+
+class TestValidation:
+    def base(self):
+        return json.loads(PAPER_JSON)
+
+    def test_missing_required_key(self):
+        data = self.base()
+        del data["v_tables"][0]["id"]
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_missing_label(self):
+        data = self.base()
+        del data["v_tables"][0]["label"]
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_no_vertex_tables(self):
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict({"v_tables": [], "e_tables": []})
+
+    def test_duplicate_vertex_table(self):
+        data = self.base()
+        data["v_tables"].append(dict(data["v_tables"][0]))
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_prefixed_id_requires_constant_prefix(self):
+        data = self.base()
+        data["v_tables"][1]["prefixed_id"] = True  # id is bare "diseaseID"
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_implicit_edge_id_excludes_explicit(self):
+        data = self.base()
+        data["e_tables"][1]["id"] = "'x'::patientID"
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_edge_needs_some_id(self):
+        data = self.base()
+        del data["e_tables"][0]["id"]
+        data["e_tables"][0]["prefixed_edge_id"] = False
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_implicit_id_requires_fixed_label(self):
+        data = self.base()
+        data["e_tables"][0]["implicit_edge_id"] = True
+        del data["e_tables"][0]["id"]
+        data["e_tables"][0]["prefixed_edge_id"] = False
+        # DiseaseOntology has a column label -> invalid
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_src_v_table_must_be_vertex_table(self):
+        data = self.base()
+        data["e_tables"][1]["src_v_table"] = "Nowhere"
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_endpoint_spec_must_match_vertex_id_shape(self):
+        # paper: "the source/destination vertex id definition has to
+        # match exactly with the id definition of the corresponding
+        # vertex table"
+        data = self.base()
+        data["e_tables"][1]["src_v"] = "patientID"  # missing the 'patient' prefix
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+
+    def test_matching_spec_with_different_column_name_ok(self):
+        # DiseaseOntology.sourceID matches Disease.diseaseID (both one
+        # bare column) despite different column names — paper example
+        OverlayConfig.from_json(PAPER_JSON)
+
+    def test_same_table_as_multiple_edge_tables_needs_config_name(self):
+        data = self.base()
+        clone = dict(data["e_tables"][1])
+        data["e_tables"].append(clone)
+        with pytest.raises(OverlayError):
+            OverlayConfig.from_dict(data)
+        clone["config_name"] = "second"
+        OverlayConfig.from_dict(data)  # now fine
+
+
+class TestLabelSpec:
+    def test_quoted_is_constant(self):
+        spec = LabelSpec.parse("'person'", fixed=False)
+        assert spec.constant == "person"
+
+    def test_unquoted_with_fix_label_is_constant(self):
+        spec = LabelSpec.parse("person", fixed=True)
+        assert spec.constant == "person"
+
+    def test_unquoted_without_fix_is_column(self):
+        spec = LabelSpec.parse("type", fixed=False)
+        assert spec.column == "type"
+        assert not spec.is_fixed
+
+    def test_spec_rendering(self):
+        assert LabelSpec(constant="x").spec() == "'x'"
+        assert LabelSpec(column="c").spec() == "c"

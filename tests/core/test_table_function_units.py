@@ -1,0 +1,52 @@
+"""Unit tests for graphQuery result-to-row conversion."""
+
+import pytest
+
+from repro.core.table_function import make_graph_query_function, rows_from_result
+from repro.graph import Edge, GraphError, Vertex
+
+
+class TestRowsFromResult:
+    def test_none_yields_nothing(self):
+        assert list(rows_from_result(None)) == []
+
+    def test_scalar_becomes_single_row(self):
+        assert list(rows_from_result(42)) == [(42,)]
+
+    def test_list_of_scalars(self):
+        assert list(rows_from_result([1, 2])) == [(1,), (2,)]
+
+    def test_tuples_pass_through(self):
+        assert list(rows_from_result([(1, "a"), (2, "b")])) == [(1, "a"), (2, "b")]
+
+    def test_dicts_become_value_rows(self):
+        assert list(rows_from_result([{"a": 1, "b": 2}])) == [(1, 2)]
+
+    def test_elements_become_id_label(self):
+        vertex = Vertex(7, "person", {})
+        edge = Edge("e1", "knows", 1, 2, {})
+        assert list(rows_from_result([vertex, edge])) == [(7, "person"), ("e1", "knows")]
+
+    def test_nested_list_flattens_elements_to_ids(self):
+        inner = [Vertex(1, "a", {}), Vertex(2, "a", {})]
+        assert list(rows_from_result([inner])) == [(1, 2)]
+
+    def test_set_results(self):
+        rows = list(rows_from_result({1, 2}))
+        assert sorted(rows) == [(1,), (2,)]
+
+
+class TestFunctionWrapper:
+    class FakeGraph:
+        def execute(self, script):
+            assert script == "g.V().count().next()"
+            return 5
+
+    def test_language_check(self):
+        func = make_graph_query_function(self.FakeGraph())
+        with pytest.raises(GraphError):
+            list(func(None, "cypher", "MATCH (n)"))
+
+    def test_language_case_insensitive(self):
+        func = make_graph_query_function(self.FakeGraph())
+        assert list(func(None, "GREMLIN", "g.V().count().next()")) == [(5,)]

@@ -1,0 +1,191 @@
+"""Tests for the Topology module: overlay resolution against the
+catalog, and the §6.3 lookup questions."""
+
+import pytest
+
+from repro.core.overlay import OverlayConfig, OverlayError
+from repro.core.topology import Topology
+from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+
+@pytest.fixture
+def topology(paper_db):
+    return Topology(paper_db, OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY))
+
+
+class TestResolution:
+    def test_tables_resolved(self, topology):
+        assert [v.table_name for v in topology.vertex_tables] == ["Patient", "Disease"]
+        assert [e.name for e in topology.edge_tables] == ["DiseaseOntology", "HasDisease"]
+
+    def test_unknown_table_rejected(self, paper_db):
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        config.v_tables[0].table_name = "Missing"
+        with pytest.raises(OverlayError):
+            Topology(paper_db, config)
+
+    def test_unknown_column_rejected(self, paper_db):
+        broken = dict(HEALTHCARE_TINY_OVERLAY)
+        broken = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        broken.v_tables[1].id_spec = "noSuchColumn"
+        broken.v_tables[1].__post_init__()
+        with pytest.raises(OverlayError):
+            Topology(paper_db, broken)
+
+    def test_default_properties_are_remaining_columns(self, paper_db):
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        topology = Topology(paper_db, config)
+        has_disease = topology.edge_tables[1]
+        # paper: "equivalent to defining ['description']"
+        assert has_disease.property_columns == ["description"]
+
+    def test_explicit_properties_resolve_case_insensitively(self, paper_db):
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        config.v_tables[0].properties = ["NAME"]
+        topology = Topology(paper_db, config)
+        assert topology.vertex_tables[0].property_columns == ["name"]
+
+    def test_label_column_excluded_from_default_properties(self, topology):
+        ontology = topology.edge_tables[0]
+        assert "type" not in [c.lower() for c in ontology.property_columns]
+
+
+class TestRowMapping:
+    def test_vertex_row_roundtrip(self, topology):
+        patient = topology.vertex_tables[0]
+        row = {"patientid": 1, "name": "Alice", "address": "x", "subscriptionid": 9}
+        assert patient.row_id(row) == "patient::1"
+        assert patient.row_label(row) == "patient"
+        props = patient.row_properties(row)
+        assert props["name"] == "Alice" and props["patientID"] == 1
+
+    def test_vertex_projection(self, topology):
+        patient = topology.vertex_tables[0]
+        row = {"patientid": 1, "name": "Alice", "address": "x", "subscriptionid": 9}
+        assert patient.row_properties(row, ["name"]) == {"name": "Alice"}
+
+    def test_edge_row_roundtrip(self, topology):
+        has_disease = topology.edge_tables[1]
+        row = {"patientid": 2, "diseaseid": 10, "description": "dx"}
+        assert has_disease.row_id(row) == "patient::2::hasDisease::10"
+        assert has_disease.row_src(row) == "patient::2"
+        assert has_disease.row_dst(row) == 10
+        assert has_disease.row_properties(row) == {"description": "dx"}
+
+    def test_column_label_edge(self, topology):
+        ontology = topology.edge_tables[0]
+        row = {"sourceid": 11, "targetid": 10, "type": "isa"}
+        assert ontology.row_label(row) == "isa"
+        assert ontology.row_id(row) == "ontology::11::10"
+
+    def test_required_columns_with_projection(self, topology):
+        patient = topology.vertex_tables[0]
+        columns = patient.required_columns(["name"])
+        assert "patientID" in columns  # id columns always included
+        assert "name" in columns
+        assert "address" not in columns
+
+
+class TestLookups:
+    def test_vertex_tables_with_label(self, topology):
+        assert [v.table_name for v in topology.vertex_tables_with_label(["patient"])] == [
+            "Patient"
+        ]
+        assert topology.vertex_tables_with_label(["ghost"]) == []
+
+    def test_column_label_tables_always_searched(self, topology):
+        # DiseaseOntology has no fixed label -> must always be searched
+        tables = topology.edge_tables_with_label(["whatever"])
+        assert [e.name for e in tables] == ["DiseaseOntology"]
+
+    def test_tables_with_property(self, topology):
+        assert [
+            v.table_name for v in topology.vertex_tables_with_property(["conceptCode"])
+        ] == ["Disease"]
+        assert [
+            e.name for e in topology.edge_tables_with_property(["description"])
+        ] == ["HasDisease"]
+
+    def test_prefix_pinning(self, topology):
+        pinned = topology.vertex_table_for_prefix("patient::1")
+        assert pinned is not None and pinned.table_name == "Patient"
+        assert topology.vertex_table_for_prefix(10) is None
+        assert topology.vertex_table_for_prefix("ghost::1") is None
+
+    def test_edges_from_to_vertex_table(self, topology):
+        assert [e.name for e in topology.edges_from_vertex_table("Patient")] == ["HasDisease"]
+        assert [e.name for e in topology.edges_to_vertex_table("Disease")] == [
+            "DiseaseOntology", "HasDisease",
+        ]
+
+    def test_duplicate_prefix_rejected(self, paper_db):
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        config.v_tables[1].id_spec = "'patient'::diseaseID"
+        config.v_tables[1].prefixed_id = True
+        config.v_tables[1].__post_init__()
+        with pytest.raises(OverlayError):
+            Topology(paper_db, config)
+
+
+class TestVertexFromEdge:
+    def test_subsumption_when_table_is_both(self, db):
+        """A fact-like table serving as vertex and edge table."""
+        db.execute(
+            "CREATE TABLE orders (orderID BIGINT PRIMARY KEY, customerID BIGINT, note VARCHAR)"
+        )
+        db.execute("CREATE TABLE customer (customerID BIGINT PRIMARY KEY, name VARCHAR)")
+        config = OverlayConfig.from_dict(
+            {
+                "v_tables": [
+                    {"table_name": "orders", "prefixed_id": True, "id": "'o'::orderID",
+                     "fix_label": True, "label": "'order'", "properties": ["note"]},
+                    {"table_name": "customer", "prefixed_id": True, "id": "'c'::customerID",
+                     "fix_label": True, "label": "'customer'"},
+                ],
+                "e_tables": [
+                    {"table_name": "orders", "src_v_table": "orders", "src_v": "'o'::orderID",
+                     "dst_v_table": "customer", "dst_v": "'c'::customerID",
+                     "implicit_edge_id": True, "fix_label": True, "label": "'placedBy'"},
+                ],
+            }
+        )
+        topology = Topology(db, config)
+        edge_top = topology.edge_tables[0]
+        assert topology.vertex_subsumed_by_edge(edge_top, "src") is not None
+        assert topology.vertex_subsumed_by_edge(edge_top, "dst") is None
+
+    def test_no_subsumption_for_separate_tables(self, topology):
+        has_disease = topology.edge_tables[1]
+        assert topology.vertex_subsumed_by_edge(has_disease, "src") is None
+
+
+class TestViewsInOverlay:
+    def test_view_as_edge_table_with_types(self, db):
+        db.execute("CREATE TABLE n (id INT PRIMARY KEY, name VARCHAR)")
+        db.execute("CREATE TABLE e1 (a INT, b INT)")
+        db.execute("CREATE TABLE e2 (a INT, b INT)")
+        db.execute(
+            "CREATE VIEW combined AS "
+            "SELECT e1.a AS a, e2.b AS b FROM e1 JOIN e2 ON e1.b = e2.a"
+        )
+        config = OverlayConfig.from_dict(
+            {
+                "v_tables": [
+                    {"table_name": "n", "id": "id", "fix_label": True, "label": "'n'"}
+                ],
+                "e_tables": [
+                    {"table_name": "combined", "src_v_table": "n", "src_v": "a",
+                     "dst_v_table": "n", "dst_v": "b", "implicit_edge_id": True,
+                     "fix_label": True, "label": "'derived'"}
+                ],
+            }
+        )
+        topology = Topology(db, config)
+        relation = topology.edge_tables[0].relation
+        assert relation.is_view
+        # inferred types allow id coercion through the view
+        assert relation.coerce("a", "5") == 5
+
+    def test_describe_mentions_tables(self, topology):
+        text = topology.describe()
+        assert "Patient" in text and "HasDisease" in text

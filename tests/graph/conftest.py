@@ -1,0 +1,29 @@
+"""Fixtures for graph engine tests: the TinkerPop 'modern' graph."""
+
+import pytest
+
+from repro.graph import GraphTraversalSource, InMemoryGraph
+
+
+@pytest.fixture
+def modern():
+    """TinkerPop's canonical 'modern' toy graph (6 vertices, 6 edges)."""
+    graph = InMemoryGraph()
+    graph.add_vertex(1, "person", {"name": "marko", "age": 29})
+    graph.add_vertex(2, "person", {"name": "vadas", "age": 27})
+    graph.add_vertex(3, "software", {"name": "lop", "lang": "java"})
+    graph.add_vertex(4, "person", {"name": "josh", "age": 32})
+    graph.add_vertex(5, "software", {"name": "ripple", "lang": "java"})
+    graph.add_vertex(6, "person", {"name": "peter", "age": 35})
+    graph.add_edge("knows", 1, 2, {"weight": 0.5}, edge_id=7)
+    graph.add_edge("knows", 1, 4, {"weight": 1.0}, edge_id=8)
+    graph.add_edge("created", 1, 3, {"weight": 0.4}, edge_id=9)
+    graph.add_edge("created", 4, 5, {"weight": 1.0}, edge_id=10)
+    graph.add_edge("created", 4, 3, {"weight": 0.4}, edge_id=11)
+    graph.add_edge("created", 6, 3, {"weight": 0.2}, edge_id=12)
+    return graph
+
+
+@pytest.fixture
+def g(modern):
+    return GraphTraversalSource(modern)

@@ -1,0 +1,173 @@
+"""Tests for the Gremlin string parser/interpreter."""
+
+import pytest
+
+from repro.graph import GremlinSyntaxError
+from repro.graph.gremlin_parser import GremlinScriptEvaluator, evaluate_gremlin
+
+
+class TestLiteralsAndChains:
+    def test_simple_chain(self, g):
+        assert evaluate_gremlin(g, "g.V().count().next()") == 6
+
+    def test_untermination_defaults_to_tolist(self, g):
+        result = evaluate_gremlin(g, "g.V().hasLabel('person').values('name')")
+        assert sorted(result) == ["josh", "marko", "peter", "vadas"]
+
+    def test_double_quoted_strings(self, g):
+        assert evaluate_gremlin(g, 'g.V().has("name", "marko").count().next()') == 1
+
+    def test_numbers(self, g):
+        assert evaluate_gremlin(g, "g.V(1).values('age').next()") == 29
+        assert evaluate_gremlin(g, "g.V().has('age', 29).count().next()") == 1
+
+    def test_float_literal(self, g):
+        assert evaluate_gremlin(g, "g.E().has('weight', 0.5).count().next()") == 1
+
+    def test_booleans_and_null(self, g):
+        evaluator = GremlinScriptEvaluator(g)
+        assert evaluator.evaluate("true") is True
+        assert evaluator.evaluate("null") is None
+
+    def test_list_literal(self, g):
+        assert evaluate_gremlin(g, "g.V([1, 2]).count().next()") == 2
+
+    def test_escaped_quote(self, g):
+        assert evaluate_gremlin(g, r"g.V().has('name', 'mar\'ko').count().next()") == 0
+
+
+class TestKeywordRenames:
+    def test_in_step(self, g):
+        assert evaluate_gremlin(g, "g.V(3).in('created').count().next()") == 3
+
+    def test_id_step(self, g):
+        assert sorted(evaluate_gremlin(g, "g.V().hasLabel('software').id()")) == [3, 5]
+
+    def test_as_and_select(self, g):
+        result = evaluate_gremlin(g, "g.V(1).as('a').out('knows').select('a').dedup().id()")
+        assert result == [1]
+
+    def test_not_step(self, g):
+        result = evaluate_gremlin(
+            g, "g.V().hasLabel('person').not(out('created')).values('name')"
+        )
+        assert result == ["vadas"]
+
+    def test_sum_min_max(self, g):
+        assert evaluate_gremlin(g, "g.V().values('age').sum().next()") == 123
+        assert evaluate_gremlin(g, "g.V().values('age').min().next()") == 27
+        assert evaluate_gremlin(g, "g.V().values('age').max().next()") == 35
+
+    def test_range(self, g):
+        assert len(evaluate_gremlin(g, "g.V().range(1, 4)")) == 3
+
+
+class TestAnonymousTraversals:
+    def test_bare_step_opens_anonymous(self, g):
+        result = evaluate_gremlin(g, "g.V(1).repeat(out('knows')).times(1).id()")
+        assert sorted(result) == [2, 4]
+
+    def test_dunder_prefix(self, g):
+        result = evaluate_gremlin(g, "g.V().filter(__.out('created')).count().next()")
+        assert result == 3
+
+    def test_union(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(4).union(in('knows'), out('created')).id()"
+        )
+        assert sorted(result) == [1, 3, 5]
+
+    def test_until_emit(self, g):
+        result = evaluate_gremlin(
+            g,
+            "g.V(1).repeat(out()).emit().times(2).dedup().id()",
+        )
+        assert sorted(result) == [2, 3, 4, 5]
+
+
+class TestPredicates:
+    def test_p_gt(self, g):
+        assert evaluate_gremlin(g, "g.V().has('age', P.gt(30)).count().next()") == 2
+
+    def test_p_within(self, g):
+        assert (
+            evaluate_gremlin(g, "g.V().has('name', P.within('lop', 'ripple')).count().next()")
+            == 2
+        )
+
+    def test_p_between(self, g):
+        assert evaluate_gremlin(g, "g.V().has('age', P.between(27, 32)).count().next()") == 2
+
+    def test_unknown_predicate(self, g):
+        with pytest.raises(GremlinSyntaxError):
+            evaluate_gremlin(g, "g.V().has('age', P.frob(1))")
+
+
+class TestComparisonRewrite:
+    def test_filter_with_equality(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(1).outE('knows').filter(inV().id() == 2).count().next()"
+        )
+        assert result == 1
+
+    def test_filter_with_inequality(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(1).outE('knows').filter(inV().id() != 2).count().next()"
+        )
+        assert result == 1
+
+    def test_filter_with_gt(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(1).outE().filter(inV().id() > 2).count().next()"
+        )
+        assert result == 2
+
+    def test_reversed_operands(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(1).outE('knows').filter(2 == inV().id()).count().next()"
+        )
+        assert result == 1
+
+
+class TestScriptsAndVariables:
+    def test_assignment_and_reference(self, g):
+        script = "xs = g.V().hasLabel('software').id(); g.V(xs).values('name')"
+        assert sorted(evaluate_gremlin(g, script)) == ["lop", "ripple"]
+
+    def test_next_result_reusable(self, g):
+        script = "v = g.V(1).out('knows').id(); g.V(v).count().next()"
+        assert evaluate_gremlin(g, script) == 2
+
+    def test_injected_variables(self, g):
+        result = evaluate_gremlin(g, "g.V(target).values('name')", {"target": 1})
+        assert result == ["marko"]
+
+    def test_paper_similar_diseases_shape(self, g):
+        # structurally identical to the paper's §4 script
+        script = (
+            "seen = g.V(1).repeat(out().dedup().store('x')).times(2).cap('x').next(); "
+            "g.V(seen).count().next()"
+        )
+        assert evaluate_gremlin(g, script) >= 3
+
+    def test_unknown_identifier(self, g):
+        with pytest.raises(GremlinSyntaxError):
+            evaluate_gremlin(g, "g.V(mystery)")
+
+    def test_unknown_step(self, g):
+        with pytest.raises(GremlinSyntaxError):
+            evaluate_gremlin(g, "g.V().frobnicate()")
+
+    def test_unterminated_string(self, g):
+        with pytest.raises(GremlinSyntaxError):
+            evaluate_gremlin(g, "g.V().has('name, 'x')")
+
+    def test_missing_paren(self, g):
+        with pytest.raises(GremlinSyntaxError):
+            evaluate_gremlin(g, "g.V(.count()")
+
+    def test_empty_arguments(self, g):
+        assert evaluate_gremlin(g, "g.V().out().count().next()") == 6
+
+    def test_long_suffix_number(self, g):
+        assert evaluate_gremlin(g, "g.V(1L).values('name')") == ["marko"]

@@ -1,0 +1,181 @@
+"""Tests for the element model, Pushdown, and the in-memory graph."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Direction,
+    Edge,
+    ElementNotFoundError,
+    GraphError,
+    GraphTraversalSource,
+    InMemoryGraph,
+    P,
+    Pushdown,
+    Vertex,
+)
+
+
+class TestElements:
+    def test_vertex_identity(self):
+        assert Vertex(1, "a", {}) == Vertex(1, "b", {})
+        assert Vertex(1, "a", {}) != Vertex(2, "a", {})
+        assert hash(Vertex(1, "a", {})) == hash(Vertex(1, "x", {}))
+
+    def test_vertex_edge_not_equal(self):
+        assert Vertex(1, "a", {}) != Edge(1, "a", 1, 2, {})
+
+    def test_property_access(self):
+        vertex = Vertex(1, "person", {"name": "ada", "nothing": None})
+        assert vertex.value("name") == "ada"
+        assert vertex.value("missing", "dflt") == "dflt"
+        assert vertex.has_property("name")
+        assert not vertex.has_property("nothing")  # NULL == absent
+        assert vertex.keys() == ["name"]
+
+    def test_lazy_vertex_without_provider_raises(self):
+        lazy = Vertex(1)
+        with pytest.raises(ElementNotFoundError):
+            _ = lazy.label
+
+    def test_lazy_vertex_materializes_from_provider(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "person", {"name": "ada"})
+        lazy = Vertex(1, provider=graph)
+        assert not lazy.is_materialized
+        assert lazy.value("name") == "ada"
+        assert lazy.is_materialized
+
+    def test_edge_endpoint_ids(self):
+        edge = Edge(9, "knows", out_v_id=1, in_v_id=2)
+        assert edge.endpoint_id(Direction.OUT) == 1
+        assert edge.endpoint_id(Direction.IN) == 2
+        with pytest.raises(ElementNotFoundError):
+            edge.endpoint_id(Direction.BOTH)
+
+    def test_repr(self):
+        assert repr(Vertex(1, "a", {})) == "v[1]"
+        assert "1->2" in repr(Edge(9, "knows", 1, 2, {}))
+
+
+class TestPushdown:
+    def test_matches_labels(self):
+        assert Pushdown(labels=None).matches_labels("x")
+        assert Pushdown(labels=("a", "b")).matches_labels("a")
+        assert not Pushdown(labels=("a",)).matches_labels("b")
+
+    def test_matches_predicates_with_specials(self):
+        pushdown = Pushdown(
+            predicates=[("~label", P.eq("person")), ("~id", P.eq(1)), ("age", P.gt(10))]
+        )
+        assert pushdown.matches_predicates({"age": 20}, "person", 1)
+        assert not pushdown.matches_predicates({"age": 5}, "person", 1)
+        assert not pushdown.matches_predicates({"age": 20}, "robot", 1)
+
+    def test_property_names_collects_requirements(self):
+        pushdown = Pushdown(
+            predicates=[("age", P.gt(1)), ("~label", P.eq("x"))],
+            projection=("name",),
+            aggregate_key="weight",
+        )
+        assert pushdown.property_names == {"age", "name", "weight"}
+
+    def test_copy_is_deep_enough(self):
+        original = Pushdown(predicates=[("a", P.eq(1))])
+        copied = original.copy()
+        copied.predicates.append(("b", P.eq(2)))
+        assert len(original.predicates) == 1
+
+
+class TestInMemoryGraph:
+    def test_duplicate_vertex_rejected(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(GraphError):
+            graph.add_vertex(1, "a")
+
+    def test_edge_requires_endpoints(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "a")
+        with pytest.raises(ElementNotFoundError):
+            graph.add_edge("e", 1, 2)
+
+    def test_auto_edge_ids(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "a")
+        graph.add_vertex(2, "a")
+        e1 = graph.add_edge("e", 1, 2)
+        e2 = graph.add_edge("e", 2, 1)
+        assert e1.id != e2.id
+
+    def test_counts_and_degree(self, modern):
+        assert modern.vertex_count() == 6
+        assert modern.edge_count() == 6
+        assert modern.degree(1) == 3
+        assert modern.degree(3) == 3
+
+    def test_self_loop(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "n")
+        graph.add_edge("loop", 1, 1)
+        g = GraphTraversalSource(graph)
+        assert [v.id for v in g.V(1).out("loop")] == [1]
+        assert g.V(1).both().count().next() == 2  # both sides of the loop
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(2, 12))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=30,
+        )
+    )
+    return n, edges
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_property_degree_sums(data):
+    """Sum of out-degrees == sum of in-degrees == edge count."""
+    n, edges = data
+    graph = InMemoryGraph()
+    for i in range(n):
+        graph.add_vertex(i, "n")
+    for src, dst in edges:
+        graph.add_edge("e", src, dst)
+    g = GraphTraversalSource(graph)
+    out_total = sum(g.V(i).out().count().next() for i in range(n))
+    in_total = sum(g.V(i).in_().count().next() for i in range(n))
+    assert out_total == in_total == len(edges)
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_property_out_then_in_roundtrip(data):
+    """Every out-neighbor relationship appears reversed via in_()."""
+    n, edges = data
+    graph = InMemoryGraph()
+    for i in range(n):
+        graph.add_vertex(i, "n")
+    for src, dst in edges:
+        graph.add_edge("e", src, dst)
+    g = GraphTraversalSource(graph)
+    for i in range(n):
+        for neighbor in g.V(i).out():
+            assert i in {v.id for v in g.V(neighbor.id).in_()}
+
+
+@given(random_graphs())
+@settings(max_examples=30, deadline=None)
+def test_property_edge_count_consistency(data):
+    n, edges = data
+    graph = InMemoryGraph()
+    for i in range(n):
+        graph.add_vertex(i, "n")
+    for src, dst in edges:
+        graph.add_edge("e", src, dst)
+    g = GraphTraversalSource(graph)
+    assert g.E().count().next() == len(edges)
+    assert g.V().outE().count().next() == len(edges)

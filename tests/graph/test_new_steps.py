@@ -1,0 +1,173 @@
+"""Tests for group/project/choose/optional/constant/identity/sideEffect
+and the mutation steps (addV/addE) on the in-memory backend."""
+
+import pytest
+
+from repro.graph import GraphTraversalSource, InMemoryGraph, P, TraversalError, __
+from repro.graph.gremlin_parser import evaluate_gremlin
+
+
+class TestGroup:
+    def test_group_by_label(self, g):
+        groups = g.V().group().by("~label").next()
+        assert {k: len(v) for k, v in groups.items()} == {"person": 4, "software": 2}
+
+    def test_group_by_property(self, g):
+        groups = g.V().hasLabel("software").group().by("lang").next()
+        assert set(groups) == {"java"}
+        assert len(groups["java"]) == 2
+
+    def test_group_value_traversal(self, g):
+        groups = g.V().hasLabel("person").group().by("~label").by(__.values("age")).next()
+        assert sorted(groups["person"]) == [27, 29, 32, 35]
+
+    def test_group_by_key_traversal(self, g):
+        groups = g.V().hasLabel("person").group().by(__.out().count()).next()
+        # marko->3, vadas->0, josh->2, peter->1
+        assert {k: len(v) for k, v in groups.items()} == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_group_without_by_groups_identity(self, g):
+        groups = g.V().hasLabel("software").values("lang").group().next()
+        assert list(groups) == ["java"]
+
+    def test_too_many_bys_rejected(self, g):
+        with pytest.raises(TraversalError):
+            g.V().group().by("a").by("b").by("c")
+
+
+class TestProject:
+    def test_project_with_traversals(self, g):
+        result = (
+            g.V(1)
+            .project("name", "degree")
+            .by(__.values("name"))
+            .by(__.out().count())
+            .next()
+        )
+        assert result == {"name": "marko", "degree": 3}
+
+    def test_project_default_identity(self, g):
+        result = g.V(1).values("age").project("value").next()
+        assert result == {"value": 29}
+
+    def test_project_by_property_key(self, g):
+        result = g.V(1).project("n").by("name").next()
+        assert result == {"n": "marko"}
+
+    def test_project_requires_names(self, g):
+        with pytest.raises(TraversalError):
+            g.V().project()
+
+    def test_extra_by_rejected(self, g):
+        with pytest.raises(TraversalError):
+            g.V().project("a").by("x").by("y")
+
+
+class TestFlowControl:
+    def test_choose_two_branches(self, g):
+        result = g.V().choose(
+            __.hasLabel("person"), __.values("name"), __.constant("sw")
+        ).toList()
+        assert result.count("sw") == 2
+        assert "marko" in result
+
+    def test_choose_without_false_branch_passes_through(self, g):
+        result = g.V().choose(__.hasLabel("person"), __.values("age")).toList()
+        ages = [r for r in result if isinstance(r, int)]
+        others = [r for r in result if not isinstance(r, int)]
+        assert len(ages) == 4 and len(others) == 2
+
+    def test_optional_present(self, g):
+        assert sorted(v.id for v in g.V(1).optional(__.out("knows"))) == [2, 4]
+
+    def test_optional_absent_keeps_original(self, g):
+        assert [v.id for v in g.V(2).optional(__.out("knows"))] == [2]
+
+    def test_constant(self, g):
+        assert g.V().constant(7).toList() == [7] * 6
+
+    def test_identity(self, g):
+        assert g.V(3).identity().next().id == 3
+
+    def test_side_effect_lambda(self, g):
+        collected = []
+        count = g.V().sideEffect(lambda o: collected.append(o.id)).count().next()
+        assert count == 6 and len(collected) == 6
+
+    def test_side_effect_traversal(self, g):
+        result = g.V(1).sideEffect(__.out().store("neighbors")).cap("neighbors").next()
+        assert len(result) == 3
+
+
+class TestMutationInMemory:
+    def test_addv_with_properties(self):
+        graph = InMemoryGraph()
+        g = GraphTraversalSource(graph)
+        vertex = g.addV("person").property("name", "ada").next()
+        assert vertex.label == "person"
+        assert vertex.value("name") == "ada"
+        assert g.V().count().next() == 1
+
+    def test_addv_explicit_id(self):
+        graph = InMemoryGraph()
+        g = GraphTraversalSource(graph)
+        vertex = g.addV("p").property("id", 42).next()
+        assert vertex.id == 42
+
+    def test_adde_between_ids(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "p")
+        graph.add_vertex(2, "p")
+        g = GraphTraversalSource(graph)
+        edge = g.addE("knows").from_(1).to(2).property("w", 0.5).next()
+        assert edge.out_v_id == 1 and edge.in_v_id == 2
+        assert g.V(1).out("knows").count().next() == 1
+
+    def test_adde_from_traversal_endpoints(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "p", {"name": "a"})
+        graph.add_vertex(2, "p", {"name": "b"})
+        g = GraphTraversalSource(graph)
+        g.addE("likes").from_(__.V().has("name", "a")).to(__.V().has("name", "b")).next()
+        assert g.V(1).out("likes").count().next() == 1
+
+    def test_adde_mid_traversal_uses_current_vertex(self):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "p")
+        graph.add_vertex(2, "p")
+        g = GraphTraversalSource(graph)
+        g.V(1).addE("self").to(2).iterate()
+        assert g.V(1).out("self").count().next() == 1
+
+    def test_property_without_add_step_rejected(self, g):
+        with pytest.raises(TraversalError):
+            g.V().property("a", 1)
+
+    def test_from_without_adde_rejected(self, g):
+        with pytest.raises(TraversalError):
+            g.V().from_(1)
+
+
+class TestParserSupport:
+    def test_group_in_string(self, g):
+        result = evaluate_gremlin(g, "g.V().group().by('lang').next()")
+        assert "java" in result
+
+    def test_project_in_string(self, g):
+        result = evaluate_gremlin(
+            g, "g.V(1).project('n', 'd').by(values('name')).by(out().count()).next()"
+        )
+        assert result == {"n": "marko", "d": 3}
+
+    def test_choose_in_string(self, g):
+        result = evaluate_gremlin(
+            g,
+            "g.V().choose(hasLabel('person'), constant(1), constant(0)).sum().next()",
+        )
+        assert result == 4
+
+    def test_addv_in_string(self):
+        graph = InMemoryGraph()
+        g = GraphTraversalSource(graph)
+        evaluate_gremlin(g, "g.addV('x').property('name', 'n1').iterate()")
+        assert g.V().count().next() == 1

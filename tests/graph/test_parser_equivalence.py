@@ -1,0 +1,89 @@
+"""Property-based equivalence: a Gremlin query *string* must produce
+the same results as the equivalent fluent-API traversal."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import GraphTraversalSource, InMemoryGraph, P, __
+from repro.graph.gremlin_parser import evaluate_gremlin
+
+
+@pytest.fixture(scope="module")
+def backend():
+    graph = InMemoryGraph()
+    for i in range(30):
+        graph.add_vertex(i, f"L{i % 3}", {"score": i % 7, "name": f"n{i}"})
+    for i in range(30):
+        graph.add_edge(f"E{i % 2}", i, (i * 7 + 3) % 30, {"w": i % 5})
+    return graph
+
+
+def normalize(values):
+    out = []
+    for item in values:
+        if hasattr(item, "id"):
+            out.append(("el", str(item.id)))
+        else:
+            out.append(item)
+    return sorted(out, key=repr)
+
+
+# (string form, fluent builder) pairs, parameterized by generated values
+CASES = [
+    (
+        lambda vid: f"g.V({vid}).out()",
+        lambda g, vid: g.V(vid).out(),
+    ),
+    (
+        lambda vid: f"g.V({vid}).out('E0').in('E1')",
+        lambda g, vid: g.V(vid).out("E0").in_("E1"),
+    ),
+    (
+        lambda vid: f"g.V().has('score', {vid % 7}).count().next()",
+        lambda g, vid: g.V().has("score", vid % 7).count().next(),
+    ),
+    (
+        lambda vid: f"g.V().has('score', P.gt({vid % 7})).values('name')",
+        lambda g, vid: g.V().has("score", P.gt(vid % 7)).values("name"),
+    ),
+    (
+        lambda vid: f"g.V({vid}).repeat(out()).times(2).dedup().id()",
+        lambda g, vid: g.V(vid).repeat(__.out()).times(2).dedup().id_(),
+    ),
+    (
+        lambda vid: f"g.V({vid}).union(out('E0'), in('E0')).count().next()",
+        lambda g, vid: g.V(vid).union(__.out("E0"), __.in_("E0")).count().next(),
+    ),
+    (
+        lambda vid: f"g.V().hasLabel('L{vid % 3}').outE().values('w').sum().next()",
+        lambda g, vid: g.V().hasLabel(f"L{vid % 3}").outE().values("w").sum_().next(),
+    ),
+    (
+        lambda vid: f"g.V({vid}).outE().filter(inV().id() > {vid}).count().next()",
+        lambda g, vid: g.V(vid).outE().filter_(__.inV().id_().is_(P.gt(vid))).count().next(),
+    ),
+]
+
+
+@given(st.integers(0, 29), st.integers(0, len(CASES) - 1))
+@settings(max_examples=80, deadline=None)
+def test_string_and_fluent_agree(backend_value, case_index):
+    # hypothesis can't take fixtures directly; build once per call (cheap)
+    graph = InMemoryGraph()
+    for i in range(30):
+        graph.add_vertex(i, f"L{i % 3}", {"score": i % 7, "name": f"n{i}"})
+    for i in range(30):
+        graph.add_edge(f"E{i % 2}", i, (i * 7 + 3) % 30, {"w": i % 5})
+    g = GraphTraversalSource(graph)
+
+    to_string, fluent = CASES[case_index]
+    string_result = evaluate_gremlin(g, to_string(backend_value))
+    fluent_result = fluent(g, backend_value)
+    if hasattr(fluent_result, "toList"):
+        fluent_result = fluent_result.toList()
+    if isinstance(string_result, list) and isinstance(fluent_result, list):
+        assert normalize(string_result) == normalize(fluent_result)
+    else:
+        assert string_result == fluent_result

@@ -1,0 +1,87 @@
+"""Unit tests for Gremlin predicates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph import P
+from repro.graph.errors import TraversalError
+
+
+class TestBasicPredicates:
+    def test_eq_neq(self):
+        assert P.eq(3).test(3)
+        assert not P.eq(3).test(4)
+        assert P.neq(3).test(4)
+        assert not P.neq(3).test(3)
+
+    def test_eq_none(self):
+        assert P.eq(None).test(None)
+        assert P.neq(None).test(1)
+
+    def test_ordering(self):
+        assert P.gt(3).test(4)
+        assert P.gte(3).test(3)
+        assert P.lt(3).test(2)
+        assert P.lte(3).test(3)
+        assert not P.gt(3).test(3)
+
+    def test_none_fails_ordering(self):
+        for predicate in (P.gt(1), P.gte(1), P.lt(1), P.lte(1)):
+            assert not predicate.test(None)
+
+    def test_within_without(self):
+        assert P.within(1, 2, 3).test(2)
+        assert not P.within(1, 2).test(3)
+        assert P.without(1, 2).test(3)
+        assert not P.without(1, 2).test(1)
+
+    def test_within_accepts_collection(self):
+        assert P.within([1, 2, 3]).test(3)
+        assert P.without({"a", "b"}).test("c")
+
+    def test_between_half_open(self):
+        assert P.between(1, 5).test(1)
+        assert P.between(1, 5).test(4)
+        assert not P.between(1, 5).test(5)
+
+    def test_inside_outside(self):
+        assert P.inside(1, 5).test(3)
+        assert not P.inside(1, 5).test(1)
+        assert P.outside(1, 5).test(0)
+        assert P.outside(1, 5).test(6)
+        assert not P.outside(1, 5).test(3)
+
+    def test_incomparable_types_fail_closed(self):
+        assert not P.gt(1).test("a")
+
+    def test_of_wraps_values(self):
+        assert P.of(5) == P.eq(5)
+        assert P.of(P.gt(1)) == P.gt(1)
+
+    def test_equality_and_hash(self):
+        assert P.eq(1) == P.eq(1)
+        assert P.eq(1) != P.eq(2)
+        assert hash(P.within(1, 2)) == hash(P.within(1, 2))
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(TraversalError):
+            P("bogus", 1).test(1)
+
+    def test_repr(self):
+        assert "eq" in repr(P.eq(1))
+        assert "between" in repr(P.between(1, 2))
+
+
+@given(st.integers(), st.integers())
+def test_property_eq_matches_python(a, b):
+    assert P.eq(b).test(a) == (a == b)
+
+
+@given(st.integers(), st.integers(), st.integers())
+def test_property_between_matches_python(value, low, high):
+    assert P.between(low, high).test(value) == (low <= value < high)
+
+
+@given(st.integers(), st.lists(st.integers(), max_size=10))
+def test_property_within_complement(value, pool):
+    assert P.within(pool).test(value) != P.without(pool).test(value)

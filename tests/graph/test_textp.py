@@ -1,0 +1,101 @@
+"""Tests for TextP text predicates, in memory and pushed down to SQL."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Db2Graph
+from repro.core.sql_dialect import predicate_to_sql
+from repro.graph import TextP
+from repro.relational import Database
+
+
+class TestInMemory:
+    def test_starting_with(self, g):
+        names = g.V().has("name", TextP.startingWith("m")).values("name").toList()
+        assert names == ["marko"]
+
+    def test_ending_with(self, g):
+        names = g.V().has("name", TextP.endingWith("o")).values("name").toList()
+        assert set(names) == {"marko"}
+
+    def test_containing(self, g):
+        names = g.V().has("name", TextP.containing("os")).values("name").toList()
+        assert names == ["josh"]
+
+    def test_negations(self, g):
+        count = g.V().hasLabel("person").has("name", TextP.notContaining("a")).count().next()
+        assert count == 2  # josh, peter
+
+    def test_non_string_values_fail_closed(self, g):
+        assert g.V().has("age", TextP.startingWith("2")).toList() == []
+
+
+class TestSqlPushdown:
+    @pytest.fixture
+    def overlay_graph(self, db):
+        db.execute("CREATE TABLE p (id INT PRIMARY KEY, name VARCHAR)")
+        db.execute(
+            "INSERT INTO p VALUES (1, 'alice'), (2, 'alan'), (3, 'bob'), (4, 'a%b')"
+        )
+        return Db2Graph.open(
+            db,
+            {"v_tables": [{"table_name": "p", "id": "id", "fix_label": True,
+                           "label": "'p'"}], "e_tables": []},
+        )
+
+    def test_starting_with_becomes_like(self, overlay_graph):
+        overlay_graph.dialect.log = []
+        names = (
+            overlay_graph.traversal()
+            .V()
+            .has("name", TextP.startingWith("al"))
+            .values("name")
+            .toList()
+        )
+        assert sorted(names) == ["alan", "alice"]
+        assert any("LIKE" in sql for sql in overlay_graph.dialect.log)
+
+    def test_not_like(self, overlay_graph):
+        names = (
+            overlay_graph.traversal()
+            .V()
+            .has("name", TextP.notStartingWith("al"))
+            .values("name")
+            .toList()
+        )
+        assert sorted(names) == ["a%b", "bob"]
+
+    def test_wildcard_operand_falls_back_to_memory(self, overlay_graph):
+        overlay_graph.dialect.log = []
+        names = (
+            overlay_graph.traversal()
+            .V()
+            .has("name", TextP.containing("a%b"))
+            .values("name")
+            .toList()
+        )
+        assert names == ["a%b"]  # literal match, not wildcard
+        assert not any("LIKE" in sql for sql in overlay_graph.dialect.log)
+
+    def test_string_parser_supports_textp(self, overlay_graph):
+        result = overlay_graph.execute(
+            "g.V().has('name', TextP.endingWith('ce')).values('name')"
+        )
+        assert result == ["alice"]
+
+    def test_translation_table(self):
+        like = predicate_to_sql("c", TextP.startingWith("x"))[0]
+        assert (like.op, like.values) == ("LIKE", ("x%",))
+        like = predicate_to_sql("c", TextP.endingWith("x"))[0]
+        assert like.values == ("%x",)
+        like = predicate_to_sql("c", TextP.containing("x"))[0]
+        assert like.values == ("%x%",)
+        assert predicate_to_sql("c", TextP.containing("a_b")) is None
+
+
+@given(st.text(max_size=12), st.text(min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_property_textp_matches_python(value, operand):
+    assert TextP.startingWith(operand).test(value) == value.startswith(operand)
+    assert TextP.containing(operand).test(value) == (operand in value)
+    assert TextP.notEndingWith(operand).test(value) == (not value.endswith(operand))

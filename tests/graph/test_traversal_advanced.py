@@ -1,0 +1,200 @@
+"""Advanced traversal features: repeat/until/emit, union, coalesce,
+side effects, path, as_/select, and the anonymous traversal builder."""
+
+import pytest
+
+from repro.graph import GraphTraversalSource, InMemoryGraph, P, TraversalError, __
+
+
+@pytest.fixture
+def chain():
+    """A simple chain a->b->c->d plus a side branch b->x."""
+    graph = InMemoryGraph()
+    for vid in ("a", "b", "c", "d", "x"):
+        graph.add_vertex(vid, "node", {"name": vid})
+    graph.add_edge("next", "a", "b")
+    graph.add_edge("next", "b", "c")
+    graph.add_edge("next", "c", "d")
+    graph.add_edge("side", "b", "x")
+    return GraphTraversalSource(graph)
+
+
+class TestRepeat:
+    def test_repeat_times(self, chain):
+        assert [v.id for v in chain.V("a").repeat(__.out("next")).times(2)] == ["c"]
+
+    def test_repeat_times_zero_is_identity(self, chain):
+        assert [v.id for v in chain.V("a").repeat(__.out("next")).times(0)] == ["a"]
+
+    def test_repeat_emit(self, chain):
+        ids = [v.id for v in chain.V("a").repeat(__.out("next")).emit().times(3)]
+        assert ids == ["b", "c", "d"]
+
+    def test_repeat_until(self, chain):
+        result = chain.V("a").repeat(__.out("next")).until(__.has("name", "c")).toList()
+        assert [v.id for v in result] == ["c"]
+
+    def test_until_repeat_while_do(self, chain):
+        # until().repeat(): the start vertex itself satisfies -> no hops
+        result = chain.V("a").until(__.has("name", "a")).repeat(__.out("next")).toList()
+        assert [v.id for v in result] == ["a"]
+
+    def test_repeat_exhausts_when_no_more_edges(self, chain):
+        assert chain.V("a").repeat(__.out("next")).times(10).toList() == []
+
+    def test_repeat_without_modulator_raises(self, chain):
+        with pytest.raises(TraversalError):
+            chain.V("a").repeat(__.out("next")).toList()
+
+    def test_repeat_with_dedup_and_store(self, g):
+        result = (
+            g.V(1).repeat(__.out().dedup().store("seen")).times(2).cap("seen").next()
+        )
+        assert {v.id for v in result} >= {2, 3, 4}
+
+    def test_emit_with_condition(self, chain):
+        result = (
+            chain.V("a")
+            .repeat(__.out("next"))
+            .emit(__.has("name", P.within("b", "d")))
+            .times(3)
+            .toList()
+        )
+        assert [v.id for v in result] == ["b", "d"]
+
+    def test_nested_repeat_loop_guard(self, g):
+        graph = InMemoryGraph()
+        graph.add_vertex(1, "n", {})
+        graph.add_edge("loop", 1, 1)
+        src = GraphTraversalSource(graph)
+        with pytest.raises(TraversalError):
+            src.V(1).repeat(__.out("loop")).until(__.has("name", "never")).toList()
+
+
+class TestBranching:
+    def test_union(self, g):
+        result = g.V(4).union(__.in_("knows"), __.out("created")).toList()
+        assert sorted(v.id for v in result) == [1, 3, 5]
+
+    def test_union_preserves_duplicates(self, g):
+        result = g.V(1).union(__.out("knows"), __.out("knows")).toList()
+        assert len(result) == 4
+
+    def test_coalesce_first_nonempty_wins(self, g):
+        result = g.V(2).coalesce(__.out("created"), __.in_("knows")).toList()
+        assert [v.id for v in result] == [1]
+
+    def test_coalesce_all_empty(self, g):
+        assert g.V(2).coalesce(__.out("created"), __.out("knows")).toList() == []
+
+
+class TestSideEffects:
+    def test_store_and_cap(self, g):
+        stored = g.V().hasLabel("person").store("x").cap("x").next()
+        assert len(stored) == 4
+
+    def test_aggregate_alias(self, g):
+        stored = g.V(1).out().aggregate("x").cap("x").next()
+        assert len(stored) == 3
+
+    def test_cap_without_store_is_empty(self, g):
+        assert g.V(1).cap("nothing").next() == []
+
+    def test_store_passes_traversers_through(self, g):
+        assert g.V(1).out("knows").store("x").count().next() == 2
+
+
+class TestPathsAndLabels:
+    def test_path(self, g):
+        paths = g.V(1).out("knows").path().toList()
+        assert [[e.id for e in p] for p in paths] == [[1, 2], [1, 4]]
+
+    def test_path_with_values(self, g):
+        path = g.V(1).out("created").values("name").path().next()
+        assert path[0].id == 1 and path[-1] == "lop"
+
+    def test_simple_path_prunes_cycles(self, g):
+        # 1-knows->4-created->3<-created-1 would revisit 1
+        count_all = g.V(1).both().both().count().next()
+        count_simple = g.V(1).both().both().simplePath().count().next()
+        assert count_simple < count_all
+
+    def test_as_select_single(self, g):
+        result = g.V(1).as_("a").out("knows").select("a").next()
+        assert result.id == 1
+
+    def test_as_select_multiple(self, g):
+        result = g.V(1).as_("a").out("knows").as_("b").select("a", "b").toList()
+        assert all(r["a"].id == 1 for r in result)
+        assert sorted(r["b"].id for r in result) == [2, 4]
+
+    def test_select_missing_label_drops_traverser(self, g):
+        assert g.V(1).select("nope").toList() == []
+
+
+class TestAnonymous:
+    def test_anonymous_builder(self):
+        traversal = __.out("knows").has("age", P.gt(30))
+        assert len(traversal.steps) == 2
+
+    def test_anonymous_cannot_execute(self):
+        with pytest.raises(TraversalError):
+            __.out().toList()
+
+    def test_unknown_step_raises(self):
+        with pytest.raises(TraversalError):
+            __.frobnicate()
+
+    def test_clone_is_independent(self, g):
+        base = g.V().hasLabel("person")
+        clone = base.clone()
+        clone.out("knows")
+        assert len(base.steps) == 2
+        assert len(clone.steps) == 3
+
+
+class TestStrategiesPlumbing:
+    def test_with_strategies_applied_on_compile(self, g):
+        from repro.graph import TraversalStrategy
+
+        class Tag(TraversalStrategy):
+            name = "tag"
+            applied = False
+
+            def apply(self, traversal):
+                Tag.applied = True
+
+        g2 = g.with_strategies(Tag())
+        g2.V().count().next()
+        assert Tag.applied
+
+    def test_without_strategies(self, g):
+        from repro.graph import TraversalStrategy
+
+        class Boom(TraversalStrategy):
+            name = "boom"
+
+            def apply(self, traversal):  # pragma: no cover
+                raise AssertionError("should have been removed")
+
+        g2 = g.with_strategies(Boom()).without_strategies("boom")
+        g2.V().count().next()
+
+    def test_strategy_priority_order(self, g):
+        from repro.graph import StrategyRegistry, TraversalStrategy
+
+        order = []
+
+        def make(name, priority):
+            class S(TraversalStrategy):
+                pass
+
+            S.name = name
+            S.priority = priority
+            S.apply = lambda self, t: order.append(name)
+            return S()
+
+        registry = StrategyRegistry([make("late", 90), make("early", 10)])
+        source = GraphTraversalSource(g.provider, registry)
+        source.V().count().next()
+        assert order == ["early", "late"]

@@ -1,0 +1,230 @@
+"""Traversal engine tests on the TinkerPop 'modern' graph — the
+canonical recipes every Gremlin implementation is judged against."""
+
+import pytest
+
+from repro.graph import P, TraversalError, __
+
+
+class TestVerticesAndEdges:
+    def test_v_all(self, g):
+        assert g.V().count().next() == 6
+
+    def test_v_by_id(self, g):
+        assert g.V(1).values("name").next() == "marko"
+
+    def test_v_by_multiple_ids(self, g):
+        assert sorted(g.V(1, 4).values("name").toList()) == ["josh", "marko"]
+
+    def test_v_by_id_list(self, g):
+        assert g.V([2, 6]).count().next() == 2
+
+    def test_v_missing_id_yields_nothing(self, g):
+        assert g.V(99).toList() == []
+
+    def test_e_all(self, g):
+        assert g.E().count().next() == 6
+
+    def test_e_by_id(self, g):
+        edge = g.E(7).next()
+        assert edge.label == "knows"
+        assert edge.out_v_id == 1 and edge.in_v_id == 2
+
+    def test_haslabel(self, g):
+        assert g.V().hasLabel("person").count().next() == 4
+        assert g.V().hasLabel("software").count().next() == 2
+        assert g.V().hasLabel("person", "software").count().next() == 6
+
+    def test_has_key_value(self, g):
+        assert g.V().has("name", "marko").next().id == 1
+
+    def test_has_with_predicate(self, g):
+        assert g.V().has("age", P.gt(30)).count().next() == 2
+
+    def test_has_label_key_value(self, g):
+        assert g.V().has("person", "name", "josh").next().id == 4
+
+    def test_has_key_only(self, g):
+        assert g.V().has("age").count().next() == 4
+
+    def test_hasnot(self, g):
+        assert g.V().hasNot("age").count().next() == 2
+
+    def test_hasid(self, g):
+        assert g.V().hasId(1, 2).count().next() == 2
+
+
+class TestAdjacency:
+    def test_out(self, g):
+        assert sorted(v.id for v in g.V(1).out()) == [2, 3, 4]
+
+    def test_out_with_label(self, g):
+        assert sorted(v.id for v in g.V(1).out("knows")) == [2, 4]
+
+    def test_in(self, g):
+        assert sorted(v.id for v in g.V(3).in_("created")) == [1, 4, 6]
+
+    def test_both(self, g):
+        assert sorted(v.id for v in g.V(4).both()) == [1, 3, 5]
+
+    def test_oute_ine(self, g):
+        assert g.V(1).outE().count().next() == 3
+        assert g.V(3).inE().count().next() == 3
+        assert g.V(4).bothE().count().next() == 3
+
+    def test_outv_inv(self, g):
+        assert g.V(1).outE("knows").inV().values("name").toSet() == {"vadas", "josh"}
+        assert g.V(1).outE("knows").outV().values("name").toSet() == {"marko"}
+
+    def test_bothv(self, g):
+        assert sorted(v.id for v in g.E(7).bothV()) == [1, 2]
+
+    def test_otherv(self, g):
+        assert sorted(v.id for v in g.V(1).bothE("knows").otherV()) == [2, 4]
+
+    def test_two_hops(self, g):
+        assert sorted(v.id for v in g.V(1).out("knows").out("created")) == [3, 5]
+
+    def test_out_on_edge_raises(self, g):
+        with pytest.raises(TraversalError):
+            g.V(1).outE().out().toList()
+
+    def test_outv_on_vertex_raises(self, g):
+        with pytest.raises(TraversalError):
+            g.V(1).outV().toList()
+
+
+class TestValuesAndMaps:
+    def test_values_single_key(self, g):
+        assert sorted(g.V().hasLabel("person").values("name").toList()) == [
+            "josh", "marko", "peter", "vadas",
+        ]
+
+    def test_values_multiple_keys_flatten(self, g):
+        result = g.V(1).values("name", "age").toList()
+        assert set(result) == {"marko", 29}
+
+    def test_values_skips_missing(self, g):
+        assert g.V(3).values("age").toList() == []
+
+    def test_values_no_keys_yields_all(self, g):
+        assert set(g.V(1).values().toList()) == {"marko", 29}
+
+    def test_valuemap(self, g):
+        assert g.V(1).valueMap().next() == {"name": "marko", "age": 29}
+
+    def test_valuemap_with_tokens(self, g):
+        mapping = g.V(1).valueMap(with_tokens=True).next()
+        assert mapping["id"] == 1 and mapping["label"] == "person"
+
+    def test_valuetuple(self, g):
+        assert g.V(1).valueTuple("name", "age").next() == ("marko", 29)
+
+    def test_id_and_label(self, g):
+        assert sorted(g.V().hasLabel("software").id_().toList()) == [3, 5]
+        assert g.V(1).label().next() == "person"
+        assert g.E(7).label().next() == "knows"
+
+    def test_map_lambda(self, g):
+        assert g.V(1).values("age").map_(lambda a: a + 1).next() == 30
+
+
+class TestReducers:
+    def test_count_empty(self, g):
+        assert g.V(99).count().next() == 0
+
+    def test_sum_mean_min_max(self, g):
+        ages = g.V().hasLabel("person").values("age")
+        assert ages.clone().source is None or True  # clone keeps steps
+        assert g.V().values("age").sum_().next() == 29 + 27 + 32 + 35
+        assert g.V().values("age").mean().next() == pytest.approx(30.75)
+        assert g.V().values("age").min_().next() == 27
+        assert g.V().values("age").max_().next() == 35
+
+    def test_numeric_reducer_on_empty_yields_nothing(self, g):
+        assert g.V(99).values("age").sum_().toList() == []
+
+    def test_fold_unfold(self, g):
+        folded = g.V().hasLabel("person").values("name").fold().next()
+        assert isinstance(folded, list) and len(folded) == 4
+        assert g.V(1).out("knows").fold().unfold().count().next() == 2
+
+    def test_groupcount(self, g):
+        counts = g.V().groupCount().by("~label" if False else None).next()
+        assert isinstance(counts, dict)
+        label_counts = g.V().label().groupCount().next()
+        assert label_counts == {"person": 4, "software": 2}
+
+    def test_groupcount_by_property(self, g):
+        counts = g.V().hasLabel("software").groupCount().by("lang").next()
+        assert counts == {"java": 2}
+
+
+class TestFiltersAndSlicing:
+    def test_dedup(self, g):
+        # josh and marko both created lop
+        assert g.V().out("created").count().next() == 4
+        assert g.V().out("created").dedup().count().next() == 2
+
+    def test_limit(self, g):
+        assert len(g.V().limit(3).toList()) == 3
+
+    def test_range(self, g):
+        assert len(g.V().range_(2, 5).toList()) == 3
+
+    def test_skip(self, g):
+        assert len(g.V().skip(4).toList()) == 2
+
+    def test_is_filter(self, g):
+        assert g.V().values("age").is_(P.gt(30)).toList() == [32, 35]
+
+    def test_filter_lambda(self, g):
+        names = g.V().values("name").filter_(lambda n: n.startswith("m")).toList()
+        assert names == ["marko"]
+
+    def test_filter_traversal(self, g):
+        creators = g.V().filter_(__.out("created")).values("name").toSet()
+        assert creators == {"marko", "josh", "peter"}
+
+    def test_not_traversal(self, g):
+        non_creators = g.V().hasLabel("person").not_(__.out("created")).values("name").toList()
+        assert non_creators == ["vadas"]
+
+    def test_where(self, g):
+        assert g.V().where(__.in_("knows")).count().next() == 2
+
+    def test_order_by_property(self, g):
+        names = g.V().hasLabel("person").order().by("age").values("name").toList()
+        assert names == ["vadas", "marko", "josh", "peter"]
+
+    def test_order_desc(self, g):
+        ages = g.V().hasLabel("person").values("age").order().by(None, "desc").toList()
+        assert ages == [35, 32, 29, 27]
+
+
+class TestTerminals:
+    def test_next_raises_on_empty(self, g):
+        with pytest.raises(TraversalError):
+            g.V(99).next()
+
+    def test_trynext(self, g):
+        assert g.V(99).tryNext() is None
+        assert g.V(1).tryNext() is not None
+
+    def test_hasnext(self, g):
+        traversal = g.V(1)
+        assert traversal.hasNext() is True
+        assert traversal.next().id == 1
+
+    def test_iterate_drains(self, g):
+        g.V().store("x").iterate()
+
+    def test_explain_lists_steps(self, g):
+        text = g.V().has("name", "x").out().compile().explain()
+        assert "GraphStep" in text
+
+    def test_traversal_not_extendable_after_execution(self, g):
+        traversal = g.V()
+        traversal.toList()
+        with pytest.raises(TraversalError):
+            traversal.out()

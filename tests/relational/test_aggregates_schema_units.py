@@ -1,0 +1,125 @@
+"""Unit tests for aggregate accumulators and table schemas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Column, ForeignKey, INTEGER, TableSchema, VARCHAR
+from repro.relational.aggregates import make_accumulator
+from repro.relational.errors import CatalogError, ConstraintViolationError, ExecutionError
+
+
+class TestAccumulators:
+    def test_count_star_counts_rows(self):
+        acc = make_accumulator("COUNT", star=True)
+        for value in (1, None, "x"):
+            acc.add(value)
+        assert acc.result() == 3
+
+    def test_count_column_skips_null(self):
+        acc = make_accumulator("count")
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_sum_avg(self):
+        total = make_accumulator("SUM")
+        avg = make_accumulator("AVG")
+        for value in (1, None, 2, 3):
+            total.add(value)
+            avg.add(value)
+        assert total.result() == 6
+        assert avg.result() == 2.0
+
+    def test_min_max(self):
+        low = make_accumulator("MIN")
+        high = make_accumulator("MAX")
+        for value in (5, None, 1, 9):
+            low.add(value)
+            high.add(value)
+        assert low.result() == 1
+        assert high.result() == 9
+
+    def test_empty_results(self):
+        assert make_accumulator("COUNT").result() == 0
+        for name in ("SUM", "AVG", "MIN", "MAX"):
+            assert make_accumulator(name).result() is None
+
+    def test_sum_rejects_strings(self):
+        acc = make_accumulator("SUM")
+        with pytest.raises(ExecutionError):
+            acc.add("text")
+
+    def test_min_max_on_strings(self):
+        low = make_accumulator("MIN")
+        for value in ("banana", "apple"):
+            low.add(value)
+        assert low.result() == "apple"
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            make_accumulator("MEDIAN")
+
+    @given(st.lists(st.one_of(st.none(), st.integers(-100, 100)), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_python(self, values):
+        non_null = [v for v in values if v is not None]
+        acc = {name: make_accumulator(name) for name in ("SUM", "AVG", "MIN", "MAX", "COUNT")}
+        for value in values:
+            for a in acc.values():
+                a.add(value)
+        assert acc["COUNT"].result() == len(non_null)
+        assert acc["SUM"].result() == (sum(non_null) if non_null else None)
+        assert acc["MIN"].result() == (min(non_null) if non_null else None)
+        assert acc["MAX"].result() == (max(non_null) if non_null else None)
+        if non_null:
+            assert acc["AVG"].result() == pytest.approx(sum(non_null) / len(non_null))
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            "t",
+            [Column("id", INTEGER, nullable=False), Column("name", VARCHAR)],
+            primary_key=["id"],
+        )
+
+    def test_column_lookup_case_insensitive(self):
+        schema = self.make()
+        assert schema.column_position("ID") == 0
+        assert schema.column("NAME").name == "name"
+        assert schema.has_column("Id")
+        assert not schema.has_column("nope")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            self.make().column_position("ghost")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", INTEGER), Column("A", VARCHAR)])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", INTEGER)], primary_key=["missing"])
+
+    def test_fk_arity_checked(self):
+        with pytest.raises(CatalogError):
+            ForeignKey(("a", "b"), "ref", ("x",))
+
+    def test_coerce_row(self):
+        schema = self.make()
+        assert schema.coerce_row(("5", 42)) == (5, "42")
+
+    def test_coerce_row_arity(self):
+        with pytest.raises(ConstraintViolationError):
+            self.make().coerce_row((1,))
+
+    def test_not_null_enforced_in_coerce(self):
+        with pytest.raises(ConstraintViolationError):
+            self.make().coerce_row((None, "x"))
+
+    def test_row_dict_and_key_of(self):
+        schema = self.make()
+        row = (7, "ada")
+        assert schema.row_dict(row) == {"id": 7, "name": "ada"}
+        assert schema.key_of(row, ["name", "id"]) == ("ada", 7)

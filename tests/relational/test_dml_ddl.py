@@ -1,0 +1,259 @@
+"""Integration tests for INSERT/UPDATE/DELETE and DDL, including
+constraint enforcement (PK, NOT NULL, UNIQUE, FK restrict)."""
+
+import pytest
+
+from repro.relational import (
+    CatalogError,
+    ConstraintViolationError,
+    Database,
+)
+
+
+class TestInsert:
+    def test_insert_and_rowcount(self, db):
+        db.execute("CREATE TABLE t (a INT, b VARCHAR)")
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_insert_with_column_list(self, db):
+        db.execute("CREATE TABLE t (a INT, b VARCHAR, c INT)")
+        db.execute("INSERT INTO t (c, a) VALUES (3, 1)")
+        assert db.execute("SELECT a, b, c FROM t").rows == [(1, None, 3)]
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE src (a INT)")
+        db.execute("CREATE TABLE dst (a INT)")
+        db.execute("INSERT INTO src VALUES (1), (2), (3)")
+        db.execute("INSERT INTO dst SELECT a FROM src WHERE a > 1")
+        assert db.execute("SELECT COUNT(*) FROM dst").scalar() == 2
+
+    def test_insert_with_params(self, db):
+        db.execute("CREATE TABLE t (a INT, b VARCHAR)")
+        db.execute("INSERT INTO t VALUES (?, ?)", [7, "seven"])
+        assert db.execute("SELECT * FROM t").rows == [(7, "seven")]
+
+    def test_type_coercion_on_insert(self, db):
+        db.execute("CREATE TABLE t (a INT, b DOUBLE)")
+        db.execute("INSERT INTO t VALUES ('5', 2)")
+        assert db.execute("SELECT * FROM t").rows == [(5, 2.0)]
+
+    def test_wrong_arity_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_primary_key_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_primary_key_null_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (NULL)")
+
+    def test_not_null_enforced(self, db):
+        db.execute("CREATE TABLE t (a INT, b VARCHAR NOT NULL)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (1, NULL)")
+
+    def test_unique_constraint(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, email VARCHAR, UNIQUE (email))")
+        db.execute("INSERT INTO t VALUES (1, 'x@y')")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (2, 'x@y')")
+        # NULL never violates a (non-PK) unique constraint
+        db.execute("INSERT INTO t VALUES (3, NULL)")
+        db.execute("INSERT INTO t VALUES (4, NULL)")
+
+    def test_failed_multi_row_insert_is_atomic(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (2), (1), (3)")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+class TestForeignKeys:
+    def test_fk_insert_enforced(self, people_db):
+        with pytest.raises(ConstraintViolationError):
+            people_db.execute("INSERT INTO knows VALUES (99, 1, 2020)")
+
+    def test_fk_null_allowed(self, people_db):
+        people_db.execute("INSERT INTO knows VALUES (NULL, 1, 2020)")
+
+    def test_fk_delete_restricted(self, people_db):
+        with pytest.raises(ConstraintViolationError):
+            people_db.execute("DELETE FROM person WHERE id = 1")
+
+    def test_delete_unreferenced_row_ok(self, people_db):
+        people_db.execute("DELETE FROM person WHERE id = 5")  # barbara: no edges
+        assert people_db.execute("SELECT COUNT(*) FROM person").scalar() == 4
+
+    def test_fk_update_of_referenced_key_restricted(self, people_db):
+        with pytest.raises(ConstraintViolationError):
+            people_db.execute("UPDATE person SET id = 100 WHERE id = 1")
+
+    def test_update_nonkey_column_of_referenced_row_ok(self, people_db):
+        people_db.execute("UPDATE person SET city = 'cambridge' WHERE id = 1")
+
+    def test_fk_enforcement_can_be_disabled(self):
+        db = Database(enforce_foreign_keys=False)
+        db.execute("CREATE TABLE p (id INT PRIMARY KEY)")
+        db.execute("CREATE TABLE c (p_id INT, FOREIGN KEY (p_id) REFERENCES p (id))")
+        db.execute("INSERT INTO c VALUES (42)")  # dangling, but allowed
+
+    def test_fk_referencing_unknown_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE c (x INT, FOREIGN KEY (x) REFERENCES nope (id))")
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, people_db):
+        count = people_db.execute(
+            "UPDATE person SET city = 'oxford' WHERE city = 'london'"
+        ).rowcount
+        assert count == 2
+        assert people_db.execute(
+            "SELECT COUNT(*) FROM person WHERE city = 'oxford'"
+        ).scalar() == 2
+
+    def test_update_expression_uses_old_values(self, people_db):
+        people_db.execute("UPDATE person SET age = age + 1 WHERE id = 1")
+        assert people_db.execute("SELECT age FROM person WHERE id = 1").scalar() == 37
+
+    def test_update_everything(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.execute("UPDATE t SET a = 0").rowcount == 2
+
+    def test_delete_with_where(self, people_db):
+        count = people_db.execute("DELETE FROM knows WHERE since < 1960").rowcount
+        assert count == 2
+        assert people_db.execute("SELECT COUNT(*) FROM knows").scalar() == 2
+
+    def test_update_pk_to_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("UPDATE t SET a = 1 WHERE a = 2")
+
+    def test_index_reflects_update(self, db):
+        db.execute("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
+        db.execute("CREATE INDEX idx_b ON t (b)")
+        db.execute("INSERT INTO t VALUES (1, 'old')")
+        db.execute("UPDATE t SET b = 'new' WHERE a = 1")
+        assert db.execute("SELECT a FROM t WHERE b = 'new'").rows == [(1,)]
+        assert db.execute("SELECT a FROM t WHERE b = 'old'").rows == []
+
+
+class TestDdl:
+    def test_duplicate_table_rejected(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (b INT)")
+
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM t")
+
+    def test_drop_if_exists_is_silent(self, db):
+        db.execute("DROP TABLE IF EXISTS nothing")
+        db.execute("DROP VIEW IF EXISTS nothing")
+        db.execute("DROP INDEX IF EXISTS nothing")
+
+    def test_drop_referenced_table_rejected(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute("DROP TABLE person")
+
+    def test_create_drop_index(self, people_db):
+        people_db.execute("CREATE INDEX i ON person (city)")
+        assert people_db.catalog.has_index("i")
+        people_db.execute("DROP INDEX i")
+        assert not people_db.catalog.has_index("i")
+
+    def test_duplicate_index_rejected(self, people_db):
+        people_db.execute("CREATE INDEX i ON person (city)")
+        with pytest.raises(CatalogError):
+            people_db.execute("CREATE INDEX i ON person (age)")
+
+    def test_index_on_unknown_column_rejected(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute("CREATE INDEX i2 ON person (nope)")
+
+    def test_unique_index_enforces(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("CREATE UNIQUE INDEX u ON t (a)")
+        with pytest.raises(ConstraintViolationError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_ddl_bumps_generation(self, db):
+        before = db.ddl_generation
+        db.execute("CREATE TABLE t (a INT)")
+        assert db.ddl_generation > before
+
+
+class TestAlterTable:
+    def test_add_column_pads_existing_rows(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, a VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("ALTER TABLE t ADD COLUMN b INT")
+        assert db.execute("SELECT * FROM t").rows == [(1, "x", None)]
+
+    def test_insert_and_update_new_column(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("ALTER TABLE t ADD b INT")
+        db.execute("INSERT INTO t VALUES (2, 5)")
+        db.execute("UPDATE t SET b = 9 WHERE id = 1")
+        assert sorted(db.execute("SELECT id, b FROM t").rows) == [(1, 9), (2, 5)]
+
+    def test_indexes_survive_alter(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, a VARCHAR)")
+        db.execute("CREATE INDEX idx_a ON t (a)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("ALTER TABLE t ADD b INT")
+        assert db.execute("SELECT id FROM t WHERE a = 'x'").rows == [(1,)]
+        assert db.execute("SELECT id FROM t WHERE id = 1").rows == [(1,)]
+
+    def test_duplicate_column_rejected(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, a VARCHAR)")
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE t ADD a INT")
+
+    def test_alter_invalidates_prepared_plans(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        conn = db.connect()
+        ps = conn.prepare("SELECT * FROM t")
+        assert ps.execute(conn, []).rows == [(1,)]
+        db.execute("ALTER TABLE t ADD b INT")
+        assert ps.execute(conn, []).rows == [(1, None)]
+
+    def test_history_visible_after_alter(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, a VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'old')")
+        db.execute("ALTER TABLE t ADD b INT")
+        db.execute("UPDATE t SET a = 'new', b = 1 WHERE id = 1")
+        assert db.execute("SELECT a, b FROM t").rows == [("new", 1)]
+
+    def test_graph_auto_refresh_sees_new_column(self, db):
+        from repro.core import Db2Graph
+
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, a VARCHAR)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        overlay = {
+            "v_tables": [{"table_name": "t", "id": "id", "fix_label": True, "label": "'t'"}],
+            "e_tables": [],
+        }
+        graph = Db2Graph.open(db, overlay, auto_refresh=True)
+        assert graph.traversal().V(1).next().keys() == ["a"]
+        db.execute("ALTER TABLE t ADD c VARCHAR")
+        db.execute("UPDATE t SET c = 'fresh' WHERE id = 1")
+        assert graph.traversal().V(1).values("c").toList() == ["fresh"]

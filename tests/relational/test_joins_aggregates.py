@@ -1,0 +1,168 @@
+"""Integration tests for joins, grouping, and aggregation."""
+
+import pytest
+
+from repro.relational import Database, ExecutionError, SqlSyntaxError
+from repro.relational.planner import HashJoinNode, NestedLoopJoinNode, Planner
+from repro.relational.sql_parser import parse_statement
+
+
+def join_nodes(db, sql):
+    plan = Planner(db).plan_select(parse_statement(sql))
+    nodes = []
+    stack = [plan.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (HashJoinNode, NestedLoopJoinNode)):
+            nodes.append(node)
+        stack.extend(node._children())
+    return nodes
+
+
+class TestJoins:
+    def test_inner_join(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, q.name FROM knows k "
+            "JOIN person p ON k.src = p.id JOIN person q ON k.dst = q.id"
+        ).rows
+        assert ("ada", "grace") in rows
+        assert len(rows) == 4
+
+    def test_comma_join_with_where(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name FROM person p, knows k WHERE p.id = k.src AND k.dst = 4"
+        ).rows
+        assert sorted(rows) == [("alan",), ("grace",)]
+
+    def test_left_join_pads_nulls(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, k.dst FROM person p LEFT JOIN knows k ON p.id = k.src "
+            "ORDER BY p.id"
+        ).rows
+        unmatched = [r for r in rows if r[1] is None]
+        assert ("edsger", None) in unmatched  # edsger knows nobody
+        assert ("barbara", None) in unmatched
+
+    def test_equi_join_uses_hash_join(self, people_db):
+        nodes = join_nodes(
+            people_db, "SELECT * FROM person p JOIN knows k ON p.id = k.src"
+        )
+        assert any(isinstance(n, HashJoinNode) for n in nodes)
+
+    def test_non_equi_join_uses_nested_loop(self, people_db):
+        nodes = join_nodes(
+            people_db, "SELECT * FROM person p JOIN person q ON p.age < q.age"
+        )
+        assert any(isinstance(n, NestedLoopJoinNode) for n in nodes)
+
+    def test_non_equi_join_results(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, q.name FROM person p JOIN person q ON p.age > q.age "
+            "WHERE q.name = 'ada'"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["alan", "edsger", "grace"]
+
+    def test_three_way_join(self, people_db):
+        rows = people_db.execute(
+            "SELECT a.name, c.name FROM person a, knows k1, knows k2, person c "
+            "WHERE a.id = k1.src AND k1.dst = k2.src AND k2.dst = c.id"
+        ).rows
+        # ada->grace->edsger and ada->alan->edsger
+        assert rows.count(("ada", "edsger")) == 2
+
+    def test_join_null_keys_never_match(self, db):
+        db.execute("CREATE TABLE l (a INT)")
+        db.execute("CREATE TABLE r (a INT)")
+        db.execute("INSERT INTO l VALUES (1), (NULL)")
+        db.execute("INSERT INTO r VALUES (1), (NULL)")
+        rows = db.execute("SELECT * FROM l JOIN r ON l.a = r.a").rows
+        assert rows == [(1, 1)]
+
+    def test_self_join_aliases(self, people_db):
+        rows = people_db.execute(
+            "SELECT k1.src FROM knows k1 JOIN knows k2 ON k1.dst = k2.src"
+        ).rows
+        assert rows == [(1,), (1,)]  # 1->2->4 and 1->3->4
+
+
+class TestAggregates:
+    def test_count_star(self, people_db):
+        assert people_db.execute("SELECT COUNT(*) FROM person").scalar() == 5
+
+    def test_count_column_skips_nulls(self, people_db):
+        assert people_db.execute("SELECT COUNT(age) FROM person").scalar() == 4
+
+    def test_sum_avg_min_max(self, people_db):
+        row = people_db.execute(
+            "SELECT SUM(age), AVG(age), MIN(age), MAX(age) FROM person"
+        ).rows[0]
+        assert row == (234, 58.5, 36, 85)
+
+    def test_aggregates_on_empty_input(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        row = db.execute("SELECT COUNT(*), SUM(a), AVG(a), MIN(a), MAX(a) FROM t").rows[0]
+        assert row == (0, None, None, None, None)
+
+    def test_group_by(self, people_db):
+        rows = people_db.execute(
+            "SELECT city, COUNT(*) FROM person GROUP BY city ORDER BY city"
+        ).rows
+        assert rows == [("austin", 1), ("boston", 1), ("london", 2), ("nyc", 1)]
+
+    def test_group_by_with_having(self, people_db):
+        rows = people_db.execute(
+            "SELECT city, COUNT(*) FROM person GROUP BY city HAVING COUNT(*) > 1"
+        ).rows
+        assert rows == [("london", 2)]
+
+    def test_group_by_null_group(self, db):
+        db.execute("CREATE TABLE t (k VARCHAR, v INT)")
+        db.execute("INSERT INTO t VALUES ('a', 1), (NULL, 2), (NULL, 3)")
+        rows = dict(db.execute("SELECT k, SUM(v) FROM t GROUP BY k").rows)
+        assert rows == {"a": 1, None: 5}
+
+    def test_aggregate_expression(self, people_db):
+        value = people_db.execute("SELECT SUM(age) / COUNT(age) FROM person").scalar()
+        assert value == 58  # integer division
+
+    def test_expression_inside_aggregate(self, people_db):
+        value = people_db.execute("SELECT SUM(age * 2) FROM person").scalar()
+        assert value == 468
+
+    def test_group_expr_referenced_in_select(self, people_db):
+        rows = people_db.execute(
+            "SELECT UPPER(city), COUNT(*) FROM person GROUP BY UPPER(city) "
+            "ORDER BY UPPER(city) LIMIT 1"
+        ).rows
+        assert rows == [("AUSTIN", 1)]
+
+    def test_non_grouped_column_rejected(self, people_db):
+        with pytest.raises(SqlSyntaxError):
+            people_db.execute("SELECT name, COUNT(*) FROM person GROUP BY city")
+
+    def test_having_without_group_rejected(self, people_db):
+        with pytest.raises(SqlSyntaxError):
+            people_db.execute("SELECT name FROM person HAVING name = 'x'")
+
+    def test_sum_non_numeric_raises(self, people_db):
+        with pytest.raises(ExecutionError):
+            people_db.execute("SELECT SUM(name) FROM person")
+
+    def test_order_by_aggregate(self, people_db):
+        rows = people_db.execute(
+            "SELECT city, COUNT(*) FROM person GROUP BY city ORDER BY COUNT(*) DESC, city"
+        ).rows
+        assert rows[0] == ("london", 2)
+
+    def test_aggregate_over_join(self, people_db):
+        value = people_db.execute(
+            "SELECT COUNT(*) FROM person p JOIN knows k ON p.id = k.src"
+        ).scalar()
+        assert value == 4
+
+    def test_group_by_join_result(self, people_db):
+        rows = people_db.execute(
+            "SELECT p.name, COUNT(*) FROM person p JOIN knows k ON p.id = k.src "
+            "GROUP BY p.name ORDER BY p.name"
+        ).rows
+        assert rows == [("ada", 2), ("alan", 1), ("grace", 1)]

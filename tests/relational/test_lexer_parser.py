@@ -1,0 +1,279 @@
+"""Unit tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.relational import sql_ast as A
+from repro.relational.errors import SqlSyntaxError
+from repro.relational.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Param,
+    UnaryOp,
+)
+from repro.relational.sql_lexer import IDENT, NUMBER, OP, PARAM, STRING, tokenize
+from repro.relational.sql_parser import parse_script, parse_statement
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        tokens = tokenize("SELECT foo FROM bar")
+        assert [t.kind for t in tokens[:-1]] == [IDENT] * 4
+        assert tokens[0].value == "SELECT"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5E-2")
+        values = [t.value for t in tokens if t.kind == NUMBER]
+        assert values == ["1", "2.5", "1e3", "2.5E-2"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"My Table"')
+        assert tokens[0].kind == IDENT
+        assert tokens[0].value == "My Table"
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b <> c || d")
+        ops = [t.value for t in tokens if t.kind == OP]
+        assert ops == ["<=", "<>", "||"]
+
+    def test_params(self):
+        tokens = tokenize("a = ? AND b = ?")
+        assert sum(1 for t in tokens if t.kind == PARAM) == 2
+
+    def test_line_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n, 2")
+        values = [t.value for t in tokens if t.kind == NUMBER]
+        assert values == ["1", "2"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @foo")
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, A.SelectStmt)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_first, A.FromTable)
+        assert stmt.from_first.name == "t"
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0], A.StarItem)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert isinstance(stmt.items[0], A.StarItem)
+        assert stmt.items[0].qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_first.alias == "u"
+
+    def test_where_precedence(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "OR"  # AND binds tighter
+        assert stmt.where.right.op == "AND"
+
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            stmt = parse_statement(f"SELECT * FROM t WHERE a {op} 1")
+            assert stmt.where.op == op
+
+    def test_in_list(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a NOT IN (1)")
+        assert stmt.where.negated is True
+
+    def test_between(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, Between)
+
+    def test_like_and_not_like(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a LIKE 'x%'")
+        assert stmt.where.op == "LIKE"
+        stmt = parse_statement("SELECT * FROM t WHERE a NOT LIKE 'x%'")
+        assert isinstance(stmt.where, UnaryOp)
+
+    def test_is_null(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a IS NULL")
+        assert isinstance(stmt.where, IsNull)
+        stmt = parse_statement("SELECT * FROM t WHERE a IS NOT NULL")
+        assert stmt.where.negated is True
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_limit(self):
+        stmt = parse_statement("SELECT * FROM t ORDER BY a DESC, b LIMIT 10")
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 10
+
+    def test_fetch_first(self):
+        stmt = parse_statement("SELECT * FROM t FETCH FIRST 5 ROWS ONLY")
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        assert [j.kind for j in stmt.joins] == ["INNER", "LEFT"]
+
+    def test_comma_join(self):
+        stmt = parse_statement("SELECT * FROM a, b WHERE a.x = b.x")
+        assert stmt.joins[0].kind == "CROSS"
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement("SELECT * FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.from_first, A.FromSubquery)
+
+    def test_table_function(self):
+        stmt = parse_statement(
+            "SELECT * FROM TABLE(fn('x', 1)) AS f (a INT, b VARCHAR)"
+        )
+        item = stmt.from_first
+        assert isinstance(item, A.FromTableFunction)
+        assert item.func_name == "fn"
+        assert len(item.args) == 2
+        assert [name for name, _t in item.columns] == ["a", "b"]
+
+    def test_as_of(self):
+        stmt = parse_statement(
+            "SELECT * FROM t FOR SYSTEM_TIME AS OF 123.0"
+        )
+        assert stmt.from_first.as_of is not None
+
+    def test_cast(self):
+        stmt = parse_statement("SELECT CAST(a AS VARCHAR) FROM t")
+        assert "CAST" in stmt.items[0].expr.sql()
+
+    def test_params_numbered_in_order(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        conjuncts = [stmt.where.left.right, stmt.where.right.right]
+        assert [p.index for p in conjuncts] == [0, 1]
+
+    def test_functions_and_arithmetic(self):
+        stmt = parse_statement("SELECT UPPER(name), a * 2 + 1 FROM t")
+        assert isinstance(stmt.items[0].expr, FunctionCall)
+        assert stmt.items[1].expr.op == "+"
+
+    def test_unary_minus(self):
+        stmt = parse_statement("SELECT -a FROM t")
+        assert isinstance(stmt.items[0].expr, UnaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t WHERE")
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 1")
+        assert stmt.from_first is None
+
+
+class TestOtherStatements:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, A.InsertStmt)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, A.UpdateStmt)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, A.DeleteStmt)
+
+    def test_create_table_full(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, "
+            "ref INT, FOREIGN KEY (ref) REFERENCES u (id), UNIQUE (name))"
+        )
+        assert isinstance(stmt, A.CreateTableStmt)
+        assert stmt.primary_key == ["id"]
+        assert stmt.columns[1].nullable is False
+        assert stmt.foreign_keys[0].ref_table == "u"
+        assert stmt.unique == [["name"]]
+
+    def test_create_table_table_level_pk(self):
+        stmt = parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_duplicate_pk_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))")
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(stmt, A.CreateViewStmt)
+        stmt = parse_statement("CREATE OR REPLACE VIEW v AS SELECT a FROM t")
+        assert stmt.or_replace is True
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t (a, b)")
+        assert stmt.kind == "hash"
+        stmt = parse_statement("CREATE UNIQUE SORTED INDEX i ON t (a)")
+        assert stmt.kind == "sorted"
+        assert stmt.unique is True
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert stmt.if_exists is True
+        assert parse_statement("DROP VIEW v").kind == "VIEW"
+        assert parse_statement("DROP INDEX i").kind == "INDEX"
+
+    def test_grant_revoke(self):
+        stmt = parse_statement("GRANT SELECT, INSERT ON t TO bob")
+        assert isinstance(stmt, A.GrantStmt)
+        assert stmt.privileges == ["SELECT", "INSERT"]
+        stmt = parse_statement("REVOKE ALL ON t FROM bob")
+        assert isinstance(stmt, A.RevokeStmt)
+
+    def test_transactions(self):
+        for word in ("BEGIN", "COMMIT", "ROLLBACK"):
+            stmt = parse_statement(word)
+            assert isinstance(stmt, A.TransactionStmt)
+            assert stmt.action == word
+
+    def test_script(self):
+        statements = parse_script("SELECT 1; SELECT 2;; SELECT 3")
+        assert len(statements) == 3
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("MERGE INTO t")

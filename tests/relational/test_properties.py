@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the relational engine.
+
+These check engine invariants against a Python-side oracle: whatever
+rows go in must come out, filters must agree with in-Python predicate
+evaluation, and indexes must never change query results.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Database
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=8,
+)
+rows_strategy = st.lists(
+    st.tuples(st.integers(-100, 100), names, st.one_of(st.none(), st.integers(0, 99))),
+    max_size=40,
+)
+
+
+def fresh_table(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (a INT, name VARCHAR, score INT)")
+    if rows:
+        conn = db.connect()
+        conn.insert_rows("t", rows)
+    return db
+
+
+@given(rows_strategy)
+@settings(max_examples=50, deadline=None)
+def test_inserted_rows_come_back(rows):
+    db = fresh_table(rows)
+    result = db.execute("SELECT * FROM t").rows
+    assert sorted(result, key=repr) == sorted(rows, key=repr)
+
+
+@given(rows_strategy, st.integers(-100, 100))
+@settings(max_examples=50, deadline=None)
+def test_filter_matches_python_oracle(rows, threshold):
+    db = fresh_table(rows)
+    result = db.execute("SELECT * FROM t WHERE a > ?", [threshold]).rows
+    expected = [r for r in rows if r[0] > threshold]
+    assert sorted(result, key=repr) == sorted(expected, key=repr)
+
+
+@given(rows_strategy)
+@settings(max_examples=50, deadline=None)
+def test_count_and_sum_match_oracle(rows):
+    db = fresh_table(rows)
+    count = db.execute("SELECT COUNT(*) FROM t").scalar()
+    count_scores = db.execute("SELECT COUNT(score) FROM t").scalar()
+    total = db.execute("SELECT SUM(a) FROM t").scalar()
+    assert count == len(rows)
+    assert count_scores == sum(1 for r in rows if r[2] is not None)
+    assert total == (sum(r[0] for r in rows) if rows else None)
+
+
+@given(rows_strategy, st.integers(-100, 100))
+@settings(max_examples=40, deadline=None)
+def test_index_never_changes_results(rows, probe):
+    db = fresh_table(rows)
+    before = sorted(db.execute("SELECT * FROM t WHERE a = ?", [probe]).rows, key=repr)
+    db.execute("CREATE INDEX idx_a ON t (a)")
+    after = sorted(db.execute("SELECT * FROM t WHERE a = ?", [probe]).rows, key=repr)
+    assert before == after
+
+
+@given(rows_strategy, st.integers(-100, 100), st.integers(-100, 100))
+@settings(max_examples=40, deadline=None)
+def test_sorted_index_range_matches_oracle(rows, low, high):
+    db = fresh_table(rows)
+    db.execute("CREATE SORTED INDEX idx_a ON t (a)")
+    result = db.execute("SELECT a FROM t WHERE a >= ? AND a < ?", [low, high]).rows
+    expected = [(r[0],) for r in rows if low <= r[0] < high]
+    assert sorted(result) == sorted(expected)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_order_by_produces_sorted_output(rows):
+    db = fresh_table(rows)
+    result = db.execute("SELECT a FROM t ORDER BY a").rows
+    values = [r[0] for r in result]
+    assert values == sorted(values)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_group_by_partitions_rows(rows):
+    db = fresh_table(rows)
+    result = db.execute("SELECT a, COUNT(*) FROM t GROUP BY a").rows
+    from collections import Counter
+
+    expected = Counter(r[0] for r in rows)
+    assert dict(result) == dict(expected)
+    # groups partition the table
+    assert sum(count for _a, count in result) == len(rows)
+
+
+@given(rows_strategy, st.data())
+@settings(max_examples=30, deadline=None)
+def test_update_then_rollback_is_identity(rows, data):
+    db = fresh_table(rows)
+    before = sorted(db.execute("SELECT * FROM t").rows, key=repr)
+    conn = db.connect()
+    conn.begin()
+    delta = data.draw(st.integers(-5, 5))
+    conn.execute("UPDATE t SET a = a + ?", [delta])
+    conn.execute("DELETE FROM t WHERE score IS NULL")
+    conn.rollback()
+    after = sorted(db.execute("SELECT * FROM t").rows, key=repr)
+    assert before == after
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=30, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_pk_table_roundtrip_by_key(keys):
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    conn = db.connect()
+    conn.insert_rows("t", [(k, k * 2) for k in keys])
+    for k in keys:
+        assert db.execute("SELECT v FROM t WHERE id = ?", [k]).scalar() == k * 2
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)), max_size=30),
+    st.lists(st.integers(0, 10), max_size=12, unique=True),
+)
+@settings(max_examples=30, deadline=None)
+def test_join_matches_oracle(pairs, left_keys):
+    db = Database()
+    db.execute("CREATE TABLE l (k INT)")
+    db.execute("CREATE TABLE r (k INT, v INT)")
+    conn = db.connect()
+    conn.insert_rows("l", [(k,) for k in left_keys])
+    conn.insert_rows("r", pairs)
+    result = db.execute("SELECT l.k, r.v FROM l JOIN r ON l.k = r.k").rows
+    expected = [(lk, v) for lk in left_keys for (rk, v) in pairs if lk == rk]
+    assert sorted(result) == sorted(expected)

@@ -1,0 +1,167 @@
+"""Integration tests for SELECT execution: filters, projection,
+ordering, limits, null handling, and index-backed access paths."""
+
+import pytest
+
+from repro.relational import CatalogError, Database
+from repro.relational.planner import Planner, TableScanNode
+from repro.relational.sql_parser import parse_statement
+
+
+def scan_nodes(db, sql):
+    plan = Planner(db).plan_select(parse_statement(sql))
+    nodes = []
+    stack = [plan.root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TableScanNode):
+            nodes.append(node)
+        stack.extend(node._children())
+    return nodes
+
+
+class TestBasics:
+    def test_select_star(self, people_db):
+        rows = people_db.execute("SELECT * FROM person").rows
+        assert len(rows) == 5
+        assert len(rows[0]) == 4
+
+    def test_projection_and_alias(self, people_db):
+        result = people_db.execute("SELECT name AS who, age FROM person WHERE id = 1")
+        assert result.columns == ["who", "age"]
+        assert result.rows == [("ada", 36)]
+
+    def test_computed_columns(self, people_db):
+        rows = people_db.execute("SELECT age * 2 FROM person WHERE id = 2").rows
+        assert rows == [(170,)]
+
+    def test_where_equality(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE city = 'london'").rows
+        assert sorted(rows) == [("ada",), ("alan",)]
+
+    def test_where_range(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE age > 50").rows
+        assert sorted(rows) == [("edsger",), ("grace",)]
+
+    def test_where_in(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE id IN (1, 4)").rows
+        assert sorted(rows) == [("ada",), ("edsger",)]
+
+    def test_where_like(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE name LIKE 'a%'").rows
+        assert sorted(rows) == [("ada",), ("alan",)]
+
+    def test_where_between(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE age BETWEEN 36 AND 41").rows
+        assert sorted(rows) == [("ada",), ("alan",)]
+
+    def test_null_excluded_by_comparison(self, people_db):
+        # barbara has NULL age: a comparison never matches, nor does its negation
+        rows = people_db.execute("SELECT name FROM person WHERE age > 0").rows
+        assert ("barbara",) not in rows
+        rows = people_db.execute("SELECT name FROM person WHERE NOT age > 0").rows
+        assert ("barbara",) not in rows
+
+    def test_is_null(self, people_db):
+        rows = people_db.execute("SELECT name FROM person WHERE age IS NULL").rows
+        assert rows == [("barbara",)]
+
+    def test_order_by(self, people_db):
+        rows = people_db.execute("SELECT name FROM person ORDER BY age DESC").rows
+        # NULL sorts first ascending -> last when descending? our rule: None first, then reversed
+        names = [r[0] for r in rows]
+        assert names.index("grace") < names.index("edsger") < names.index("alan")
+
+    def test_order_by_alias(self, people_db):
+        rows = people_db.execute(
+            "SELECT name, age AS years FROM person WHERE age IS NOT NULL ORDER BY years"
+        ).rows
+        assert [r[0] for r in rows] == ["ada", "alan", "edsger", "grace"]
+
+    def test_limit(self, people_db):
+        rows = people_db.execute("SELECT name FROM person ORDER BY name LIMIT 2").rows
+        assert rows == [("ada",), ("alan",)]
+
+    def test_distinct(self, people_db):
+        rows = people_db.execute("SELECT DISTINCT city FROM person").rows
+        assert len(rows) == 4
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").rows == [(3,)]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM missing")
+
+    def test_unknown_column(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute("SELECT nope FROM person")
+
+    def test_ambiguous_column(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute(
+                "SELECT src FROM knows k1, knows k2 WHERE k1.src = k2.dst"
+            )
+
+    def test_scalar_functions(self, people_db):
+        rows = people_db.execute(
+            "SELECT UPPER(name), LENGTH(city) FROM person WHERE id = 1"
+        ).rows
+        assert rows == [("ADA", 6)]
+
+    def test_coalesce(self, people_db):
+        rows = people_db.execute(
+            "SELECT COALESCE(age, -1) FROM person WHERE name = 'barbara'"
+        ).rows
+        assert rows == [(-1,)]
+
+    def test_concat_operator(self, people_db):
+        rows = people_db.execute(
+            "SELECT name || '@' || city FROM person WHERE id = 1"
+        ).rows
+        assert rows == [("ada@london",)]
+
+    def test_subquery_in_from(self, people_db):
+        rows = people_db.execute(
+            "SELECT who FROM (SELECT name AS who, age FROM person WHERE age > 40) AS s "
+            "WHERE s.age < 80"
+        ).rows
+        assert sorted(rows) == [("alan",), ("edsger",)]
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index(self, people_db):
+        nodes = scan_nodes(people_db, "SELECT * FROM person WHERE id = 3")
+        assert nodes[0]._access_path == "index_eq"
+
+    def test_in_list_uses_index(self, people_db):
+        nodes = scan_nodes(people_db, "SELECT * FROM person WHERE id IN (1, 2)")
+        assert nodes[0]._access_path == "index_in"
+
+    def test_non_indexed_column_scans(self, people_db):
+        nodes = scan_nodes(people_db, "SELECT * FROM person WHERE city = 'nyc'")
+        assert nodes[0]._access_path == "scan"
+
+    def test_secondary_index_picked_up(self, people_db):
+        people_db.execute("CREATE INDEX idx_city ON person (city)")
+        nodes = scan_nodes(people_db, "SELECT * FROM person WHERE city = 'nyc'")
+        assert nodes[0]._access_path == "index_eq"
+
+    def test_sorted_index_range(self, people_db):
+        people_db.execute("CREATE SORTED INDEX idx_age ON person (age)")
+        nodes = scan_nodes(people_db, "SELECT * FROM person WHERE age > 40")
+        assert nodes[0]._access_path == "index_range"
+        rows = people_db.execute("SELECT name FROM person WHERE age > 40").rows
+        assert sorted(rows) == [("alan",), ("edsger",), ("grace",)]
+
+    def test_index_results_match_scan(self, people_db):
+        with_scan = people_db.execute("SELECT * FROM person WHERE city = 'london'").rows
+        people_db.execute("CREATE INDEX idx_city2 ON person (city)")
+        with_index = people_db.execute("SELECT * FROM person WHERE city = 'london'").rows
+        assert sorted(with_scan) == sorted(with_index)
+
+    def test_explain_mentions_access_path(self, people_db):
+        plan = Planner(people_db).plan_select(
+            parse_statement("SELECT * FROM person WHERE id = 1")
+        )
+        assert "index_eq" in plan.root.explain()

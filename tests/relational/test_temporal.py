@@ -1,0 +1,109 @@
+"""System-time temporal (`FOR SYSTEM_TIME AS OF`) tests."""
+
+import pytest
+
+from repro.relational import Database
+from repro.common.clock import ManualClock
+
+
+@pytest.fixture
+def tdb():
+    clock = ManualClock(1000.0)
+    db = Database(clock=clock)
+    db.execute("CREATE TABLE doc (id INT PRIMARY KEY, body VARCHAR)")
+    db.execute("INSERT INTO doc VALUES (1, 'v1')")
+    clock.advance(10)  # t=1010
+    db.execute("UPDATE doc SET body = 'v2' WHERE id = 1")
+    clock.advance(10)  # t=1020
+    db.execute("UPDATE doc SET body = 'v3' WHERE id = 1")
+    return db, clock
+
+
+def test_current_query_sees_latest(tdb):
+    db, _clock = tdb
+    assert db.execute("SELECT body FROM doc").rows == [("v3",)]
+
+
+def test_as_of_each_epoch(tdb):
+    db, _clock = tdb
+    assert db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF 1005.0").rows == [("v1",)]
+    assert db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF 1015.0").rows == [("v2",)]
+    assert db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF 1025.0").rows == [("v3",)]
+
+
+def test_as_of_before_creation_is_empty(tdb):
+    db, _clock = tdb
+    assert db.execute("SELECT * FROM doc FOR SYSTEM_TIME AS OF 999.0").rows == []
+
+
+def test_as_of_boundary_is_inclusive_of_begin(tdb):
+    db, _clock = tdb
+    # version v2 begins exactly at t=1010
+    assert db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF 1010.0").rows == [("v2",)]
+
+
+def test_deleted_row_visible_in_history(tdb):
+    db, clock = tdb
+    clock.advance(10)  # t=1030
+    db.execute("DELETE FROM doc WHERE id = 1")
+    assert db.execute("SELECT * FROM doc").rows == []
+    assert db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF 1025.0").rows == [("v3",)]
+
+
+def test_as_of_with_parameter(tdb):
+    db, _clock = tdb
+    rows = db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF ?", [1015.0]).rows
+    assert rows == [("v2",)]
+
+
+def test_as_of_with_index_lookup(tdb):
+    db, _clock = tdb
+    rows = db.execute(
+        "SELECT body FROM doc FOR SYSTEM_TIME AS OF 1005.0 WHERE id = 1"
+    ).rows
+    assert rows == [("v1",)]
+
+
+def test_as_of_join_between_epochs():
+    clock = ManualClock(0.0)
+    db = Database(clock=clock)
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, v VARCHAR)")
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, a_id INT)")
+    db.execute("INSERT INTO a VALUES (1, 'old')")
+    db.execute("INSERT INTO b VALUES (10, 1)")
+    clock.advance(100)
+    db.execute("UPDATE a SET v = 'new' WHERE id = 1")
+    rows = db.execute(
+        "SELECT a.v FROM a FOR SYSTEM_TIME AS OF 50.0 JOIN b ON a.id = b.a_id"
+    ).rows
+    assert rows == [("old",)]
+
+
+def test_uncommitted_changes_not_in_history(tdb):
+    db, clock = tdb
+    conn = db.connect()
+    conn.begin()
+    conn.execute("UPDATE doc SET body = 'draft' WHERE id = 1")
+    # temporal reads only committed history
+    rows = db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF ?", [clock.now()]).rows
+    assert rows == [("v3",)]
+    conn.rollback()
+
+
+def test_rolled_back_version_never_appears(tdb):
+    db, clock = tdb
+    conn = db.connect()
+    conn.begin()
+    conn.execute("UPDATE doc SET body = 'phantom' WHERE id = 1")
+    conn.rollback()
+    clock.advance(10)
+    rows = db.execute("SELECT body FROM doc FOR SYSTEM_TIME AS OF ?", [clock.now()]).rows
+    assert rows == [("v3",)]
+
+
+def test_csn_as_of_mapping(tdb):
+    db, _clock = tdb
+    manager = db.txn_manager
+    assert manager.csn_as_of(999.0) == 0
+    assert manager.csn_as_of(1000.0) >= 1
+    assert manager.csn_as_of(2000.0) == manager.current_csn()

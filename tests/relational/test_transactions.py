@@ -1,0 +1,192 @@
+"""Integration tests for transactions: atomicity, isolation,
+visibility, write-write conflicts, and lock behaviour."""
+
+import threading
+
+import pytest
+
+from repro.relational import (
+    ConstraintViolationError,
+    Database,
+    LockTimeoutError,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def txn_db(db):
+    db.execute("CREATE TABLE acct (id INT PRIMARY KEY, balance INT)")
+    db.execute("INSERT INTO acct VALUES (1, 100), (2, 50)")
+    return db
+
+
+class TestBasics:
+    def test_commit_makes_writes_visible(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        conn.commit()
+        assert txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 0
+
+    def test_rollback_discards_writes(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+        conn.execute("INSERT INTO acct VALUES (3, 10)")
+        conn.rollback()
+        assert txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 100
+        assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 2
+
+    def test_rollback_of_delete(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("DELETE FROM acct WHERE id = 2")
+        assert conn.execute("SELECT COUNT(*) FROM acct").scalar() == 1
+        conn.rollback()
+        assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 2
+
+    def test_sql_transaction_statements(self, txn_db):
+        conn = txn_db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO acct VALUES (3, 1)")
+        conn.execute("ROLLBACK")
+        assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 2
+
+    def test_double_begin_rejected(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        with pytest.raises(TransactionError):
+            conn.begin()
+
+    def test_commit_without_begin_rejected(self, txn_db):
+        with pytest.raises(TransactionError):
+            txn_db.connect().commit()
+
+
+class TestIsolation:
+    def test_uncommitted_writes_invisible_to_others(self, txn_db):
+        writer = txn_db.connect()
+        writer.begin()
+        writer.execute("UPDATE acct SET balance = 999 WHERE id = 1")
+        # a concurrent reader does not block and sees the old value
+        assert txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 100
+        writer.commit()
+        assert txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 999
+
+    def test_own_writes_visible(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("INSERT INTO acct VALUES (3, 7)")
+        assert conn.execute("SELECT COUNT(*) FROM acct").scalar() == 3
+
+    def test_read_committed_between_statements(self, txn_db):
+        reader = txn_db.connect()
+        reader.begin()
+        assert reader.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 100
+        txn_db.execute("UPDATE acct SET balance = 42 WHERE id = 1")
+        # next statement refreshes the snapshot (READ COMMITTED)
+        assert reader.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 42
+        reader.commit()
+
+    def test_readers_never_block_on_writers(self, txn_db):
+        writer = txn_db.connect()
+        writer.begin()
+        writer.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        results = []
+
+        def read():
+            results.append(
+                txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar()
+            )
+
+        thread = threading.Thread(target=read)
+        thread.start()
+        thread.join(timeout=2)
+        assert not thread.is_alive(), "reader must not block behind the writer"
+        assert results == [100]
+        writer.rollback()
+
+
+class TestWriteConflicts:
+    def test_writers_block_each_other_per_table(self, txn_db):
+        first = txn_db.connect()
+        first.begin()
+        first.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+
+        second = txn_db.connect()
+        second.begin()
+        # shrink the lock timeout to keep the test fast
+        txn_db.catalog.get_table("acct").lock.timeout = 0.2
+        with pytest.raises(LockTimeoutError):
+            second.execute("UPDATE acct SET balance = 2 WHERE id = 2")
+        second.rollback()
+        first.commit()
+
+    def test_writes_to_different_tables_do_not_conflict(self, txn_db):
+        txn_db.execute("CREATE TABLE other (x INT)")
+        first = txn_db.connect()
+        first.begin()
+        first.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        second = txn_db.connect()
+        second.begin()
+        second.execute("INSERT INTO other VALUES (1)")  # no blocking
+        second.commit()
+        first.commit()
+
+    def test_lock_released_after_commit(self, txn_db):
+        first = txn_db.connect()
+        first.begin()
+        first.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        first.commit()
+        txn_db.execute("UPDATE acct SET balance = 2 WHERE id = 1")  # no timeout
+
+    def test_lock_released_after_rollback(self, txn_db):
+        first = txn_db.connect()
+        first.begin()
+        first.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+        first.rollback()
+        txn_db.execute("UPDATE acct SET balance = 2 WHERE id = 1")
+
+
+class TestAtomicity:
+    def test_multi_table_transaction(self, txn_db):
+        txn_db.execute("CREATE TABLE audit (note VARCHAR)")
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("UPDATE acct SET balance = balance - 10 WHERE id = 1")
+        conn.execute("UPDATE acct SET balance = balance + 10 WHERE id = 2")
+        conn.execute("INSERT INTO audit VALUES ('transfer 10')")
+        conn.rollback()
+        assert txn_db.execute("SELECT balance FROM acct WHERE id = 1").scalar() == 100
+        assert txn_db.execute("SELECT COUNT(*) FROM audit").scalar() == 0
+
+    def test_constraint_failure_inside_txn_leaves_txn_usable(self, txn_db):
+        conn = txn_db.connect()
+        conn.begin()
+        conn.execute("INSERT INTO acct VALUES (3, 1)")
+        with pytest.raises(ConstraintViolationError):
+            conn.execute("INSERT INTO acct VALUES (3, 2)")  # dup PK
+        conn.commit()
+        # the first insert survives; the failed statement does not
+        assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 3
+
+    def test_concurrent_inserts_from_many_threads(self, txn_db):
+        errors = []
+
+        def insert(start):
+            try:
+                conn = txn_db.connect()
+                for i in range(20):
+                    conn.execute("INSERT INTO acct VALUES (?, ?)", [start + i, 0])
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=insert, args=(100 + t * 100,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 82

@@ -1,0 +1,155 @@
+"""Unit tests for the SQL type system."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational.errors import TypeMismatchError
+from repro.relational.types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    TIMESTAMP,
+    VARCHAR,
+    VarcharType,
+    type_from_name,
+)
+
+
+class TestInteger:
+    def test_accepts_int(self):
+        assert INTEGER.coerce(42) == 42
+
+    def test_accepts_integral_float(self):
+        assert INTEGER.coerce(42.0) == 42
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(42.5)
+
+    def test_accepts_numeric_string(self):
+        assert INTEGER.coerce("17") == 17
+
+    def test_rejects_non_numeric_string(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce("hello")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(True)
+
+    def test_null_passthrough(self):
+        assert INTEGER.coerce(None) is None
+
+    @given(st.integers())
+    def test_property_roundtrip(self, value):
+        assert INTEGER.coerce(value) == value
+
+
+class TestDouble:
+    def test_accepts_int_and_float(self):
+        assert DOUBLE.coerce(2) == 2.0
+        assert DOUBLE.coerce(2.5) == 2.5
+
+    def test_accepts_numeric_string(self):
+        assert DOUBLE.coerce("3.14") == pytest.approx(3.14)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            DOUBLE.coerce(False)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_property_roundtrip(self, value):
+        assert DOUBLE.coerce(value) == value
+
+
+class TestVarchar:
+    def test_accepts_str(self):
+        assert VARCHAR.coerce("hi") == "hi"
+
+    def test_stringifies_numbers(self):
+        assert VARCHAR.coerce(5) == "5"
+
+    def test_length_limit_enforced(self):
+        limited = VarcharType(3)
+        assert limited.coerce("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            limited.coerce("abcd")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR.coerce(True)
+
+    def test_name_includes_length(self):
+        assert VarcharType(10).name == "VARCHAR(10)"
+        assert VARCHAR.name == "VARCHAR"
+
+
+class TestBoolean:
+    def test_accepts_bool(self):
+        assert BOOLEAN.coerce(True) is True
+
+    def test_accepts_zero_one(self):
+        assert BOOLEAN.coerce(1) is True
+        assert BOOLEAN.coerce(0) is False
+
+    def test_accepts_true_false_strings(self):
+        assert BOOLEAN.coerce("true") is True
+        assert BOOLEAN.coerce("FALSE") is False
+
+    def test_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.coerce(2)
+
+
+class TestTimestamp:
+    def test_accepts_epoch_float(self):
+        assert TIMESTAMP.coerce(1234.5) == 1234.5
+
+    def test_accepts_datetime(self):
+        dt = datetime.datetime(2020, 6, 14, 12, 0, 0)
+        assert TIMESTAMP.coerce(dt) == dt.timestamp()
+
+    def test_accepts_iso_string(self):
+        value = TIMESTAMP.coerce("2020-06-14T12:00:00")
+        assert value == datetime.datetime(2020, 6, 14, 12, 0, 0).timestamp()
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.coerce("not a date")
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", INTEGER),
+            ("integer", INTEGER),
+            ("BIGINT", BIGINT),
+            ("LONG", BIGINT),
+            ("DOUBLE", DOUBLE),
+            ("FLOAT", DOUBLE),
+            ("VARCHAR", VARCHAR),
+            ("string", VARCHAR),
+            ("BOOLEAN", BOOLEAN),
+            ("TIMESTAMP", TIMESTAMP),
+        ],
+    )
+    def test_known_names(self, name, expected):
+        assert type_from_name(name) == expected
+
+    def test_varchar_with_length(self):
+        resolved = type_from_name("VARCHAR", 12)
+        assert isinstance(resolved, VarcharType)
+        assert resolved.length == 12
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("BLOB")
+
+    def test_equality_and_hash(self):
+        assert VarcharType(5) == VarcharType(5)
+        assert VarcharType(5) != VarcharType(6)
+        assert hash(VarcharType(5)) == hash(VarcharType(5))

@@ -1,0 +1,148 @@
+"""Tests for UNION [ALL], IN (subquery), and EXISTS."""
+
+import pytest
+
+from repro.relational import Database, ExecutionError, SqlSyntaxError
+
+
+@pytest.fixture
+def two_tables(db):
+    db.execute("CREATE TABLE a (x INT, tag VARCHAR)")
+    db.execute("CREATE TABLE b (x INT, tag VARCHAR)")
+    db.execute("INSERT INTO a VALUES (1, 'a1'), (2, 'a2'), (2, 'a2')")
+    db.execute("INSERT INTO b VALUES (2, 'a2'), (3, 'b3')")
+    return db
+
+
+class TestUnion:
+    def test_union_dedups(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x"
+        ).rows
+        assert rows == [(1,), (2,), (3,)]
+
+    def test_union_all_keeps_duplicates(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION ALL SELECT x FROM b"
+        ).rows
+        assert sorted(rows) == [(1,), (2,), (2,), (2,), (3,)]
+
+    def test_union_dedups_across_full_row(self, two_tables):
+        rows = two_tables.execute("SELECT x, tag FROM a UNION SELECT x, tag FROM b").rows
+        assert len(rows) == 3  # (2,'a2') collapses
+
+    def test_three_way_union(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b UNION SELECT x + 10 FROM a"
+        ).rows
+        assert sorted(rows) == [(1,), (2,), (3,), (11,), (12,)]
+
+    def test_order_and_limit_apply_to_whole(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2"
+        ).rows
+        assert rows == [(3,), (2,)]
+
+    def test_column_names_from_first_branch(self, two_tables):
+        result = two_tables.execute("SELECT x AS left_x FROM a UNION SELECT x FROM b")
+        assert result.columns == ["left_x"]
+
+    def test_arity_mismatch_rejected(self, two_tables):
+        with pytest.raises(SqlSyntaxError):
+            two_tables.execute("SELECT x FROM a UNION SELECT x, tag FROM b")
+
+    def test_union_in_view(self, two_tables):
+        two_tables.execute("CREATE VIEW u AS SELECT x FROM a UNION SELECT x FROM b")
+        assert two_tables.execute("SELECT COUNT(*) FROM u").scalar() == 3
+
+    def test_union_in_from_subquery(self, two_tables):
+        value = two_tables.execute(
+            "SELECT SUM(x) FROM (SELECT x FROM a UNION ALL SELECT x FROM b) AS s"
+        ).scalar()
+        assert value == 10
+
+    def test_union_with_params(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a WHERE x = ? UNION SELECT x FROM b WHERE x = ?",
+            [1, 3],
+        ).rows
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_prepared_union(self, two_tables):
+        conn = two_tables.connect()
+        ps = conn.prepare("SELECT x FROM a WHERE x = ? UNION SELECT x FROM b WHERE x = ?")
+        assert sorted(ps.execute(conn, [1, 3]).rows) == [(1,), (3,)]
+        assert sorted(ps.execute(conn, [2, 2]).rows) == [(2,)]
+
+    def test_mixed_union_all_is_distinct_overall(self, two_tables):
+        # SQL-simplified semantics here: any non-ALL union dedups the result
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION ALL SELECT x FROM a UNION SELECT x FROM b"
+        ).rows
+        assert sorted(rows) == [(1,), (2,), (3,)]
+
+
+class TestInSubquery:
+    def test_in_subquery(self, two_tables):
+        rows = two_tables.execute("SELECT x FROM a WHERE x IN (SELECT x FROM b)").rows
+        assert sorted(rows) == [(2,), (2,)]
+
+    def test_not_in_subquery(self, two_tables):
+        rows = two_tables.execute("SELECT x FROM a WHERE x NOT IN (SELECT x FROM b)").rows
+        assert rows == [(1,)]
+
+    def test_not_in_with_null_in_subquery_is_unknown(self, two_tables):
+        two_tables.execute("INSERT INTO b VALUES (NULL, 'n')")
+        rows = two_tables.execute("SELECT x FROM a WHERE x NOT IN (SELECT x FROM b)").rows
+        assert rows == []  # classic SQL NOT IN + NULL trap
+
+    def test_in_subquery_empty(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a WHERE x IN (SELECT x FROM b WHERE x > 100)"
+        ).rows
+        assert rows == []
+
+    def test_in_subquery_multi_column_rejected(self, two_tables):
+        with pytest.raises(ExecutionError):
+            two_tables.execute("SELECT x FROM a WHERE x IN (SELECT x, tag FROM b)")
+
+    def test_in_subquery_with_params(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a WHERE x IN (SELECT x FROM b WHERE tag = ?)", ["a2"]
+        ).rows
+        assert sorted(rows) == [(2,), (2,)]
+
+    def test_subquery_respects_grants(self, two_tables):
+        two_tables.execute("GRANT SELECT ON a TO eve")
+        from repro.relational import AccessDeniedError
+
+        with pytest.raises(AccessDeniedError):
+            two_tables.connect("eve").execute(
+                "SELECT x FROM a WHERE x IN (SELECT x FROM b)"
+            )
+
+
+class TestExists:
+    def test_exists_true(self, two_tables):
+        value = two_tables.execute(
+            "SELECT COUNT(*) FROM a WHERE EXISTS (SELECT 1 FROM b WHERE x = 3)"
+        ).scalar()
+        assert value == 3
+
+    def test_exists_false(self, two_tables):
+        value = two_tables.execute(
+            "SELECT COUNT(*) FROM a WHERE EXISTS (SELECT 1 FROM b WHERE x = 99)"
+        ).scalar()
+        assert value == 0
+
+    def test_not_exists(self, two_tables):
+        value = two_tables.execute(
+            "SELECT COUNT(*) FROM a WHERE NOT EXISTS (SELECT 1 FROM b WHERE x = 99)"
+        ).scalar()
+        assert value == 3
+
+    def test_exists_evaluated_once_per_statement(self, two_tables):
+        # subquery results are cached on the execution context
+        stmts_before = two_tables.statements_executed
+        two_tables.execute("SELECT x FROM a WHERE EXISTS (SELECT 1 FROM b)")
+        assert two_tables.statements_executed == stmts_before + 1

@@ -1,0 +1,130 @@
+"""Unit tests for three-valued logic and SQL operators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.relational import values as V
+from repro.relational.errors import ExecutionError
+
+
+class TestComparisons:
+    def test_eq_basics(self):
+        assert V.sql_eq(1, 1) is True
+        assert V.sql_eq(1, 2) is False
+        assert V.sql_eq("a", "a") is True
+
+    def test_eq_int_float(self):
+        assert V.sql_eq(1, 1.0) is True
+
+    def test_null_propagates_unknown(self):
+        for func in (V.sql_eq, V.sql_ne, V.sql_lt, V.sql_le, V.sql_gt, V.sql_ge):
+            assert func(None, 1) is None
+            assert func(1, None) is None
+            assert func(None, None) is None
+
+    def test_ordering(self):
+        assert V.sql_lt(1, 2) is True
+        assert V.sql_le(2, 2) is True
+        assert V.sql_gt(3, 2) is True
+        assert V.sql_ge(2, 3) is False
+
+    def test_string_ordering(self):
+        assert V.sql_lt("apple", "banana") is True
+
+    def test_cross_type_comparison_raises(self):
+        with pytest.raises(ExecutionError):
+            V.sql_lt(1, "a")
+
+    def test_bool_vs_int_comparison_raises(self):
+        with pytest.raises(ExecutionError):
+            V._compare(True, 1)
+
+
+class TestBooleanLogic:
+    def test_and_truth_table(self):
+        assert V.sql_and(True, True) is True
+        assert V.sql_and(True, False) is False
+        assert V.sql_and(False, None) is False  # False dominates UNKNOWN
+        assert V.sql_and(True, None) is None
+        assert V.sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert V.sql_or(False, False) is False
+        assert V.sql_or(True, None) is True  # True dominates UNKNOWN
+        assert V.sql_or(False, None) is None
+        assert V.sql_or(None, None) is None
+
+    def test_not(self):
+        assert V.sql_not(True) is False
+        assert V.sql_not(False) is True
+        assert V.sql_not(None) is None
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_property_de_morgan(self, a, b):
+        assert V.sql_not(V.sql_and(a, b)) == V.sql_or(V.sql_not(a), V.sql_not(b))
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert V.sql_like("hello", "he%") is True
+        assert V.sql_like("hello", "%lo") is True
+        assert V.sql_like("hello", "%ell%") is True
+        assert V.sql_like("hello", "x%") is False
+
+    def test_underscore_wildcard(self):
+        assert V.sql_like("cat", "c_t") is True
+        assert V.sql_like("cart", "c_t") is False
+
+    def test_regex_metacharacters_are_literal(self):
+        assert V.sql_like("a.b", "a.b") is True
+        assert V.sql_like("axb", "a.b") is False
+
+    def test_null_is_unknown(self):
+        assert V.sql_like(None, "a%") is None
+        assert V.sql_like("a", None) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(ExecutionError):
+            V.sql_like(1, "%")
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        assert V.sql_add(2, 3) == 5
+        assert V.sql_sub(5, 3) == 2
+        assert V.sql_mul(4, 3) == 12
+
+    def test_null_propagates(self):
+        assert V.sql_add(None, 1) is None
+        assert V.sql_div(1, None) is None
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert V.sql_div(7, 2) == 3
+        assert V.sql_div(-7, 2) == -3
+
+    def test_float_division(self):
+        assert V.sql_div(7.0, 2) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            V.sql_div(1, 0)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExecutionError):
+            V.sql_add("a", 1)
+        with pytest.raises(ExecutionError):
+            V.sql_mul(True, 2)
+
+    def test_concat(self):
+        assert V.sql_concat("a", "b") == "ab"
+        assert V.sql_concat("a", 1) == "a1"
+        assert V.sql_concat(None, "b") is None
+        assert V.sql_concat(True, "!") == "TRUE!"
+
+    @given(st.integers(), st.integers(min_value=1))
+    def test_property_division_identity(self, a, b):
+        q = V.sql_div(a, b)
+        r = a - q * b
+        assert abs(r) < b
+        # truncation toward zero: remainder has the dividend's sign
+        assert r == 0 or (r > 0) == (a > 0)

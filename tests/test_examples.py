@@ -1,0 +1,75 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public surface; these tests keep them from
+rotting as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180, stdin: str = "") -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "ada knows: ['grace', 'alan']" in out
+    assert "barbara" in out  # the live-update section ran
+
+
+def test_healthcare_synergy():
+    out = run_example("healthcare_synergy.py")
+    assert "patients with similar diseases" in out
+    assert "address now: 'moved away'" in out
+
+
+def test_fraud_detection():
+    out = run_example("fraud_detection.py")
+    assert "recovered 4/4 planted rings" in out
+    assert "top recipients" in out
+
+
+def test_auto_overlay_police():
+    out = run_example("auto_overlay_police.py")
+    assert "AutoOverlay generated configuration" in out
+    assert "gangs connected to arrests" in out
+
+
+def test_temporal_and_views():
+    out = run_example("temporal_and_views.py")
+    assert "patient 1 served by: ['clinic-A']" in out
+    assert "after deleting doc-10's employment: []" in out
+    assert "the graph history is preserved" in out
+
+
+def test_gremlin_console_scripted():
+    stdin = (
+        "g.V().hasLabel('patient').count().next()\n"
+        "\\sql SELECT COUNT(*) FROM Patient\n"
+        "\\topology\n"
+        "\\quit\n"
+    )
+    out = run_example("gremlin_console.py", stdin=stdin)
+    assert "50" in out
+    assert "Topology:" in out
+
+
+@pytest.mark.slow
+def test_linkbench_comparison():
+    out = run_example("linkbench_comparison.py", timeout=300)
+    assert "0 disagreements" in out
+    assert "getLinkList" in out
