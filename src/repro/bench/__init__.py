@@ -5,7 +5,7 @@ table/series reporting."""
 
 from .harness import EngineUnderTest, LatencyResult, measure_latency, build_engines
 from .concurrency import ThroughputResult, measure_throughput, modelled_throughput
-from .reporting import format_table, format_bytes, format_seconds
+from .reporting import format_table, format_bytes, format_seconds, format_phase_breakdown
 
 __all__ = [
     "EngineUnderTest",
@@ -18,4 +18,5 @@ __all__ = [
     "format_table",
     "format_bytes",
     "format_seconds",
+    "format_phase_breakdown",
 ]

@@ -18,6 +18,7 @@ from ..baselines.janus import JanusLikeStore
 from ..baselines.kvstore import DiskModel
 from ..baselines.native import NativeGraphStore
 from ..core.db2graph import Db2Graph
+from ..obs import metrics as M
 from ..graph.traversal import GraphTraversalSource
 from ..relational.database import Database
 from ..workloads.linkbench import LinkBenchConfig, LinkBenchDataset, LinkBenchWorkload
@@ -129,6 +130,15 @@ def _relational_serial_seconds(database: Database) -> float:
     return total
 
 
+# Phase labels -> MetricsRegistry histogram names (SQL Dialect lifecycle:
+# Gremlin step -> SQL text, engine execution, row -> graph element).
+PHASE_METRICS = {
+    "translate": M.PHASE_TRANSLATE,
+    "execute": M.PHASE_EXECUTE,
+    "materialize": M.PHASE_MATERIALIZE,
+}
+
+
 @dataclass
 class LatencyResult:
     engine: str
@@ -137,6 +147,9 @@ class LatencyResult:
     p50_seconds: float
     p95_seconds: float
     samples: int
+    # Aggregate seconds spent per SQL-dialect phase across the measured
+    # iterations (Db2 Graph only, populated by measure_latency(phases=True)).
+    phases: dict[str, float] | None = None
 
     @property
     def mean_ms(self) -> float:
@@ -149,16 +162,32 @@ def measure_latency(
     kind: str,
     iterations: int = 200,
     warmup: int = 20,
+    phases: bool = False,
 ) -> LatencyResult:
+    graph = engine.raw if isinstance(engine.raw, Db2Graph) else None
     calls = [workload.sample(kind) for _ in range(warmup + iterations)]
     for call in calls[:warmup]:
         call.run(engine.traversal())
+    phase_before: dict[str, float] = {}
+    if phases and graph is not None:
+        graph.enable_phase_timing()
+        phase_before = {
+            label: graph.registry.histogram(name).total
+            for label, name in PHASE_METRICS.items()
+        }
     timings: list[float] = []
     for call in calls[warmup:]:
         g = engine.traversal()
         start = time.perf_counter()
         call.run(g)
         timings.append(time.perf_counter() - start)
+    phase_totals: dict[str, float] | None = None
+    if phases and graph is not None:
+        phase_totals = {
+            label: graph.registry.histogram(name).total - phase_before[label]
+            for label, name in PHASE_METRICS.items()
+        }
+        graph.enable_phase_timing(False)
     timings.sort()
     return LatencyResult(
         engine=engine.name,
@@ -167,6 +196,7 @@ def measure_latency(
         p50_seconds=timings[len(timings) // 2],
         p95_seconds=timings[int(len(timings) * 0.95)],
         samples=len(timings),
+        phases=phase_totals,
     )
 
 

@@ -44,3 +44,33 @@ def format_ratio(a: float, b: float) -> str:
     if b == 0:
         return "n/a"
     return f"{a / b:.2f}x"
+
+
+def format_phase_breakdown(
+    results: Sequence[Any], title: str = "SQL dialect phase breakdown"
+) -> str:
+    """Render translate/execute/materialize totals from LatencyResults
+    measured with ``measure_latency(..., phases=True)``.
+
+    Each phase column shows aggregate seconds over the measured
+    iterations plus its share of the summed phase time; ``sql share``
+    is the fraction of end-to-end latency spent inside the SQL dialect
+    at all (the remainder is traversal machinery)."""
+    rows: list[list[str]] = []
+    for r in results:
+        phases = getattr(r, "phases", None)
+        if not phases:
+            continue
+        phase_sum = sum(phases.values())
+        wall = r.mean_seconds * r.samples
+        cells = [r.engine, r.query]
+        for label in ("translate", "execute", "materialize"):
+            seconds = phases.get(label, 0.0)
+            share = seconds / phase_sum if phase_sum else 0.0
+            cells.append(f"{format_seconds(seconds)} ({share:.0%})")
+        cells.append(f"{phase_sum / wall:.0%}" if wall else "n/a")
+        rows.append(cells)
+    if not rows:
+        return f"{title}\n(no phase data — run measure_latency(phases=True))"
+    headers = ["engine", "query", "translate", "execute", "materialize", "sql share"]
+    return format_table(headers, rows, title=title)

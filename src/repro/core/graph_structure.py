@@ -27,6 +27,10 @@ from typing import Any, Iterator, Mapping, Sequence
 
 from ..graph.model import Direction, Edge, GraphProvider, Pushdown, Vertex
 from ..graph.predicates import P
+from ..obs import metrics as M
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceRecorder
 from .sql_dialect import SqlDialect, SqlPredicate, predicate_to_sql
 from .topology import EdgeTopology, Topology, VertexTopology
 
@@ -49,22 +53,69 @@ class RuntimeOptimizations:
         return cls(False, False, False, False, False, False)
 
 
-@dataclass
 class StructureStats:
-    """Observability for tests and ablation benches."""
+    """Observability for tests and ablation benches — a facade over the
+    shared :class:`MetricsRegistry` that keeps the historical attribute
+    names (and ``+= 1`` call sites) intact."""
 
-    vertex_table_queries: int = 0
-    edge_table_queries: int = 0
-    tables_eliminated: int = 0
-    vertices_from_edges: int = 0
-    lazy_vertices: int = 0
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def vertex_table_queries(self) -> int:
+        return self.registry.counter(M.VERTEX_TABLE_QUERIES).value
+
+    @vertex_table_queries.setter
+    def vertex_table_queries(self, value: int) -> None:
+        self.registry.counter(M.VERTEX_TABLE_QUERIES).value = value
+
+    @property
+    def edge_table_queries(self) -> int:
+        return self.registry.counter(M.EDGE_TABLE_QUERIES).value
+
+    @edge_table_queries.setter
+    def edge_table_queries(self, value: int) -> None:
+        self.registry.counter(M.EDGE_TABLE_QUERIES).value = value
+
+    @property
+    def tables_eliminated(self) -> int:
+        return self.registry.counter(M.TABLES_ELIMINATED).value
+
+    @tables_eliminated.setter
+    def tables_eliminated(self, value: int) -> None:
+        self.registry.counter(M.TABLES_ELIMINATED).value = value
+
+    @property
+    def vertices_from_edges(self) -> int:
+        return self.registry.counter(M.VERTICES_FROM_EDGES).value
+
+    @vertices_from_edges.setter
+    def vertices_from_edges(self, value: int) -> None:
+        self.registry.counter(M.VERTICES_FROM_EDGES).value = value
+
+    @property
+    def lazy_vertices(self) -> int:
+        return self.registry.counter(M.LAZY_VERTICES).value
+
+    @lazy_vertices.setter
+    def lazy_vertices(self, value: int) -> None:
+        self.registry.counter(M.LAZY_VERTICES).value = value
 
     def reset(self) -> None:
-        self.vertex_table_queries = 0
-        self.edge_table_queries = 0
-        self.tables_eliminated = 0
-        self.vertices_from_edges = 0
-        self.lazy_vertices = 0
+        for counter in list(self.registry.counters()):
+            if counter.name.startswith("structure."):
+                counter.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"StructureStats(vertex_table_queries={self.vertex_table_queries}, "
+            f"edge_table_queries={self.edge_table_queries}, "
+            f"tables_eliminated={self.tables_eliminated}, "
+            f"vertices_from_edges={self.vertices_from_edges}, "
+            f"lazy_vertices={self.lazy_vertices})"
+        )
 
 
 class OverlayVertex(Vertex):
@@ -91,14 +142,36 @@ class OverlayGraph(GraphProvider):
         topology: Topology,
         dialect: SqlDialect,
         opts: RuntimeOptimizations | None = None,
+        registry: MetricsRegistry | None = None,
+        recorder: TraceRecorder | None = None,
     ):
         self.topology = topology
         self.dialect = dialect
         self.opts = opts or RuntimeOptimizations()
-        self.stats = StructureStats()
+        # Share the dialect's registry/recorder by default so one
+        # snapshot covers both modules.
+        self.registry = registry if registry is not None else dialect.registry
+        self.trace = recorder if recorder is not None else dialect.trace
+        self.stats = StructureStats(self.registry)
 
     def describe(self) -> str:
         return "Db2Graph(OverlayGraph)"
+
+    # -- observability -------------------------------------------------
+
+    def _note_elimination(self, table: str, rule: str) -> None:
+        """Count a table elimination under its §6.3 rule, mirrored 1:1
+        by a ``table.eliminated`` trace event."""
+        self.stats.tables_eliminated += 1
+        self.registry.counter(M.eliminated_counter_name(rule)).increment()
+        self.trace.emit(tracing.TABLE_ELIMINATED, table=table, rule=rule)
+
+    def _note_table_query(self, table: str, kind: str) -> None:
+        if kind == "vertex":
+            self.stats.vertex_table_queries += 1
+        else:
+            self.stats.edge_table_queries += 1
+        self.trace.emit(tracing.TABLE_QUERIED, table=table, kind=kind)
 
     # ------------------------------------------------------------------
     # GSA entry point: g.V(ids) / g.E(ids)
@@ -115,7 +188,7 @@ class OverlayGraph(GraphProvider):
     # -- vertices ------------------------------------------------------------
 
     def _vertices(self, ids: Sequence[Any] | None, pushdown: Pushdown) -> Iterator[Any]:
-        candidates = self._candidate_vertex_tables(pushdown)
+        candidates, _ = self._candidate_vertex_tables(pushdown)
         if pushdown.aggregate is not None:
             if ids is not None and len({str(i) for i in ids}) != len(ids):
                 # duplicate ids contribute multiply to aggregates
@@ -143,18 +216,36 @@ class OverlayGraph(GraphProvider):
         for vtop in candidates:
             yield from self._query_vertex_table(vtop, ids, pushdown)
 
-    def _candidate_vertex_tables(self, pushdown: Pushdown) -> list[VertexTopology]:
+    def _candidate_vertex_tables(
+        self, pushdown: Pushdown, record: bool = True
+    ) -> tuple[list[VertexTopology], list[tuple[str, str]]]:
+        """Surviving vertex tables plus ``(table, rule)`` eliminations.
+
+        ``record=False`` computes without touching counters/traces —
+        used by ``explain()`` for side-effect-free previews.
+        """
         candidates = list(self.topology.vertex_tables)
-        before = len(candidates)
+        eliminated: list[tuple[str, str]] = []
         labels = _label_values(pushdown)
         if self.opts.use_label_values and labels is not None:
-            candidates = [
-                v for v in candidates if v.fixed_label is None or v.fixed_label in labels
-            ]
+            survivors = []
+            for v in candidates:
+                if v.fixed_label is None or v.fixed_label in labels:
+                    survivors.append(v)
+                else:
+                    eliminated.append((v.table_name, "label_values"))
+            candidates = survivors
         if self.opts.use_property_names:
-            candidates = self._eliminate_by_properties(candidates, pushdown)
-        self.stats.tables_eliminated += before - len(candidates)
-        return candidates
+            survivors = self._eliminate_by_properties(candidates, pushdown)
+            kept = {id(t) for t in survivors}
+            eliminated.extend(
+                (t.table_name, "property_names") for t in candidates if id(t) not in kept
+            )
+            candidates = survivors
+        if record:
+            for table, rule in eliminated:
+                self._note_elimination(table, rule)
+        return candidates, eliminated
 
     def _eliminate_by_properties(self, candidates: list, pushdown: Pushdown) -> list:
         required = {
@@ -180,7 +271,7 @@ class OverlayGraph(GraphProvider):
             if predicates is None:
                 continue
             columns = vtop.required_columns(self._effective_projection(pushdown))
-            self.stats.vertex_table_queries += 1
+            self._note_table_query(vtop.table_name, "vertex")
             for row in self.dialect.select(vtop.table_name, columns, predicates):
                 vertex = self._make_vertex(vtop, row, pushdown)
                 if vertex is not None:
@@ -208,7 +299,7 @@ class OverlayGraph(GraphProvider):
             if coerced is not None:
                 decoded.append(coerced)
         if not decoded:
-            self.stats.tables_eliminated += 1
+            self._note_elimination(vtop.table_name, "prefixed_ids")
             return
         if len(vtop.id_template.columns) == 1:
             # one varying column (constants already verified by decode):
@@ -298,7 +389,7 @@ class OverlayGraph(GraphProvider):
         pushdown: Pushdown,
         endpoint: tuple[Direction, Sequence[Any]] | None,
     ) -> Iterator[Any]:
-        candidates = self._candidate_edge_tables(pushdown, edge_labels=None)
+        candidates, _ = self._candidate_edge_tables(pushdown, edge_labels=None)
         if pushdown.aggregate is not None and endpoint is None:
             if ids is not None and len({str(i) for i in ids}) != len(ids):
                 fetch = pushdown.copy()
@@ -322,23 +413,37 @@ class OverlayGraph(GraphProvider):
             yield from self._query_edge_table(etop, ids, pushdown)
 
     def _candidate_edge_tables(
-        self, pushdown: Pushdown, edge_labels: tuple[str, ...] | None
-    ) -> list[EdgeTopology]:
+        self,
+        pushdown: Pushdown,
+        edge_labels: tuple[str, ...] | None,
+        record: bool = True,
+    ) -> tuple[list[EdgeTopology], list[tuple[str, str]]]:
         candidates = list(self.topology.edge_tables)
-        before = len(candidates)
+        eliminated: list[tuple[str, str]] = []
         labels = _label_values(pushdown)
         if edge_labels is not None:
             labels = tuple(edge_labels) if labels is None else tuple(
                 set(labels) & set(edge_labels)
             )
         if self.opts.use_label_values and labels is not None:
-            candidates = [
-                e for e in candidates if e.fixed_label is None or e.fixed_label in labels
-            ]
+            survivors = []
+            for e in candidates:
+                if e.fixed_label is None or e.fixed_label in labels:
+                    survivors.append(e)
+                else:
+                    eliminated.append((e.table_name, "label_values"))
+            candidates = survivors
         if self.opts.use_property_names:
-            candidates = self._eliminate_by_properties(candidates, pushdown)
-        self.stats.tables_eliminated += before - len(candidates)
-        return candidates
+            survivors = self._eliminate_by_properties(candidates, pushdown)
+            kept = {id(t) for t in survivors}
+            eliminated.extend(
+                (t.table_name, "property_names") for t in candidates if id(t) not in kept
+            )
+            candidates = survivors
+        if record:
+            for table, rule in eliminated:
+                self._note_elimination(table, rule)
+        return candidates, eliminated
 
     def _query_edge_table(
         self, etop: EdgeTopology, ids: Sequence[Any] | None, pushdown: Pushdown
@@ -347,7 +452,7 @@ class OverlayGraph(GraphProvider):
             if predicates is None:
                 continue
             columns = etop.required_columns(self._effective_projection(pushdown))
-            self.stats.edge_table_queries += 1
+            self._note_table_query(etop.table_name, "edge")
             for row in self.dialect.select(etop.table_name, columns, predicates):
                 edge = self._make_edge(etop, row, pushdown)
                 if edge is not None:
@@ -398,7 +503,10 @@ class OverlayGraph(GraphProvider):
                 matched_any = True
                 yield group + base
         if not matched_any:
-            self.stats.tables_eliminated += 1
+            self._note_elimination(
+                etop.table_name,
+                "implicit_edge_ids" if etop.implicit_id is not None else "prefixed_ids",
+            )
 
     def _endpoint_predicates(self, etop: EdgeTopology, pushdown: Pushdown) -> list[SqlPredicate]:
         """~src_v / ~dst_v pushdown predicates (from folded
@@ -507,7 +615,7 @@ class OverlayGraph(GraphProvider):
             (Direction.OUT, Direction.IN) if direction is Direction.BOTH else (direction,)
         )
         edge_pushdown = pushdown if return_type == "edge" else Pushdown(labels=None)
-        candidates = self._candidate_edge_tables(edge_pushdown, edge_labels)
+        candidates, _ = self._candidate_edge_tables(edge_pushdown, edge_labels)
 
         aggregate_edges = pushdown.aggregate is not None and return_type == "edge"
         result: dict[Any, list[Any]] = {}
@@ -520,7 +628,7 @@ class OverlayGraph(GraphProvider):
             for d in directions:
                 matching = self._vertices_matching_endpoint(etop, vertices, d)
                 if not matching:
-                    self.stats.tables_eliminated += 1
+                    self._note_elimination(etop.table_name, "src_dst_tables")
                     continue
                 if aggregate_edges:
                     aggregates.append(
@@ -626,7 +734,7 @@ class OverlayGraph(GraphProvider):
         label_filter = Pushdown(labels=edge_labels) if edge_labels else None
         for id_group in self._endpoint_id_predicates(etop, vertices, d):
             columns = etop.required_columns(self._effective_projection(pushdown))
-            self.stats.edge_table_queries += 1
+            self._note_table_query(etop.table_name, "edge")
             for row in self.dialect.select(etop.table_name, columns, id_group + base):
                 edge = self._make_edge(etop, row, pushdown)
                 if edge is None:
@@ -655,7 +763,7 @@ class OverlayGraph(GraphProvider):
         base.extend(self._edge_label_sql(etop, edge_labels))
         partials: list[Any] = []
         for id_group in self._endpoint_id_predicates(etop, vertices, d):
-            self.stats.edge_table_queries += 1
+            self._note_table_query(etop.table_name, "edge")
             partials.append(
                 self._table_aggregate(etop.table_name, pushdown, id_group + base)
             )
@@ -731,6 +839,7 @@ class OverlayGraph(GraphProvider):
                 vertices = []
                 for other_id, hint in entry:
                     self.stats.lazy_vertices += 1
+                    self.trace.emit(tracing.VERTEX_LAZY, table=hint)
                     vertices.append(
                         Vertex(other_id, provider=self, source_table=hint)
                     )
@@ -781,6 +890,9 @@ class OverlayGraph(GraphProvider):
                 vtop = self.topology.vertex_subsumed_by_edge(etop, endpoint)
                 if vtop is not None:
                     self.stats.vertices_from_edges += 1
+                    self.trace.emit(
+                        tracing.VERTEX_FROM_EDGE, table=vtop.table_name
+                    )
                     yield OverlayVertex(
                         vtop.row_id(edge.row),
                         vtop.row_label(edge.row),
@@ -792,6 +904,7 @@ class OverlayGraph(GraphProvider):
                     return
         hint = edge.out_v_table if direction is Direction.OUT else edge.in_v_table
         self.stats.lazy_vertices += 1
+        self.trace.emit(tracing.VERTEX_LAZY, table=hint)
         yield Vertex(vertex_id, provider=self, source_table=hint)
 
     # ------------------------------------------------------------------
@@ -963,10 +1076,7 @@ class OverlayGraph(GraphProvider):
             for predicates in groups:
                 if predicates is None:
                     continue
-                if kind == "vertex":
-                    self.stats.vertex_table_queries += 1
-                else:
-                    self.stats.edge_table_queries += 1
+                self._note_table_query(top.table_name, kind)
                 partials.append(self._table_aggregate(top.table_name, pushdown, predicates))
         return _combine_aggregates(pushdown.aggregate, partials)
 

@@ -13,9 +13,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable, Sequence
 
 from ..graph.predicates import P
+from ..obs import metrics as M
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
 from ..relational.database import Connection
 from ..relational.errors import CatalogError
 
@@ -109,16 +114,50 @@ def _text_predicate_to_sql(column: str, predicate: "P") -> list[SqlPredicate] | 
     return [SqlPredicate(column, op, (pattern,))]
 
 
-@dataclass
 class DialectStats:
-    queries_issued: int = 0
-    rows_fetched: int = 0
-    prepared_hits: int = 0
+    """Facade over the shared :class:`MetricsRegistry` keeping the old
+    ``stats.queries_issued += 1`` call sites (and test reads) working
+    while the values live in named registry counters."""
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def queries_issued(self) -> int:
+        return self.registry.counter(M.SQL_QUERIES).value
+
+    @queries_issued.setter
+    def queries_issued(self, value: int) -> None:
+        self.registry.counter(M.SQL_QUERIES).value = value
+
+    @property
+    def rows_fetched(self) -> int:
+        return self.registry.counter(M.SQL_ROWS).value
+
+    @rows_fetched.setter
+    def rows_fetched(self, value: int) -> None:
+        self.registry.counter(M.SQL_ROWS).value = value
+
+    @property
+    def prepared_hits(self) -> int:
+        return self.registry.counter(M.SQL_PREPARED_HITS).value
+
+    @prepared_hits.setter
+    def prepared_hits(self, value: int) -> None:
+        self.registry.counter(M.SQL_PREPARED_HITS).value = value
 
     def reset(self) -> None:
-        self.queries_issued = 0
-        self.rows_fetched = 0
-        self.prepared_hits = 0
+        for counter in list(self.registry.counters()):
+            if counter.name.startswith("sql."):
+                counter.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"DialectStats(queries_issued={self.queries_issued}, "
+            f"rows_fetched={self.rows_fetched}, prepared_hits={self.prepared_hits})"
+        )
 
 
 class FrequentPatternTracker:
@@ -163,9 +202,13 @@ class SqlDialect:
         track_patterns: bool = True,
         pattern_threshold: int = 16,
         use_prepared: bool = True,
+        registry: MetricsRegistry | None = None,
+        recorder: TraceRecorder | None = None,
     ):
         self.connection = connection
-        self.stats = DialectStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = recorder if recorder is not None else NULL_RECORDER
+        self.stats = DialectStats(self.registry)
         self.tracker = FrequentPatternTracker(pattern_threshold) if track_patterns else None
         self.log: list[str] | None = None  # set to [] to capture generated SQL
         # use_prepared=False re-parses/re-plans every statement — the
@@ -222,11 +265,17 @@ class SqlDialect:
         aggregate: tuple[str, str | None] | None = None,
     ) -> list[dict[str, Any]]:
         """Run a generated query; rows come back as lowercase-keyed dicts."""
+        timing = self.registry.timing_enabled
+        timed = timing or self.trace.enabled
+        started = perf_counter() if timed else 0.0
         sql, params = self.build_select(table, columns, predicates, aggregate)
         if self.log is not None:
             self.log.append(sql)
         if self.tracker is not None and aggregate is None:
             self.tracker.record(table, predicates)
+        if timing:
+            self.registry.histogram(M.PHASE_TRANSLATE).observe(perf_counter() - started)
+        executed = perf_counter() if timed else 0.0
         if self.use_prepared:
             prepared = self.connection.prepare(sql)
             if prepared.executions >= 1:  # compiled by an earlier execution
@@ -234,10 +283,28 @@ class SqlDialect:
             result = prepared.execute(self.connection, params)
         else:
             result = self.connection.execute(sql, params)
+        elapsed = perf_counter() - executed if timed else None
+        if timing:
+            self.registry.histogram(M.PHASE_EXECUTE).observe(elapsed)
         self.stats.queries_issued += 1
         self.stats.rows_fetched += len(result.rows)
+        if self.trace.enabled:
+            self.trace.emit(
+                tracing.SQL_ISSUED,
+                seconds=elapsed,
+                sql=sql,
+                params=list(params),
+                rows=len(result.rows),
+                kind="select",
+            )
+        materialized = perf_counter() if timing else 0.0
         keys = [c.lower() for c in result.columns]
-        return [dict(zip(keys, row)) for row in result.rows]
+        rows = [dict(zip(keys, row)) for row in result.rows]
+        if timing:
+            self.registry.histogram(M.PHASE_MATERIALIZE).observe(
+                perf_counter() - materialized
+            )
+        return rows
 
     def aggregate_value(
         self,
@@ -267,11 +334,22 @@ class SqlDialect:
         sql = f"INSERT INTO {table} ({column_list}) VALUES ({holes})"
         if self.log is not None:
             self.log.append(sql)
+        timed = self.trace.enabled
+        started = perf_counter() if timed else 0.0
         if self.use_prepared:
             self.connection.prepare(sql).execute(self.connection, list(values))
         else:
             self.connection.execute(sql, list(values))
         self.stats.queries_issued += 1
+        if timed:
+            self.trace.emit(
+                tracing.SQL_ISSUED,
+                seconds=perf_counter() - started,
+                sql=sql,
+                params=list(values),
+                rows=0,
+                kind="insert",
+            )
 
     # -- index advisor -----------------------------------------------------------------
 

@@ -53,7 +53,9 @@ _NAME_MAP = {
     "from": "from_",
 }
 
-_TERMINALS = {"next", "toList", "toSet", "iterate", "tryNext", "hasNext", "explain"}
+_TERMINALS = {
+    "next", "toList", "toSet", "iterate", "tryNext", "hasNext", "explain", "profile",
+}
 
 _STEP_STARTERS = {
     # step names that may open an anonymous traversal without "__."

@@ -71,6 +71,10 @@ class TraversalContext:
         self.side_effects: dict[str, list] = {}
         self.track_paths = track_paths
         self._step_state: dict[int, dict] = {}
+        # Set by profile(): a TraversalProfiler that meters every step
+        # boundary — including sub-traversal chains, which all flow
+        # through run_steps with this context.
+        self.profiler: Any = None
 
     def state(self, step: "Step") -> dict:
         return self._step_state.setdefault(id(step), {})
@@ -80,8 +84,11 @@ def run_steps(
     steps: Sequence["Step"], traversers: Iterable[Traverser], ctx: TraversalContext
 ) -> Iterator[Traverser]:
     stream: Iterator[Traverser] = iter(traversers)
+    profiler = ctx.profiler
     for step in steps:
         stream = step.process(stream, ctx)
+        if profiler is not None:
+            stream = profiler.wrap(step, stream)
     return stream
 
 
@@ -112,6 +119,12 @@ class Step:
 
     def process(self, incoming: Iterator[Traverser], ctx: TraversalContext) -> Iterator[Traverser]:
         raise NotImplementedError
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        """(label, traversal) pairs for the sub-traversals this step
+        drives — the profile tree and path-tracking detection walk
+        these."""
+        return ()
 
     def name(self) -> str:
         return type(self).__name__.removesuffix("Step")
@@ -356,6 +369,9 @@ class FilterTraversalStep(Step):
             produced = next(iter(run_steps(self.sub.steps, [probe], ctx)), None) is not None
             if produced != self.negated:
                 yield traverser
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        return (("not" if self.negated else "filter", self.sub),)
 
     def name(self) -> str:
         word = "Not" if self.negated else "Filter"
@@ -735,6 +751,11 @@ class SideEffectStep(Step):
                     pass
             yield traverser
 
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        if hasattr(self.effect, "steps"):
+            return (("sideEffect", self.effect),)  # type: ignore[return-value]
+        return ()
+
 
 class OptionalStep(Step):
     """``optional(sub)`` — sub results if any, else the original."""
@@ -750,6 +771,9 @@ class OptionalStep(Step):
                 yield from produced
             else:
                 yield traverser
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        return (("optional", self.sub),)
 
 
 class ChooseStep(Step):
@@ -775,6 +799,12 @@ class ChooseStep(Step):
                 continue
             clone = Traverser(traverser.obj, traverser.path, traverser.labels, traverser.loops)
             yield from run_steps(branch.steps, [clone], ctx)
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        subs = [("condition", self.condition), ("true", self.true_branch)]
+        if self.false_branch is not None:
+            subs.append(("false", self.false_branch))
+        return tuple(subs)
 
 
 class GroupStep(Step):
@@ -803,6 +833,14 @@ class GroupStep(Step):
             values = self._apply_by(self.value_by, traverser, ctx, single=False)
             groups.setdefault(key, []).extend(values)
         yield Traverser(groups)
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        subs = []
+        if hasattr(self.key_by, "steps"):
+            subs.append(("by(key)", self.key_by))
+        if hasattr(self.value_by, "steps"):
+            subs.append(("by(value)", self.value_by))
+        return tuple(subs)
 
     @staticmethod
     def _apply_by(by: Any, traverser: Traverser, ctx: TraversalContext, single: bool) -> Any:
@@ -846,6 +884,13 @@ class ProjectStep(Step):
                 )
                 mapping[name] = GroupStep._apply_by(by, traverser, ctx, single=True)
             yield traverser.split(mapping, ctx.track_paths)
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        return tuple(
+            (f"by({name})", by)
+            for name, by in zip(self.names, self.by_traversals)
+            if hasattr(by, "steps")
+        )
 
 
 class AddVertexStep(Step):
@@ -932,6 +977,11 @@ class UnionStep(Step):
                 clone = Traverser(traverser.obj, traverser.path, traverser.labels, traverser.loops)
                 yield from run_steps(branch.steps, [clone], ctx)
 
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        return tuple(
+            (f"branch[{i}]", branch) for i, branch in enumerate(self.branches)
+        )
+
     def name(self) -> str:
         return f"Union({len(self.branches)} branches)"
 
@@ -950,6 +1000,11 @@ class CoalesceStep(Step):
                 if produced:
                     yield from produced
                     break
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        return tuple(
+            (f"branch[{i}]", branch) for i, branch in enumerate(self.branches)
+        )
 
 
 class RepeatStep(Step):
@@ -1013,6 +1068,14 @@ class RepeatStep(Step):
     def _matches(self, condition: "Traversal", traverser: Traverser, ctx: TraversalContext) -> bool:
         probe = Traverser(traverser.obj, traverser.path, traverser.labels, traverser.loops)
         return next(iter(run_steps(condition.steps, [probe], ctx)), None) is not None
+
+    def sub_traversals(self) -> tuple[tuple[str, "Traversal"], ...]:
+        subs = [("body", self.body)]
+        if self.until is not None and hasattr(self.until, "steps"):
+            subs.append(("until", self.until))
+        if self.emit is not True and hasattr(self.emit, "steps"):
+            subs.append(("emit", self.emit))  # type: ignore[arg-type]
+        return tuple(subs)
 
     def name(self) -> str:
         return f"Repeat(times={self.times}, until={self.until is not None}, emit={bool(self.emit)})"

@@ -43,8 +43,13 @@ class StrategyRegistry:
     def copy(self) -> "StrategyRegistry":
         return StrategyRegistry(list(self._strategies))
 
+    def in_order(self) -> list[TraversalStrategy]:
+        """Strategies in application (priority) order — for callers that
+        apply them one at a time (traced compilation, explain())."""
+        return sorted(self._strategies, key=lambda s: s.priority)
+
     def apply_all(self, traversal: "Traversal") -> None:
-        for strategy in sorted(self._strategies, key=lambda s: s.priority):
+        for strategy in self.in_order():
             strategy.apply(traversal)
 
     def names(self) -> list[str]:

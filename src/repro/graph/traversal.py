@@ -392,9 +392,39 @@ class Traversal:
         # following repeat step.
         self._merge_pending_repeats()
         if self.source is not None:
-            self.source.strategies.apply_all(self)
+            recorder = self.source.recorder
+            if recorder is not None and recorder.enabled:
+                self._compile_traced(recorder)
+            else:
+                self.source.strategies.apply_all(self)
         self._compiled = True
         return self
+
+    def _compile_traced(self, recorder: Any) -> None:
+        """Strategy application with one ``strategy.applied`` event per
+        strategy that changed the plan, plus a ``traversal.compiled``
+        summary.  Only runs when tracing is on — the fast path stays a
+        single ``apply_all`` call."""
+        from ..obs import tracing
+        from ..obs.explain import describe_plan
+
+        original = describe_plan(self.steps)
+        for strategy in self.source.strategies.in_order():  # type: ignore[union-attr]
+            before = describe_plan(self.steps)
+            strategy.apply(self)
+            after = describe_plan(self.steps)
+            if before != after:
+                recorder.emit(
+                    tracing.STRATEGY_APPLIED,
+                    strategy=strategy.name,
+                    before=before,
+                    after=after,
+                )
+        recorder.emit(
+            tracing.TRAVERSAL_COMPILED,
+            original=original,
+            plan=describe_plan(self.steps),
+        )
 
     def _merge_pending_repeats(self) -> None:
         merged: list[Step] = []
@@ -414,7 +444,9 @@ class Traversal:
             raise TraversalError("until()/emit() without a following repeat()")
         self.steps = merged
 
-    def _execute(self) -> Iterator[Traverser]:
+    def _execution_context(self) -> TraversalContext:
+        """Compile and build the execution context (shared by normal
+        execution and ``profile()``)."""
         if self.source is None:
             raise TraversalError("cannot execute an anonymous traversal directly")
         self.compile()
@@ -425,7 +457,10 @@ class Traversal:
             or (isinstance(s, EdgeVertexStep) and s.direction is Direction.OTHER)
             for s in self._all_steps()
         )
-        ctx = TraversalContext(self.source.provider, track_paths=track)
+        return TraversalContext(self.source.provider, track_paths=track)
+
+    def _execute(self) -> Iterator[Traverser]:
+        ctx = self._execution_context()
         return run_steps(self.steps, [], ctx)
 
     def _all_steps(self) -> Iterator[Step]:
@@ -433,15 +468,8 @@ class Traversal:
         while stack:
             step = stack.pop()
             yield step
-            if isinstance(step, RepeatStep):
-                stack.extend(step.body.steps)
-                if isinstance(step.until, Traversal):
-                    stack.extend(step.until.steps)
-            elif isinstance(step, (UnionStep, CoalesceStep)):
-                for branch in step.branches:
-                    stack.extend(branch.steps)
-            elif isinstance(step, FilterTraversalStep):
-                stack.extend(step.sub.steps)
+            for _label, sub in step.sub_traversals():
+                stack.extend(sub.steps)
 
     # -- terminals ----------------------------------------------------------------------
 
@@ -486,9 +514,20 @@ class Traversal:
             pass
         return self
 
-    def explain(self) -> str:
-        self.compile()
-        return " -> ".join(step.name() for step in self.steps)
+    def explain(self) -> Any:
+        """The original and strategy-mutated step plans plus the SQL
+        each GSA step would issue (see :mod:`repro.obs.explain`).  Does
+        not execute the traversal."""
+        from ..obs.explain import build_explain
+
+        return build_explain(self)
+
+    def profile(self) -> Any:
+        """Execute and return a per-step tree of timings, SQL counts,
+        and row counts (see :mod:`repro.obs.profiler`)."""
+        from ..obs.profiler import run_profile
+
+        return run_profile(self)
 
     def __repr__(self) -> str:
         return "Traversal[" + ", ".join(s.name() for s in self.steps) + "]"
@@ -497,9 +536,23 @@ class Traversal:
 class GraphTraversalSource:
     """``g`` — spawns traversals against a provider with a strategy set."""
 
-    def __init__(self, provider: GraphProvider, strategies: StrategyRegistry | None = None):
+    def __init__(
+        self,
+        provider: GraphProvider,
+        strategies: StrategyRegistry | None = None,
+        recorder: Any = None,
+    ):
         self.provider = provider
         self.strategies = strategies or StrategyRegistry()
+        # Optional TraceRecorder (from Db2Graph.enable_tracing()):
+        # compile() emits strategy.applied/traversal.compiled through it.
+        self.recorder = recorder
+
+    def __deepcopy__(self, memo: dict) -> "GraphTraversalSource":
+        # explain() deep-copies step plans; step plans reference their
+        # source via sub-traversals.  The source (and with it the whole
+        # database) must never be copied along.
+        return self
 
     def V(self, *ids: Any) -> Traversal:
         return Traversal(self).V(*ids)
@@ -517,13 +570,13 @@ class GraphTraversalSource:
         registry = self.strategies.copy()
         for strategy in strategies:
             registry.add(strategy)
-        return GraphTraversalSource(self.provider, registry)
+        return GraphTraversalSource(self.provider, registry, self.recorder)
 
     def without_strategies(self, *names: str) -> "GraphTraversalSource":
         registry = self.strategies.copy()
         for name in names:
             registry.remove(name)
-        return GraphTraversalSource(self.provider, registry)
+        return GraphTraversalSource(self.provider, registry, self.recorder)
 
     def __repr__(self) -> str:
         return f"g[{self.provider.describe()}]"

@@ -1,0 +1,292 @@
+"""``explain()``: the original and strategy-mutated step plans plus the
+SQL each GSA step would issue.
+
+TinkerPop ships ``explain()`` as a first-class terminal step; here it
+is reproduced over the Db2 Graph translation layer so the paper's §6.2
+claims — *which SQL the strategies cause and avoid* — are directly
+inspectable:
+
+* the **original** plan (after repeat/until merging, before strategies),
+* one :class:`PlanStage` per strategy whose application changed the
+  plan (before/after step lists), and
+* for every Graph-Structure-Accessing step of the final plan, the SQL
+  statement(s) it would issue per surviving table — with table
+  eliminations (§6.3) annotated inline.
+
+Nothing here executes SQL: previews are rendered through
+``SqlDialect.build_select`` against the live topology, so the text is
+exactly what the runtime would send, minus data-dependent batching.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graph.steps import Step
+    from ..graph.traversal import Traversal
+
+
+@dataclass
+class PlanStage:
+    """One strategy application that changed the plan."""
+
+    strategy: str
+    before: list[str]
+    after: list[str]
+
+
+@dataclass
+class StepSql:
+    """SQL preview for one step of the final plan."""
+
+    step: str
+    statements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ExplainResult:
+    """The output of ``traversal.explain()``.
+
+    Supports ``"GraphStep" in result`` and ``str(result)`` so it can be
+    read like the plain-text explain it replaced.
+    """
+
+    original: list[str]
+    final: list[str]
+    stages: list[PlanStage]
+    step_sql: list[StepSql]
+    strategies: list[str]
+
+    def __contains__(self, item: str) -> bool:
+        return item in str(self)
+
+    def __str__(self) -> str:
+        lines = ["=== Original plan ==="]
+        lines += [f"  {s}" for s in self.original]
+        for stage in self.stages:
+            lines.append(f"=== After {stage.strategy} ===")
+            lines += [f"  {s}" for s in stage.after]
+        lines.append("=== Final plan ===")
+        lines += [f"  {s}" for s in self.final]
+        if any(entry.statements or entry.notes for entry in self.step_sql):
+            lines.append("=== SQL per step ===")
+            for entry in self.step_sql:
+                if not entry.statements and not entry.notes:
+                    continue
+                lines.append(f"  {entry.step}")
+                for note in entry.notes:
+                    lines.append(f"    -- {note}")
+                for sql in entry.statements:
+                    lines.append(f"    {sql}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExplainResult({len(self.original)} -> {len(self.final)} steps)"
+
+
+def describe_plan(steps: list["Step"]) -> list[str]:
+    return [step.name() for step in steps]
+
+
+def build_explain(traversal: "Traversal") -> ExplainResult:
+    """Compute an explain plan without executing or mutating
+    ``traversal`` (strategies run on a deep-copied plan)."""
+    from ..graph.traversal import Traversal
+
+    working = Traversal(traversal.source)
+    working.steps = copy.deepcopy(traversal.steps)
+    working._merge_pending_repeats()
+    original = describe_plan(working.steps)
+
+    stages: list[PlanStage] = []
+    strategy_names: list[str] = []
+    if traversal.source is not None:
+        for strategy in traversal.source.strategies.in_order():
+            strategy_names.append(strategy.name)
+            before = describe_plan(working.steps)
+            strategy.apply(working)
+            after = describe_plan(working.steps)
+            if before != after:
+                stages.append(PlanStage(strategy.name, before, after))
+    final = describe_plan(working.steps)
+
+    provider = traversal.source.provider if traversal.source is not None else None
+    step_sql = [preview_step_sql(provider, step) for step in working.steps]
+    return ExplainResult(original, final, stages, step_sql, strategy_names)
+
+
+# ---------------------------------------------------------------------------
+# SQL previews (OverlayGraph only; other providers issue no SQL)
+# ---------------------------------------------------------------------------
+
+
+def preview_step_sql(provider: Any, step: "Step") -> StepSql:
+    from ..core.graph_structure import OverlayGraph
+    from ..graph.steps import GraphStep, VertexStep
+
+    entry = StepSql(step.name())
+    if not isinstance(provider, OverlayGraph):
+        return entry
+    if isinstance(step, GraphStep):
+        if step.endpoint_filter is not None:
+            _preview_endpoint_graph_step(provider, step, entry)
+        elif step.return_type == "vertex":
+            _preview_vertex_graph_step(provider, step, entry)
+        else:
+            _preview_edge_graph_step(provider, step, entry)
+    elif isinstance(step, VertexStep):
+        _preview_vertex_step(provider, step, entry)
+    return entry
+
+
+def _render(dialect: Any, table: str, columns: Any, predicates: list, pushdown: Any) -> str:
+    aggregate = None
+    if pushdown.aggregate is not None:
+        kind = "sum_count" if pushdown.aggregate == "mean" else pushdown.aggregate
+        key = None if pushdown.aggregate == "count" else pushdown.aggregate_key
+        aggregate = (kind, key)
+        columns = None
+    sql, params = dialect.build_select(table, columns, predicates, aggregate)
+    if params:
+        return f"{sql}  [params: {', '.join(repr(p) for p in params)}]"
+    return sql
+
+
+def _preview_vertex_graph_step(provider: Any, step: Any, entry: StepSql) -> None:
+    from ..core.sql_dialect import SqlPredicate
+
+    pushdown = step.pushdown
+    candidates, eliminated = provider._candidate_vertex_tables(pushdown, record=False)
+    for table, rule in eliminated:
+        entry.notes.append(f"table {table} eliminated ({rule})")
+    for vtop in candidates:
+        base = provider._sql_predicates(vtop, pushdown)
+        columns = vtop.required_columns(provider._effective_projection(pushdown))
+        if step.ids is None:
+            entry.statements.append(
+                _render(provider.dialect, vtop.table_name, columns, base, pushdown)
+            )
+            continue
+        strict = provider.opts.use_prefixed_ids
+        decoded = [
+            values
+            for vertex_id in step.ids
+            if (values := vtop.id_template.decode(vertex_id, strict=strict)) is not None
+        ]
+        if not decoded:
+            entry.notes.append(
+                f"table {vtop.table_name} eliminated (prefixed_ids: no id decodes)"
+            )
+            continue
+        if len(vtop.id_template.columns) == 1:
+            column = vtop.relation.canonical(vtop.id_template.columns[0])
+            values = tuple(
+                dict.fromkeys(d[vtop.id_template.columns[0]] for d in decoded)
+            )
+            op = "=" if len(values) == 1 else "IN"
+            probe = SqlPredicate(column, op, (values[0],) if op == "=" else values)
+            entry.statements.append(
+                _render(provider.dialect, vtop.table_name, columns, [probe] + base, pushdown)
+            )
+        else:
+            for values_map in decoded:
+                group = [
+                    SqlPredicate(vtop.relation.canonical(col), "=", (value,))
+                    for col, value in values_map.items()
+                ]
+                entry.statements.append(
+                    _render(provider.dialect, vtop.table_name, columns, group + base, pushdown)
+                )
+
+
+def _preview_edge_graph_step(provider: Any, step: Any, entry: StepSql) -> None:
+    pushdown = step.pushdown
+    candidates, eliminated = provider._candidate_edge_tables(
+        pushdown, edge_labels=None, record=False
+    )
+    for table, rule in eliminated:
+        entry.notes.append(f"table {table} eliminated ({rule})")
+    for etop in candidates:
+        base = provider._sql_predicates(etop, pushdown)
+        base.extend(provider._endpoint_predicates(etop, pushdown))
+        columns = etop.required_columns(provider._effective_projection(pushdown))
+        if step.ids is not None:
+            entry.notes.append(
+                f"table {etop.table_name}: one conjunctive lookup per decodable edge id "
+                f"{step.ids!r}"
+            )
+        entry.statements.append(
+            _render(provider.dialect, etop.table_name, columns, base, pushdown)
+        )
+
+
+def _preview_endpoint_graph_step(provider: Any, step: Any, entry: StepSql) -> None:
+    """GraphStep::VertexStep-mutated step: edges fetched by endpoint."""
+    from ..core.sql_dialect import SqlPredicate
+    from ..graph.model import Direction, Vertex
+
+    direction, vertex_ids = step.endpoint_filter
+    pushdown = step.pushdown
+    candidates, eliminated = provider._candidate_edge_tables(
+        pushdown, pushdown.labels, record=False
+    )
+    for table, rule in eliminated:
+        entry.notes.append(f"table {table} eliminated ({rule})")
+    directions = (
+        (Direction.OUT, Direction.IN) if direction is Direction.BOTH else (direction,)
+    )
+    vertices = [Vertex(v, provider=provider) for v in vertex_ids]
+    for etop in candidates:
+        for d in directions:
+            matching = provider._vertices_matching_endpoint(etop, vertices, d)
+            if not matching:
+                entry.notes.append(
+                    f"table {etop.table_name} eliminated for {d.value} endpoints "
+                    f"(src_dst_tables/prefixed_ids)"
+                )
+                continue
+            base = provider._sql_predicates(etop, pushdown)
+            base.extend(provider._endpoint_predicates(etop, pushdown))
+            base.extend(provider._edge_label_sql(etop, pushdown.labels))
+            columns = etop.required_columns(provider._effective_projection(pushdown))
+            for id_group in provider._endpoint_id_predicates(etop, matching, d):
+                entry.statements.append(
+                    _render(provider.dialect, etop.table_name, columns, id_group + base, pushdown)
+                )
+
+
+def _preview_vertex_step(provider: Any, step: Any, entry: StepSql) -> None:
+    """out()/in()/outE()/... — SQL depends on the runtime vertex batch,
+    so the endpoint predicate is shown with a placeholder IN-list."""
+    from ..core.sql_dialect import SqlPredicate
+    from ..graph.model import Direction, Pushdown
+
+    edge_pushdown = step.pushdown if step.return_type == "edge" else Pushdown(labels=None)
+    candidates, eliminated = provider._candidate_edge_tables(
+        edge_pushdown, step.edge_labels, record=False
+    )
+    for table, rule in eliminated:
+        entry.notes.append(f"table {table} eliminated ({rule})")
+    directions = (
+        (Direction.OUT, Direction.IN)
+        if step.direction is Direction.BOTH
+        else (step.direction,)
+    )
+    for etop in candidates:
+        for d in directions:
+            template = etop.src_template if d is Direction.OUT else etop.dst_template
+            column = etop.relation.canonical(template.columns[0])
+            base = provider._sql_predicates(etop, edge_pushdown)
+            base.extend(provider._endpoint_predicates(etop, edge_pushdown))
+            base.extend(provider._edge_label_sql(etop, step.edge_labels))
+            columns = etop.required_columns(
+                provider._effective_projection(edge_pushdown)
+            )
+            probe = SqlPredicate(column, "IN", ("<input vertex ids>",))
+            entry.statements.append(
+                _render(provider.dialect, etop.table_name, columns, [probe] + base, edge_pushdown)
+            )

@@ -1,0 +1,169 @@
+"""Named counters and histograms — the observability substrate.
+
+The ad-hoc counter dataclasses that used to live on ``SqlDialect``
+(``DialectStats``) and ``OverlayGraph`` (``StructureStats``) are now
+views over a shared :class:`MetricsRegistry`, so that
+
+* :meth:`Db2Graph.stats` reads one coherent snapshot,
+* trace/stats consistency is testable (every counter increment has a
+  matching trace event, see :mod:`repro.obs.tracing`), and
+* the bench harness can break latency into *translate* (Gremlin -> SQL
+  text), *execute* (relational engine), and *materialize* (rows ->
+  graph elements) phases via histograms.
+
+Counters are plain integer cells with no locking: increments happen
+under the GIL exactly as the previous dataclass fields did, and the
+hot path must stay as cheap as a ``+= 1``.  Phase timing is gated by
+``MetricsRegistry.timing_enabled`` (off by default) so Tier-1 latency
+is unchanged unless a caller opts in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class Counter:
+    """A named monotonically-increasing integer (resettable)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A named streaming summary: count / total / min / max.
+
+    Enough to report mean phase latency and extremes without keeping
+    every observation (benchmarks observe millions of spans).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.reset()
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.6f})"
+
+
+class MetricsRegistry:
+    """Create-on-demand registry of named counters and histograms.
+
+    One registry is shared by the SQL Dialect and Graph Structure
+    modules of a :class:`~repro.core.db2graph.Db2Graph` instance; the
+    facade's ``stats()`` / ``reset_stats()`` and the bench harness all
+    read and reset the same cells.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        # Gate for phase timing (perf_counter calls around translate /
+        # execute / materialize).  Off by default: counters alone cost
+        # one integer add; timing costs clock reads.
+        self.timing_enabled = False
+
+    # -- access ------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        cell = self._counters.get(name)
+        if cell is None:
+            cell = self._counters[name] = Counter(name)
+        return cell
+
+    def histogram(self, name: str) -> Histogram:
+        cell = self._histograms.get(name)
+        if cell is None:
+            cell = self._histograms[name] = Histogram(name)
+        return cell
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat dict of every counter value and histogram summary."""
+        out: dict[str, Any] = {c.name: c.value for c in self._counters.values()}
+        for h in self._histograms.values():
+            out[h.name] = h.summary()
+        return out
+
+    def counter_values(self) -> dict[str, int]:
+        return {c.name: c.value for c in self._counters.values()}
+
+    def reset(self) -> None:
+        for cell in self._counters.values():
+            cell.reset()
+        for cell in self._histograms.values():
+            cell.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)})"
+        )
+
+
+# Canonical metric names — keep in sync with DESIGN.md's observability
+# section.  Using constants avoids typo'd never-read counters.
+SQL_QUERIES = "sql.queries_issued"
+SQL_ROWS = "sql.rows_fetched"
+SQL_PREPARED_HITS = "sql.prepared_hits"
+VERTEX_TABLE_QUERIES = "structure.vertex_table_queries"
+EDGE_TABLE_QUERIES = "structure.edge_table_queries"
+TABLES_ELIMINATED = "structure.tables_eliminated"
+VERTICES_FROM_EDGES = "structure.vertices_from_edges"
+LAZY_VERTICES = "structure.lazy_vertices"
+PHASE_TRANSLATE = "phase.translate_seconds"
+PHASE_EXECUTE = "phase.execute_seconds"
+PHASE_MATERIALIZE = "phase.materialize_seconds"
+
+
+def eliminated_counter_name(rule: str) -> str:
+    """Per-§6.3-rule elimination counter, e.g.
+    ``structure.eliminated.label_values``."""
+    return f"structure.eliminated.{rule}"

@@ -1,0 +1,134 @@
+"""Structured trace events for the whole query path.
+
+A :class:`TraceRecorder` collects :class:`TraceEvent` spans as a query
+moves through the stack:
+
+=====================  =====================================================
+event name             attributes
+=====================  =====================================================
+``traversal.parsed``   ``script`` — Gremlin text handed to the parser
+``traversal.compiled`` ``original``/``plan`` — step plans before/after the
+                       full strategy set
+``strategy.applied``   ``strategy``, ``before``, ``after`` — one event per
+                       strategy that changed the plan (§6.2)
+``table.queried``      ``table``, ``kind`` (``vertex``/``edge``) — a table
+                       survived elimination and was queried
+``table.eliminated``   ``table``, ``rule`` — which §6.3 rule removed the
+                       table (``label_values``, ``property_names``,
+                       ``prefixed_ids``, ``implicit_edge_ids``,
+                       ``src_dst_tables``)
+``sql.issued``         ``sql``, ``params``, ``rows``, ``seconds``
+``vertex.from_edge``   ``table`` — endpoint built from the edge row
+                       without SQL (§6.3)
+``vertex.lazy``        ``table`` hint — endpoint handed out unmaterialized
+=====================  =====================================================
+
+Every event carries a process-wide monotonically increasing
+``sequence`` so interleavings are reconstructible.  Recording is *off
+by default* — every emission site checks ``recorder.enabled`` before
+building the attribute dict, so the disabled cost is one attribute
+read and one branch.  Db2Graph exposes ``enable_tracing()``.
+
+Trace events and metrics counters are deliberately emitted at the same
+program points: ``stats()["tables_eliminated"]`` must always equal the
+number of ``table.eliminated`` events recorded while tracing was on —
+a property the test suite enforces so the counters can never silently
+drift from reality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured span event."""
+
+    name: str
+    attributes: dict[str, Any] = field(default_factory=dict)
+    seconds: float | None = None
+    sequence: int = -1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.attributes.items())
+        timing = f", {self.seconds * 1e3:.3f}ms" if self.seconds is not None else ""
+        return f"<{self.name} {parts}{timing}>"
+
+
+class TraceRecorder:
+    """Collects trace events in order; bounded to ``max_events``.
+
+    The bound protects long-running benchmarks that forget to disable
+    tracing: once full, the recorder counts drops instead of growing.
+    """
+
+    def __init__(self, enabled: bool = False, max_events: int = 100_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, name: str, seconds: float | None = None, **attributes: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(name, attributes, seconds, next(_SEQUENCE))
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def named(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def count(self, name: str, **attribute_filter: Any) -> int:
+        total = 0
+        for event in self.events:
+            if event.name != name:
+                continue
+            if all(event.get(k) == v for k, v in attribute_filter.items()):
+                total += 1
+        return total
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"TraceRecorder({state}, {len(self.events)} events)"
+
+
+#: Shared disabled recorder: modules that receive no recorder point at
+#: this singleton so the hot path is a plain attribute check, never a
+#: ``None`` test plus a check.
+NULL_RECORDER = TraceRecorder(enabled=False)
+
+
+# Event-name constants (mirror the table in the module docstring).
+TRAVERSAL_PARSED = "traversal.parsed"
+TRAVERSAL_COMPILED = "traversal.compiled"
+STRATEGY_APPLIED = "strategy.applied"
+TABLE_QUERIED = "table.queried"
+TABLE_ELIMINATED = "table.eliminated"
+SQL_ISSUED = "sql.issued"
+VERTEX_FROM_EDGE = "vertex.from_edge"
+VERTEX_LAZY = "vertex.lazy"

@@ -10,6 +10,7 @@ and producing :class:`ResultSet` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterator, Sequence
 
 from . import sql_ast as A
@@ -57,6 +58,10 @@ class ResultSet:
 class Executor:
     def __init__(self, database: Any):
         self.database = database
+        # Observability hook: when installed (Db2Graph.enable_phase_timing),
+        # called as hook(kind, seconds, rows) after each statement so the
+        # graph layer can attribute time spent inside the relational engine.
+        self.timing_hook: Any = None
 
     # -- dispatch ----------------------------------------------------------
 
@@ -64,6 +69,16 @@ class Executor:
         if isinstance(stmt, (A.SelectStmt, A.UnionStmt)):
             planned = Planner(self.database).plan_select(stmt)
             return self.run_select(planned, session, params)
+        hook = self.timing_hook
+        if hook is None:
+            return self._execute_dml(stmt, session, params)
+        started = perf_counter()
+        result = self._execute_dml(stmt, session, params)
+        kind = type(stmt).__name__.removesuffix("Stmt").lower()
+        hook(kind, perf_counter() - started, result.rowcount)
+        return result
+
+    def _execute_dml(self, stmt: A.Statement, session: Any, params: Sequence[Any]) -> ResultSet:
         if isinstance(stmt, A.InsertStmt):
             return self._insert(stmt, session, params)
         if isinstance(stmt, A.UpdateStmt):
@@ -97,8 +112,12 @@ class Executor:
         # consistent view without blocking on writers — the property
         # behind Db2's concurrent-query strength the paper leans on.
         self._check_access(planned.accessed, session)
+        hook = self.timing_hook
+        started = perf_counter() if hook is not None else 0.0
         ctx = session.exec_context(params)
         rows = list(planned.root.rows(ctx))
+        if hook is not None:
+            hook("select", perf_counter() - started, len(rows))
         return ResultSet(columns=list(planned.output_names), rows=rows, rowcount=len(rows))
 
     def _check_access(self, accessed: list[tuple[str, str]], session: Any) -> None:

@@ -1,0 +1,112 @@
+"""Trace events and stats() counters are two views of the same program
+points — every counter increment emits a matching event at the same
+site.  These tests pin that 1:1 invariant on the paper's §6.3
+data-dependent optimizations using the Figure 2 healthcare graph:
+fixed-label elimination (``label_values``), prefixed-id table pinning
+(``prefixed_ids``), and vertex-from-edge materialization.
+
+Also the reset_stats() regression: after a reset, *every* counter —
+including the prepared-statement cache counters that the pre-registry
+implementation missed — reads zero and the trace buffer is empty.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture()
+def traced(paper_graph):
+    paper_graph.reset_stats()
+    recorder = paper_graph.enable_tracing()
+    yield paper_graph, recorder
+    paper_graph.disable_tracing()
+
+
+def assert_counters_match_events(graph, recorder):
+    stats = graph.stats()
+    assert stats["tables_eliminated"] == recorder.count(tracing.TABLE_ELIMINATED)
+    assert stats["sql_queries"] == recorder.count(tracing.SQL_ISSUED, kind="select")
+    assert stats["vertex_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="vertex")
+    assert stats["edge_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="edge")
+    assert stats["vertices_from_edges"] == recorder.count(tracing.VERTEX_FROM_EDGE)
+    assert stats["lazy_vertices"] == recorder.count(tracing.VERTEX_LAZY)
+
+
+def test_fixed_label_elimination_counters_match_events(traced):
+    graph, recorder = traced
+    g = graph.traversal()
+    patients = g.V().hasLabel("patient").toList()
+    assert patients
+    # hasLabel('patient') prunes Disease via its fixed label — the
+    # rule-tagged event and the per-rule counter must agree.
+    by_rule = recorder.count(tracing.TABLE_ELIMINATED, rule="label_values")
+    assert by_rule > 0
+    assert graph.metrics()["structure.eliminated.label_values"] == by_rule
+    assert_counters_match_events(graph, recorder)
+
+
+def test_prefixed_id_pinning_counters_match_events(traced):
+    graph, recorder = traced
+    g = graph.traversal()
+    # 'patient::1' decodes to the Patient table only — every other
+    # vertex table is eliminated by the prefixed-id rule before any SQL.
+    assert [v.id for v in g.V("patient::1").toList()] == ["patient::1"]
+    assert recorder.count(tracing.TABLE_ELIMINATED, rule="prefixed_ids") > 0
+    assert recorder.count(tracing.TABLE_QUERIED, kind="vertex") == 1
+    assert_counters_match_events(graph, recorder)
+
+
+def test_vertex_from_edge_counters_match_events(traced):
+    graph, recorder = traced
+    g = graph.traversal()
+    diseases = g.V().hasLabel("patient").out("hasDisease").toList()
+    assert diseases
+    stats = graph.stats()
+    assert stats["vertices_from_edges"] + stats["lazy_vertices"] > 0
+    assert_counters_match_events(graph, recorder)
+
+
+def test_every_event_rule_has_a_matching_counter(traced):
+    graph, recorder = traced
+    g = graph.traversal()
+    g.V().hasLabel("patient").out("hasDisease").values("conceptName").toList()
+    g.E().toList()
+    metrics = graph.metrics()
+    rules = {e.get("rule") for e in recorder.named(tracing.TABLE_ELIMINATED)}
+    for rule in rules:
+        assert metrics[f"structure.eliminated.{rule}"] == recorder.count(
+            tracing.TABLE_ELIMINATED, rule=rule
+        ), rule
+    assert_counters_match_events(graph, recorder)
+
+
+def test_reset_stats_zeroes_everything(paper_graph):
+    graph = paper_graph
+    recorder = graph.enable_tracing()
+    g = graph.traversal()
+    g.V().hasLabel("patient").out("hasDisease").toList()
+    g.V("patient::1").values("name").toList()
+    before = graph.stats()
+    assert before["sql_queries"] > 0
+    assert len(recorder) > 0
+
+    graph.reset_stats()
+    after = graph.stats()
+    assert after == {key: 0 for key in after}, after
+    assert len(recorder) == 0
+    # the per-rule breakdown resets too
+    assert all(v == 0 for v in graph.metrics().values() if isinstance(v, int))
+    graph.disable_tracing()
+
+
+def test_counters_still_count_after_reset(paper_graph):
+    graph = paper_graph
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+    graph.traversal().V().hasLabel("patient").toList()
+    assert graph.stats()["sql_queries"] > 0
+    assert_counters_match_events(graph, recorder)
+    graph.disable_tracing()

@@ -1,0 +1,184 @@
+"""explain() and profile() unit + snapshot tests.
+
+One test per §6.2 compile-time strategy shows the before/after plan
+diff that explain() records when the strategy rewrites the chain, and
+the SQL preview attached to each final step.  The profile() tests pin
+the timing-tree invariants: a parent's inclusive time bounds its
+children's, and the SQL total equals what stats() counted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import P, __
+
+
+# ---------------------------------------------------------------------------
+# explain(): one before/after diff per strategy
+# ---------------------------------------------------------------------------
+
+
+def stage_by_name(explain, strategy):
+    for stage in explain.stages:
+        if stage.strategy == strategy:
+            return stage
+    raise AssertionError(
+        f"no {strategy} stage; applied: {[s.strategy for s in explain.stages]}"
+    )
+
+
+def test_predicate_pushdown_plan_diff(paper_graph):
+    ex = paper_graph.traversal().V().has("name", "Alice").explain()
+    stage = stage_by_name(ex, "PredicatePushdown")
+    # before: a separate in-memory Has filter step after the scan
+    assert any("Has(" in step for step in stage.before)
+    # after: folded into the GraphStep pushdown, Has step gone
+    assert not any(step.startswith("Has(") for step in stage.after)
+    assert any("P.eq('Alice')" in step and "GraphStep" in step for step in stage.after)
+    assert ex.original != ex.final
+
+
+def test_projection_pushdown_plan_diff(paper_graph):
+    ex = paper_graph.traversal().V().hasLabel("patient").values("name").explain()
+    stage = stage_by_name(ex, "ProjectionPushdown")
+    assert any("projection=None" in step for step in stage.before)
+    assert any("projection=" in step and "name" in step for step in stage.after)
+
+
+def test_aggregate_pushdown_plan_diff(paper_graph):
+    ex = paper_graph.traversal().V().count().explain()
+    stage = stage_by_name(ex, "AggregatePushdown")
+    assert any("Count" in step for step in stage.before)
+    # the count moved into SQL: no Count step survives, the GraphStep
+    # carries aggregate='count' and the preview is a COUNT(*) query
+    assert not any("Count(" in step for step in stage.after)
+    assert any("aggregate='count'" in step for step in stage.after)
+    sql = "\n".join(stmt for s in ex.step_sql for stmt in s.statements)
+    assert "COUNT" in sql.upper()
+
+
+def test_graphstep_vertexstep_mutation_plan_diff(paper_graph):
+    ex = paper_graph.traversal().V("patient::1").out("hasDisease").explain()
+    stage = stage_by_name(ex, "GraphStepVertexStepMutation")
+    assert any("VertexStep(out" in step for step in stage.before)
+    # rewritten to an edge scan + endpoint hop, pinned to patient 1
+    assert any("GraphStep(E" in step for step in stage.after)
+    assert any("EdgeVertexStep(inV)" in step for step in stage.after)
+    sql = "\n".join(stmt for s in ex.step_sql for stmt in s.statements)
+    assert "HasDisease" in sql and "patientID = ?" in sql
+
+
+def test_explain_snapshot_sections(paper_graph):
+    text = str(paper_graph.traversal().V().has("name", "Alice").explain())
+    for section in (
+        "=== Original plan ===",
+        "=== After PredicatePushdown ===",
+        "=== Final plan ===",
+        "=== SQL per step ===",
+    ):
+        assert section in text, text
+    assert "SELECT" in text
+    assert "table Disease eliminated (property_names)" in text
+
+
+def test_explain_without_strategies_has_no_stages(paper_db):
+    from repro.core import Db2Graph
+
+    from ..conftest import HEALTHCARE_TINY_OVERLAY
+
+    plain = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, optimized=False)
+    ex = plain.traversal().V().has("name", "Alice").explain()
+    assert ex.stages == []
+    assert ex.original == ex.final
+    assert any("Has(" in step for step in ex.final)
+
+
+def test_explain_is_side_effect_free(paper_graph):
+    paper_graph.reset_stats()
+    recorder = paper_graph.enable_tracing()
+    paper_graph.traversal().V().hasLabel("patient").out("hasDisease").explain()
+    # previews must not issue SQL, bump counters, or emit table events
+    stats = paper_graph.stats()
+    assert stats["sql_queries"] == 0
+    assert stats["tables_eliminated"] == 0
+    assert not recorder.count("table.eliminated")
+    assert not recorder.count("sql.issued")
+    paper_graph.disable_tracing()
+
+
+def test_explain_contains_keeps_string_protocol(paper_graph):
+    ex = paper_graph.traversal().V().explain()
+    assert "GraphStep" in ex  # ExplainResult.__contains__ delegates to str
+
+
+# ---------------------------------------------------------------------------
+# profile(): timing tree invariants
+# ---------------------------------------------------------------------------
+
+
+def test_profile_parent_time_bounds_children(paper_graph):
+    p = (
+        paper_graph.traversal()
+        .V()
+        .hasLabel("patient")
+        .filter_(__.out("hasDisease"))
+        .profile()
+    )
+    eps = 1e-6
+
+    def check(node):
+        assert node.seconds + eps >= sum(c.seconds for c in node.children), node.name
+        for child in node.children:
+            check(child)
+
+    check(p.root)
+    assert p.wall_seconds + eps >= sum(c.seconds for c in p.children)
+
+
+def test_profile_sql_total_matches_stats(paper_graph):
+    paper_graph.reset_stats()
+    p = paper_graph.traversal().V().hasLabel("patient").out("hasDisease").profile()
+    stats = paper_graph.stats()
+    assert p.sql_queries == stats["sql_queries"] > 0
+    assert p.rows_fetched == stats["rows_fetched"]
+    # per-step sql counts sum to the total (no step double-counts)
+    assert sum(c.sql_queries for c in p.children) == p.sql_queries
+
+
+def test_profile_reports_traversers_and_results(paper_graph):
+    p = paper_graph.traversal().V().hasLabel("patient").profile()
+    assert len(p.children) == 1 and "GraphStep" in p.children[0].name
+    n_patients = paper_graph.traversal().V().hasLabel("patient").count().next()
+    assert p.children[-1].traversers == len(p.results) == n_patients > 0
+
+
+def test_profile_renders_tree(paper_graph):
+    p = (
+        paper_graph.traversal()
+        .V()
+        .hasLabel("patient")
+        .filter_(__.out("hasDisease"))
+        .profile()
+    )
+    text = str(p)
+    assert "GraphStep" in text
+    assert "Filter" in text
+    assert "sql=" in text and "traversers=" in text
+    # nested sub-traversal is indented under its parent step
+    assert "\n    filter" in text
+
+
+def test_profile_has_step_and_subtraversal_nodes(paper_graph):
+    p = (
+        paper_graph.traversal()
+        .V()
+        .hasLabel("patient")
+        .filter_(__.out("hasDisease"))
+        .profile()
+    )
+    assert len(p.children) == 2
+    filter_node = p.children[1]
+    assert filter_node.children and filter_node.children[0].name == "filter"
+    sub_steps = filter_node.children[0].children
+    assert sub_steps and "VertexStep" in sub_steps[0].name
