@@ -1,0 +1,92 @@
+"""Chaos mode (opt-in via ``--chaos``): throughput under injected faults.
+
+Runs the LinkBench read queries through the relational engine while a
+seeded FaultInjector fails a fraction of SQL statements with transient
+errors, and reports how throughput and query success degrade as the
+fault rate rises.  Expected shape: the retry policy masks every fault
+at moderate rates (success ratio 1.0) and QPS falls modestly — the
+cost of re-issued statements — rather than collapsing.
+
+Deterministic by construction: seeded injector schedule, seeded retry
+jitter, no backoff sleeps.  Timing numbers vary run to run; the fault
+and retry *counts* do not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.chaos import ChaosResult, measure_chaos_throughput
+from repro.bench.reporting import format_table
+
+pytestmark = pytest.mark.chaos
+
+FAULT_RATES = [0.0, 0.05, 0.15]
+KINDS = ["getNode", "getLinkList"]
+
+_RESULTS: dict[tuple[str, float], ChaosResult] = {}
+
+
+@pytest.mark.parametrize("fault_rate", FAULT_RATES)
+@pytest.mark.parametrize("kind", KINDS)
+def test_chaos_throughput(small_db2_only, kind, fault_rate):
+    result = measure_chaos_throughput(
+        small_db2_only,
+        kind,
+        fault_rate=fault_rate,
+        clients=8,
+        queries_per_client=25,
+    )
+    _RESULTS[(kind, fault_rate)] = result
+
+    assert result.completed > 0
+    if fault_rate == 0.0:
+        assert result.faults_injected == 0
+        assert result.failed == 0
+    else:
+        assert result.faults_injected > 0
+        # every injected fault triggered a retry or exhausted the budget
+        assert result.retry_attempts + result.retry_exhausted > 0
+        # a 4-attempt budget masks these moderate fault rates
+        assert result.success_ratio == 1.0
+
+
+def test_chaos_report(collector):
+    if len(_RESULTS) < len(KINDS) * len(FAULT_RATES):
+        pytest.skip("chaos throughput benchmarks did not run")
+
+    for kind in KINDS:
+        healthy = _RESULTS[(kind, 0.0)]
+        rows = []
+        for rate in FAULT_RATES:
+            r = _RESULTS[(kind, rate)]
+            rows.append(
+                [
+                    f"{rate:.0%}",
+                    f"{r.qps:.0f}",
+                    f"{r.qps / healthy.qps:.2f}x" if healthy.qps else "n/a",
+                    f"{r.success_ratio:.2f}",
+                    r.faults_injected,
+                    r.retry_attempts,
+                    r.retry_exhausted,
+                    r.failed,
+                ]
+            )
+        collector.add(
+            "chaos_resilience",
+            format_table(
+                [
+                    "fault rate",
+                    "qps",
+                    "vs healthy",
+                    "success",
+                    "faults",
+                    "retries",
+                    "exhausted",
+                    "failed",
+                ],
+                rows,
+                title=f"Throughput under injected transient faults — {kind} "
+                f"({healthy.clients} clients, no-sleep retry, 4 attempts)",
+            ),
+        )

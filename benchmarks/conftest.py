@@ -22,6 +22,24 @@ from repro.workloads.linkbench import LinkBenchConfig
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the fault-injection (chaos) benchmarks",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--chaos"):
+        return
+    skip_chaos = pytest.mark.skip(reason="chaos benchmarks need --chaos")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip_chaos)
+
+
 class ResultCollector:
     """Accumulates paper-style report lines and writes them per module."""
 

@@ -1,0 +1,129 @@
+"""Throughput under injected faults — the bench harness ``--chaos`` mode.
+
+A healthy engine's throughput number says nothing about how it behaves
+when statements start failing.  This module measures the same
+thread-pool throughput as :mod:`repro.bench.concurrency`, but with a
+seeded :class:`~repro.resilience.FaultInjector` firing transient
+errors (lock timeouts, deadlocks, generic transients) at a configured
+per-statement probability, and a no-sleep
+:class:`~repro.resilience.RetryPolicy` masking them.
+
+The interesting outputs are the *success ratio* (queries that completed
+despite faults) and the throughput degradation relative to the
+fault-free run of the same workload — retries cost extra statements,
+so QPS should fall roughly in proportion to the fault rate, not
+collapse.  Backoff sleeps are stubbed out so the numbers measure retry
+*work*, not injected idle time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.db2graph import Db2Graph
+from ..resilience import FaultInjector, RetryPolicy
+from .harness import BenchSetup
+
+# Each injected fault class is transient — retryable by design, so a
+# sufficiently generous policy should mask all of them.
+TRANSIENT_KINDS = ("lock_timeout", "deadlock", "error")
+
+
+@dataclass
+class ChaosResult:
+    query: str
+    clients: int
+    fault_rate: float
+    qps: float
+    completed: int
+    failed: int
+    faults_injected: int
+    retry_attempts: int
+    retry_exhausted: int
+
+    @property
+    def success_ratio(self) -> float:
+        total = self.completed + self.failed
+        return self.completed / total if total else 0.0
+
+
+def measure_chaos_throughput(
+    setup: BenchSetup,
+    kind: str,
+    fault_rate: float = 0.0,
+    clients: int = 8,
+    queries_per_client: int = 20,
+    seed: int = 17,
+    max_attempts: int = 4,
+) -> ChaosResult:
+    """Run ``clients`` threads of LinkBench ``kind`` queries against the
+    setup's relational engine while transient faults fire on a seeded
+    ``fault_rate`` fraction of SQL statements.  ``fault_rate == 0.0``
+    gives the healthy baseline with the identical harness."""
+    graph = Db2Graph.open(
+        setup.database,
+        setup.dataset.overlay_config(),
+        retry_policy=RetryPolicy(
+            max_attempts=max_attempts, sleep=lambda _s: None, rng=random.Random(seed)
+        ),
+    )
+    injector = None
+    if fault_rate > 0.0:
+        injector = FaultInjector(seed=seed)
+        per_kind = fault_rate / len(TRANSIENT_KINDS)
+        for fault_kind in TRANSIENT_KINDS:
+            injector.add(fault_kind, probability=per_kind, times=None)
+
+    call_lists = [
+        [setup.workload.sample(kind) for _ in range(queries_per_client)]
+        for _ in range(clients)
+    ]
+    completed = [0] * clients
+    failed = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+    done = threading.Barrier(clients + 1)
+
+    def client(index: int, calls: list) -> None:
+        barrier.wait()
+        for call in calls:
+            try:
+                call.run(graph.traversal())
+            except Exception:
+                failed[index] += 1  # retry budget exhausted
+            else:
+                completed[index] += 1
+        done.wait()
+
+    threads = [
+        threading.Thread(target=client, args=(i, calls), daemon=True)
+        for i, calls in enumerate(call_lists)
+    ]
+    setup.database.fault_injector = injector
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        done.wait()
+        wall = time.perf_counter() - start
+        for thread in threads:
+            thread.join()
+    finally:
+        setup.database.fault_injector = None
+
+    stats = graph.stats()
+    total_done = sum(completed)
+    return ChaosResult(
+        query=kind,
+        clients=clients,
+        fault_rate=fault_rate,
+        qps=total_done / wall if wall > 0 else 0.0,
+        completed=total_done,
+        failed=sum(failed),
+        faults_injected=stats["faults_injected"],
+        retry_attempts=stats["retry_attempts"],
+        retry_exhausted=stats["retry_exhausted"],
+    )

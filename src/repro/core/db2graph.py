@@ -17,6 +17,7 @@ from typing import Any
 from ..graph.gremlin_parser import evaluate_gremlin
 from ..graph.strategy import StrategyRegistry
 from ..graph.traversal import GraphTraversalSource
+from ..obs import metrics as M
 from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import TraceRecorder
@@ -57,6 +58,9 @@ class Db2Graph:
         self._is_auto_generated = auto_generated_tables is not None
         self._resolved_generation = connection.database.ddl_generation
         self.refresh_count = 0
+        # Default QueryBudget for traversals (None = unlimited); set by
+        # open(budget=...) or per-source via g.with_budget(...).
+        self.budget = None
 
     @classmethod
     def open(
@@ -69,8 +73,18 @@ class Db2Graph:
         runtime_opts: RuntimeOptimizations | None = None,
         track_patterns: bool = True,
         auto_refresh: bool = False,
+        budget: Any = None,
+        retry_policy: Any = None,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
+
+        ``budget`` (a :class:`~repro.resilience.budget.QueryBudget`)
+        bounds every traversal spawned from :meth:`traversal` —
+        wall-clock deadline and/or statement/row/traverser ceilings.
+        ``retry_policy`` (a
+        :class:`~repro.resilience.retry.RetryPolicy`) retries
+        transient engine errors (deadlock victim, lock timeout) at the
+        per-statement boundary.
 
         ``overlay`` accepts an :class:`OverlayConfig`, a raw dict, or a
         path to a JSON overlay configuration file.
@@ -99,12 +113,22 @@ class Db2Graph:
         registry = MetricsRegistry()
         recorder = TraceRecorder()
         dialect = SqlDialect(
-            connection, track_patterns=track_patterns, registry=registry, recorder=recorder
+            connection,
+            track_patterns=track_patterns,
+            registry=registry,
+            recorder=recorder,
+            retry_policy=retry_policy,
         )
+        # One registry/recorder span the graph layer AND the relational
+        # engine underneath it (lock waits, deadlocks, sql errors), so
+        # stats()/traces reconcile across layers.
+        connection.database.bind_observability(registry, recorder)
         provider = OverlayGraph(topology, dialect, runtime_opts)
-        return cls(
+        graph = cls(
             connection, topology, dialect, provider, optimized, auto_refresh=auto_refresh
         )
+        graph.budget = budget
+        return graph
 
     @classmethod
     def open_auto(
@@ -165,7 +189,9 @@ class Db2Graph:
     def traversal(self) -> GraphTraversalSource:
         self._maybe_refresh()
         registry = StrategyRegistry(optimized_strategies() if self.optimized else [])
-        return GraphTraversalSource(self.provider, registry, recorder=self.trace)
+        return GraphTraversalSource(
+            self.provider, registry, recorder=self.trace, budget=self.budget
+        )
 
     def execute(self, gremlin: str, variables: dict[str, Any] | None = None) -> Any:
         """Run a Gremlin query string (the Gremlin-console interface)."""
@@ -206,6 +232,14 @@ class Db2Graph:
             "lazy_vertices": self.provider.stats.lazy_vertices,
             "statement_cache_hits": cache.hits,
             "statement_cache_misses": cache.misses,
+            # resilience layer
+            "sql_errors": self.registry.counter(M.SQL_ERRORS).value,
+            "lock_waits": self.registry.counter(M.LOCK_WAITS).value,
+            "deadlocks": self.registry.counter(M.LOCK_DEADLOCKS).value,
+            "retry_attempts": self.registry.counter(M.RETRY_ATTEMPTS).value,
+            "retry_exhausted": self.registry.counter(M.RETRY_EXHAUSTED).value,
+            "budget_exceeded": self.registry.counter(M.BUDGET_EXCEEDED).value,
+            "faults_injected": self.registry.counter(M.FAULTS_INJECTED).value,
         }
 
     def metrics(self) -> dict[str, Any]:

@@ -12,9 +12,10 @@ index advisor.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from ..graph.predicates import P
 from ..obs import metrics as M
@@ -23,6 +24,8 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_RECORDER, TraceRecorder
 from ..relational.database import Connection
 from ..relational.errors import CatalogError
+from ..resilience.budget import BudgetTracker
+from ..resilience.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -204,6 +207,7 @@ class SqlDialect:
         use_prepared: bool = True,
         registry: MetricsRegistry | None = None,
         recorder: TraceRecorder | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.connection = connection
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -214,6 +218,28 @@ class SqlDialect:
         # use_prepared=False re-parses/re-plans every statement — the
         # ablation of the paper's pre-compiled SQL templates (§6.1)
         self.use_prepared = use_prepared
+        # Per-statement retry of transient engine errors (None = fail fast).
+        self.retry_policy = retry_policy
+        # Budget checkpoints: the active BudgetTracker is thread-local
+        # because one dialect serves every concurrent traversal on this
+        # graph, each with its own budget (activated around execution).
+        self._budget = threading.local()
+
+    # -- budgets -----------------------------------------------------------------
+
+    @contextmanager
+    def budget_scope(self, tracker: BudgetTracker | None) -> Iterator[None]:
+        """Make ``tracker`` the budget for SQL issued on this thread."""
+        previous = getattr(self._budget, "tracker", None)
+        self._budget.tracker = tracker
+        try:
+            yield
+        finally:
+            self._budget.tracker = previous
+
+    @property
+    def active_budget(self) -> BudgetTracker | None:
+        return getattr(self._budget, "tracker", None)
 
     # -- statement building ------------------------------------------------------
 
@@ -275,19 +301,18 @@ class SqlDialect:
             self.tracker.record(table, predicates)
         if timing:
             self.registry.histogram(M.PHASE_TRANSLATE).observe(perf_counter() - started)
+        budget = self.active_budget
+        if budget is not None:
+            budget.note_sql()  # cancellation checkpoint at every SQL issue
         executed = perf_counter() if timed else 0.0
-        if self.use_prepared:
-            prepared = self.connection.prepare(sql)
-            if prepared.executions >= 1:  # compiled by an earlier execution
-                self.stats.prepared_hits += 1
-            result = prepared.execute(self.connection, params)
-        else:
-            result = self.connection.execute(sql, params)
+        result = self._run_statement(sql, params)
         elapsed = perf_counter() - executed if timed else None
         if timing:
             self.registry.histogram(M.PHASE_EXECUTE).observe(elapsed)
         self.stats.queries_issued += 1
         self.stats.rows_fetched += len(result.rows)
+        if budget is not None:
+            budget.note_rows(len(result.rows))
         if self.trace.enabled:
             self.trace.emit(
                 tracing.SQL_ISSUED,
@@ -305,6 +330,27 @@ class SqlDialect:
                 perf_counter() - materialized
             )
         return rows
+
+    def _run_statement(self, sql: str, params: Sequence[Any], count_hits: bool = True):
+        """Execute one statement, retrying transient engine errors under
+        the configured policy.  Prepared-cache hits are recorded only on
+        the successful attempt so retries don't inflate the counter."""
+
+        def attempt():
+            if self.use_prepared:
+                prepared = self.connection.prepare(sql)
+                hit = prepared.executions >= 1  # compiled by an earlier execution
+                return prepared.execute(self.connection, params), hit
+            return self.connection.execute(sql, params), False
+
+        policy = self.retry_policy
+        if policy is None:
+            result, hit = attempt()
+        else:
+            result, hit = policy.run(attempt, registry=self.registry, trace=self.trace)
+        if count_hits and hit:
+            self.stats.prepared_hits += 1
+        return result
 
     def aggregate_value(
         self,
@@ -335,11 +381,11 @@ class SqlDialect:
         if self.log is not None:
             self.log.append(sql)
         timed = self.trace.enabled
+        budget = self.active_budget
+        if budget is not None:
+            budget.note_sql()
         started = perf_counter() if timed else 0.0
-        if self.use_prepared:
-            self.connection.prepare(sql).execute(self.connection, list(values))
-        else:
-            self.connection.execute(sql, list(values))
+        self._run_statement(sql, list(values), count_hits=False)
         self.stats.queries_issued += 1
         if timed:
             self.trace.emit(

@@ -75,6 +75,10 @@ class TraversalContext:
         # boundary — including sub-traversal chains, which all flow
         # through run_steps with this context.
         self.profiler: Any = None
+        # Set when the traversal runs under a QueryBudget: a
+        # BudgetTracker whose guard() checkpoints every traverser
+        # expansion (sub-traversals included, same as the profiler).
+        self.budget: Any = None
 
     def state(self, step: "Step") -> dict:
         return self._step_state.setdefault(id(step), {})
@@ -85,8 +89,11 @@ def run_steps(
 ) -> Iterator[Traverser]:
     stream: Iterator[Traverser] = iter(traversers)
     profiler = ctx.profiler
+    budget = ctx.budget
     for step in steps:
         stream = step.process(stream, ctx)
+        if budget is not None:
+            stream = budget.guard(stream)
         if profiler is not None:
             stream = profiler.wrap(step, stream)
     return stream

@@ -457,11 +457,39 @@ class Traversal:
             or (isinstance(s, EdgeVertexStep) and s.direction is Direction.OTHER)
             for s in self._all_steps()
         )
-        return TraversalContext(self.source.provider, track_paths=track)
+        ctx = TraversalContext(self.source.provider, track_paths=track)
+        budget = getattr(self.source, "budget", None)
+        if budget is not None:
+            dialect = getattr(self.source.provider, "dialect", None)
+            if dialect is not None:
+                ctx.budget = budget.tracker(dialect.registry, dialect.trace)
+            else:
+                ctx.budget = budget.tracker()
+        return ctx
 
     def _execute(self) -> Iterator[Traverser]:
         ctx = self._execution_context()
-        return run_steps(self.steps, [], ctx)
+        stream = run_steps(self.steps, [], ctx)
+        if ctx.budget is not None:
+            stream = self._budgeted(stream, ctx.budget)
+        return stream
+
+    def _budgeted(self, stream: Iterator[Traverser], tracker: Any) -> Iterator[Traverser]:
+        """Drive the lazy result stream with the budget tracker active on
+        the dialect, so every SQL issue checkpoints against it — the
+        dialect is shared by concurrent traversals, hence the
+        thread-local activation around each pull."""
+        dialect = getattr(self.source.provider, "dialect", None)
+        if dialect is None:
+            yield from stream
+            return
+        while True:
+            with dialect.budget_scope(tracker):
+                try:
+                    item = next(stream)
+                except StopIteration:
+                    return
+            yield item
 
     def _all_steps(self) -> Iterator[Step]:
         stack = list(self.steps)
@@ -541,12 +569,15 @@ class GraphTraversalSource:
         provider: GraphProvider,
         strategies: StrategyRegistry | None = None,
         recorder: Any = None,
+        budget: Any = None,
     ):
         self.provider = provider
         self.strategies = strategies or StrategyRegistry()
         # Optional TraceRecorder (from Db2Graph.enable_tracing()):
         # compile() emits strategy.applied/traversal.compiled through it.
         self.recorder = recorder
+        # Optional QueryBudget applied to every traversal spawned here.
+        self.budget = budget
 
     def __deepcopy__(self, memo: dict) -> "GraphTraversalSource":
         # explain() deep-copies step plans; step plans reference their
@@ -570,13 +601,26 @@ class GraphTraversalSource:
         registry = self.strategies.copy()
         for strategy in strategies:
             registry.add(strategy)
-        return GraphTraversalSource(self.provider, registry, self.recorder)
+        return GraphTraversalSource(self.provider, registry, self.recorder, self.budget)
 
     def without_strategies(self, *names: str) -> "GraphTraversalSource":
         registry = self.strategies.copy()
         for name in names:
             registry.remove(name)
-        return GraphTraversalSource(self.provider, registry, self.recorder)
+        return GraphTraversalSource(self.provider, registry, self.recorder, self.budget)
+
+    def with_budget(self, budget: Any = None, **limits: Any) -> "GraphTraversalSource":
+        """A source whose traversals run under a :class:`QueryBudget`.
+
+        Accepts a ready budget or limit kwargs::
+
+            g.with_budget(deadline_seconds=1.0, max_traversers=10_000)
+        """
+        if budget is None:
+            from ..resilience.budget import QueryBudget
+
+            budget = QueryBudget(**limits)
+        return GraphTraversalSource(self.provider, self.strategies, self.recorder, budget)
 
     def __repr__(self) -> str:
         return f"g[{self.provider.describe()}]"

@@ -161,6 +161,14 @@ LAZY_VERTICES = "structure.lazy_vertices"
 PHASE_TRANSLATE = "phase.translate_seconds"
 PHASE_EXECUTE = "phase.execute_seconds"
 PHASE_MATERIALIZE = "phase.materialize_seconds"
+# Resilience counters (lock manager / retry / budgets / fault injection).
+LOCK_WAITS = "lock.waits"
+LOCK_DEADLOCKS = "lock.deadlocks"
+SQL_ERRORS = "sql.errors"
+RETRY_ATTEMPTS = "retry.attempts"
+RETRY_EXHAUSTED = "retry.exhausted"
+BUDGET_EXCEEDED = "budget.exceeded"
+FAULTS_INJECTED = "fault.injected"
 
 
 def eliminated_counter_name(rule: str) -> str:

@@ -21,6 +21,21 @@ event name             attributes
 ``vertex.from_edge``   ``table`` — endpoint built from the edge row
                        without SQL (§6.3)
 ``vertex.lazy``        ``table`` hint — endpoint handed out unmaterialized
+``lock.wait``          ``table``, ``owner``, ``exclusive`` — an acquire
+                       blocked and registered a wait-for edge
+``deadlock.detected``  ``table``, ``victim``, ``cycle`` — a lock wait
+                       closed a wait-for cycle; the victim gets
+                       :class:`DeadlockError`
+``sql.error``          ``error`` (class name), ``statement`` — a statement
+                       failed inside the executor
+``retry.attempt``      ``error``, ``attempt``, ``delay`` — a transient
+                       failure will be retried after backoff
+``retry.exhausted``    ``error``, ``attempts`` — retries ran out; the last
+                       error propagates
+``budget.exceeded``    ``reason``, ``progress`` — a query budget tripped
+                       (deadline / statements / rows / traversers)
+``fault.injected``     ``kind``, ``table``, ``statement`` — the fault
+                       injector fired (chaos tests only)
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -132,3 +147,10 @@ TABLE_ELIMINATED = "table.eliminated"
 SQL_ISSUED = "sql.issued"
 VERTEX_FROM_EDGE = "vertex.from_edge"
 VERTEX_LAZY = "vertex.lazy"
+LOCK_WAIT = "lock.wait"
+DEADLOCK_DETECTED = "deadlock.detected"
+SQL_ERROR = "sql.error"
+RETRY_ATTEMPT = "retry.attempt"
+RETRY_EXHAUSTED = "retry.exhausted"
+BUDGET_EXCEEDED = "budget.exceeded"
+FAULT_INJECTED = "fault.injected"

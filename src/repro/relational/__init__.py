@@ -21,6 +21,7 @@ from .errors import (
     CatalogError,
     ConstraintViolationError,
     DatabaseError,
+    DeadlockError,
     ExecutionError,
     LockTimeoutError,
     SqlSyntaxError,
@@ -64,6 +65,7 @@ __all__ = [
     "ConstraintViolationError",
     "TransactionError",
     "LockTimeoutError",
+    "DeadlockError",
     "AccessDeniedError",
     "ExecutionError",
 ]

@@ -17,16 +17,16 @@ from .index import Index, make_index
 from .schema import TableSchema
 from .sql_ast import SelectStmt
 from .storage import TableStorage
-from .transactions import RWLock
+from .transactions import LockManager, RWLock
 
 
 class Table:
     """A catalog entry pairing a schema, storage, and a table lock."""
 
-    def __init__(self, schema: TableSchema, owner: str):
+    def __init__(self, schema: TableSchema, owner: str, lock_manager: LockManager | None = None):
         self.schema = schema
         self.storage = TableStorage(schema)
-        self.lock = RWLock(schema.name)
+        self.lock = RWLock(schema.name, manager=lock_manager)
         self.owner = owner
 
     @property
@@ -52,7 +52,11 @@ class View:
 
 
 class Catalog:
-    def __init__(self) -> None:
+    def __init__(self, lock_manager: LockManager | None = None) -> None:
+        # One shared LockManager per database gives its table locks a
+        # consistent wait-for graph for deadlock detection; a standalone
+        # Catalog still works (each lock gets a private manager).
+        self.lock_manager = lock_manager
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
         self._indexes: dict[str, str] = {}  # index name -> table name
@@ -74,7 +78,7 @@ class Catalog:
                     )
                 for col in fk.ref_columns:
                     ref.schema.require_column(col)
-            table = Table(schema, owner)
+            table = Table(schema, owner, self.lock_manager)
             self._tables[key] = table
             if schema.has_primary_key:
                 self._indexes[f"pk_{schema.name}".lower()] = key

@@ -12,6 +12,8 @@ import threading
 from typing import Any, Iterable, Sequence
 
 from ..common.clock import Clock, SystemClock
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
 from .access import AccessControl
 from .catalog import Catalog
 from .errors import TransactionError
@@ -21,7 +23,7 @@ from .prepared import PreparedStatement, StatementCache
 from .schema import TableSchema
 from .sql_parser import parse_script, parse_statement
 from .sql_ast import TransactionStmt
-from .transactions import Transaction, TransactionManager
+from .transactions import LockManager, Transaction, TransactionManager
 
 
 class Database:
@@ -34,7 +36,8 @@ class Database:
     ):
         self.name = name
         self.clock = clock or SystemClock()
-        self.catalog = Catalog()
+        self.lock_manager = LockManager()
+        self.catalog = Catalog(self.lock_manager)
         self.txn_manager = TransactionManager(self.clock)
         self.access = AccessControl(admin_user)
         self.executor = Executor(self)
@@ -43,6 +46,21 @@ class Database:
         self.ddl_generation = 0
         self._ddl_lock = threading.Lock()
         self.statements_executed = 0
+        # Observability: the lock manager / executor emit counters and
+        # trace events here; Db2Graph.open rebinds both so one registry
+        # spans the relational and graph layers.
+        self.obs_registry: MetricsRegistry = self.lock_manager.registry
+        self.obs_trace: TraceRecorder = NULL_RECORDER
+        # Chaos hook (repro.resilience.faults.FaultInjector) consulted by
+        # the executor before running each statement.  None in production.
+        self.fault_injector = None
+
+    def bind_observability(self, registry: MetricsRegistry, trace: TraceRecorder) -> None:
+        """Point all engine-side emission sites at shared sinks."""
+        self.obs_registry = registry
+        self.obs_trace = trace
+        self.lock_manager.registry = registry
+        self.lock_manager.trace = trace
 
     # -- connections -------------------------------------------------------
 
@@ -90,6 +108,8 @@ class Connection:
         self.database = database
         self.user = user
         self.current_txn: Transaction | None = None
+        # Session-scoped chaos hook; overrides the database-level one.
+        self.fault_injector = None
 
     # -- SQL entry points ---------------------------------------------------
 
@@ -172,12 +192,20 @@ class Connection:
             txn = self.current_txn
             if key not in txn.write_locks:
                 lock = self.database.catalog.get_table(table_name).lock
-                lock.acquire_write()
+                # A timed-out/deadlocked acquire propagates; locks already
+                # held stay with the txn, which remains rollback-able.
+                lock.acquire_write(owner=txn.txn_id)
                 txn.write_locks[key] = lock
             return txn, False
         txn = self.database.txn_manager.begin()
         lock = self.database.catalog.get_table(table_name).lock
-        lock.acquire_write()
+        try:
+            lock.acquire_write(owner=txn.txn_id)
+        except TransactionError:
+            # Don't leak an ACTIVE autocommit transaction when the lock
+            # can't be acquired — roll it back before propagating.
+            txn.rollback()
+            raise
         txn.write_locks[key] = lock
         return txn, True
 

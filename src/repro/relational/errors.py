@@ -41,7 +41,26 @@ class TransactionError(DatabaseError):
 
 
 class LockTimeoutError(TransactionError):
-    """Raised when a table lock cannot be acquired within the timeout."""
+    """Raised when a table lock cannot be acquired within the timeout.
+
+    Transient: the conflicting holder will eventually release, so the
+    statement is safe to retry (see :mod:`repro.resilience.retry`).
+    """
+
+
+class DeadlockError(TransactionError):
+    """Raised when a lock wait would close a cycle in the wait-for graph.
+
+    The youngest transaction in the cycle (largest transaction id) is
+    chosen as the victim and receives this error; every other
+    participant keeps waiting and proceeds once the victim releases its
+    locks.  Transient by definition: rollback and retry resolves it.
+    """
+
+    def __init__(self, message: str, victim: int | None = None, cycle: tuple = ()):
+        self.victim = victim
+        self.cycle = tuple(cycle)
+        super().__init__(message)
 
 
 class AccessDeniedError(DatabaseError):

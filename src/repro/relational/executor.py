@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Iterator, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from . import sql_ast as A
 from .catalog import View
 from .errors import (
@@ -79,6 +81,16 @@ class Executor:
         return result
 
     def _execute_dml(self, stmt: A.Statement, session: Any, params: Sequence[Any]) -> ResultSet:
+        kind = type(stmt).__name__.removesuffix("Stmt").lower()
+        tables = [t for t in (getattr(stmt, "table", None),) if t]
+        try:
+            self._before_statement(kind, tables, session)
+            return self._dispatch_dml(stmt, session, params)
+        except Exception as exc:
+            self._note_error(exc, kind)
+            raise
+
+    def _dispatch_dml(self, stmt: A.Statement, session: Any, params: Sequence[Any]) -> ResultSet:
         if isinstance(stmt, A.InsertStmt):
             return self._insert(stmt, session, params)
         if isinstance(stmt, A.UpdateStmt):
@@ -111,14 +123,51 @@ class Executor:
         # Readers take no table locks: MVCC snapshots give them a
         # consistent view without blocking on writers — the property
         # behind Db2's concurrent-query strength the paper leans on.
-        self._check_access(planned.accessed, session)
-        hook = self.timing_hook
-        started = perf_counter() if hook is not None else 0.0
-        ctx = session.exec_context(params)
-        rows = list(planned.root.rows(ctx))
+        try:
+            self._check_access(planned.accessed, session)
+            self._before_statement(
+                "select", [name for name, _priv in planned.accessed], session
+            )
+            hook = self.timing_hook
+            started = perf_counter() if hook is not None else 0.0
+            ctx = session.exec_context(params)
+            rows = list(planned.root.rows(ctx))
+        except Exception as exc:
+            self._note_error(exc, "select")
+            raise
         if hook is not None:
             hook("select", perf_counter() - started, len(rows))
         return ResultSet(columns=list(planned.output_names), rows=rows, rowcount=len(rows))
+
+    # -- resilience hooks ---------------------------------------------------
+
+    def _before_statement(self, kind: str, tables: Sequence[str], session: Any) -> None:
+        """Chaos hook: give an installed fault injector the chance to
+        fail or delay this statement (session-level wins over database)."""
+        injector = getattr(session, "fault_injector", None)
+        if injector is None:
+            injector = self.database.fault_injector
+        if injector is not None:
+            injector.on_statement(
+                kind,
+                tables,
+                registry=self.database.obs_registry,
+                trace=self.database.obs_trace,
+            )
+
+    def _note_error(self, exc: Exception, kind: str) -> None:
+        """Count/trace a statement failure exactly once per exception —
+        nested statements (INSERT .. SELECT) re-raise the same instance."""
+        if getattr(exc, "_obs_noted", False):
+            return
+        try:
+            exc._obs_noted = True  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        self.database.obs_registry.counter(obs_metrics.SQL_ERRORS).increment()
+        self.database.obs_trace.emit(
+            tracing.SQL_ERROR, error=type(exc).__name__, statement=kind
+        )
 
     def _check_access(self, accessed: list[tuple[str, str]], session: Any) -> None:
         for name, privilege in accessed:

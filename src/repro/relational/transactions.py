@@ -1,4 +1,4 @@
-"""Transactions, snapshots, and table locks.
+"""Transactions, snapshots, table locks, and deadlock detection.
 
 The engine uses multi-version concurrency control: every row version
 carries a *begin* and *end* commit-sequence-number (CSN).  A statement
@@ -13,6 +13,21 @@ until transaction end for writers and statement end for readers.  The
 locks record their shared/exclusive hold times, which the benchmark
 harness uses to derive each engine's serial fraction for the Fig. 6
 throughput model.
+
+Every lock of one database shares a :class:`LockManager`: one condition
+variable guards all lock state, which makes three properties cheap to
+provide the way a production engine does (paper §1: graph queries
+free-ride Db2's concurrency control rather than reimplement it):
+
+* **Deadlock detection** — a blocked acquire registers a wait edge and
+  walks the wait-for graph; a cycle raises :class:`DeadlockError` on
+  the *youngest* participant (largest transaction id) instead of
+  letting both sides burn their full lock timeout.
+* **Writer preference** — new readers queue behind waiting writers, so
+  a steady reader stream cannot starve a writer.
+* **Observability** — every wait and every detected deadlock emits a
+  ``lock.wait`` / ``deadlock.detected`` trace event and counter through
+  the shared :mod:`repro.obs` registry.
 """
 
 from __future__ import annotations
@@ -20,71 +35,295 @@ from __future__ import annotations
 import bisect
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from ..common.clock import Clock, SystemClock
-from .errors import LockTimeoutError, TransactionError
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
+from .errors import DeadlockError, LockTimeoutError, TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .storage import RowVersion, TableStorage
 
 
-class RWLock:
-    """A reader-writer lock with hold-time instrumentation.
+def _thread_owner() -> int:
+    """Fallback lock owner for acquires outside a transaction (DDL).
 
-    Re-entrant per transaction is not needed: the executor acquires each
-    table lock at most once per statement/transaction.
+    Negative so it can never win victim selection against a real
+    transaction id (victim = the *largest* owner in the cycle).
+    """
+    return -threading.get_ident()
+
+
+class LockManager:
+    """Shared coordination point for every table lock of one database.
+
+    A single condition variable guards all lock state.  That makes the
+    wait-for graph trivially consistent (no lock-ordering problems
+    inside the deadlock detector itself) and lets a detected victim be
+    woken with one ``notify_all``.  Table-level locking is coarse
+    enough that the shared condition is not a throughput concern.
     """
 
-    def __init__(self, name: str = "", timeout: float = 10.0):
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._cond = threading.Condition()
+        # owner -> (lock, exclusive) while the owner is blocked
+        self._waits: dict[Any, tuple["RWLock", bool]] = {}
+        # owners chosen as deadlock victims, with the error to deliver
+        self._victims: dict[Any, DeadlockError] = {}
+        self.deadlocks_detected = 0
+        # Rebound by Database.bind_observability (Db2Graph.open installs
+        # its own registry/recorder here so one snapshot spans layers).
+        self.registry: MetricsRegistry = MetricsRegistry()
+        self.trace: TraceRecorder = NULL_RECORDER
+
+    # -- introspection (tests assert the lock table is clean) ---------------
+
+    def waiting_owners(self) -> list[Any]:
+        with self._cond:
+            return list(self._waits)
+
+    def is_clean(self) -> bool:
+        """No pending waits and no undelivered victim markers."""
+        with self._cond:
+            return not self._waits and not self._victims
+
+    # -- wait bookkeeping (callers hold self._cond) -------------------------
+
+    def _begin_wait(self, owner: Any, lock: "RWLock", exclusive: bool) -> None:
+        self._waits[owner] = (lock, exclusive)
+        if exclusive:
+            lock._waiting_writers += 1
+        self.registry.counter(obs_metrics.LOCK_WAITS).increment()
+        self.trace.emit(
+            tracing.LOCK_WAIT, table=lock.name, owner=owner, exclusive=exclusive
+        )
+        try:
+            self._check_deadlock(owner)
+        except DeadlockError:
+            self._end_wait(owner, lock, exclusive)
+            raise
+
+    def _end_wait(self, owner: Any, lock: "RWLock", exclusive: bool) -> None:
+        self._waits.pop(owner, None)
+        self._victims.pop(owner, None)
+        if exclusive:
+            lock._waiting_writers -= 1
+            # a writer giving up may unblock readers queued behind it
+            self._cond.notify_all()
+
+    # -- wait-for graph ------------------------------------------------------
+
+    def _blockers(self, owner: Any, lock: "RWLock", exclusive: bool) -> set[Any]:
+        """Owners that currently prevent ``owner`` from acquiring."""
+        blockers: set[Any] = set()
+        if lock._writer_owner is not None and lock._writer_owner != owner:
+            blockers.add(lock._writer_owner)
+        if exclusive:
+            blockers.update(r for r in lock._reader_count if r != owner)
+        else:
+            # writer preference: a reader queues behind waiting writers
+            blockers.update(
+                w
+                for w, (waited, ex) in self._waits.items()
+                if ex and waited is lock and w != owner
+            )
+        return blockers
+
+    def _check_deadlock(self, start: Any) -> None:
+        cycle = self._find_cycle(start)
+        if cycle is None:
+            return
+        victim = max(cycle)  # youngest transaction = largest txn id
+        self.deadlocks_detected += 1
+        lock, _exclusive = self._waits[victim]
+        self.registry.counter(obs_metrics.LOCK_DEADLOCKS).increment()
+        self.trace.emit(
+            tracing.DEADLOCK_DETECTED, table=lock.name, victim=victim, cycle=tuple(cycle)
+        )
+        error = DeadlockError(
+            f"deadlock detected on {lock.name!r}: cycle {tuple(cycle)!r}, "
+            f"victim txn {victim}",
+            victim=victim,
+            cycle=tuple(cycle),
+        )
+        if victim == start:
+            raise error
+        self._victims[victim] = error
+        self._cond.notify_all()
+
+    def _find_cycle(self, start: Any) -> list[Any] | None:
+        """DFS from ``start`` over wait-for edges; the cycle through
+        ``start`` (a new wait can only close cycles through itself)."""
+        path: list[Any] = [start]
+        visited: set[Any] = set()
+
+        def walk(node: Any) -> bool:
+            entry = self._waits.get(node)
+            if entry is None:
+                return False
+            lock, exclusive = entry
+            for blocker in self._blockers(node, lock, exclusive):
+                if blocker == start:
+                    return True
+                if blocker in visited:
+                    continue
+                visited.add(blocker)
+                path.append(blocker)
+                if walk(blocker):
+                    return True
+                path.pop()
+            return False
+
+        return path if walk(start) else None
+
+
+class RWLock:
+    """A reader-writer lock with deadlock detection, writer preference,
+    and hold-time instrumentation.
+
+    Re-entrant per transaction is not needed: the executor acquires each
+    table lock at most once per statement/transaction.  ``owner`` is a
+    transaction id where available; lock-table DDL acquires fall back to
+    a per-thread owner token.
+    """
+
+    def __init__(self, name: str = "", timeout: float = 10.0, manager: LockManager | None = None):
         self.name = name
         self.timeout = timeout
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer = False
+        self.manager = manager if manager is not None else LockManager()
+        self._reader_count: dict[Any, int] = {}
+        self._writer_owner: Any | None = None
+        self._waiting_writers = 0
         self.shared_held_seconds = 0.0
         self.exclusive_held_seconds = 0.0
-        self._shared_since: dict[int, float] = {}
+        self._shared_since: dict[Any, float] = {}
         self._exclusive_since = 0.0
 
-    def acquire_read(self) -> None:
-        deadline = time.monotonic() + self.timeout
-        with self._cond:
-            while self._writer:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(remaining):
-                    raise LockTimeoutError(f"read lock timeout on {self.name!r}")
-            self._readers += 1
-            self._shared_since[threading.get_ident()] = time.perf_counter()
+    # -- introspection -------------------------------------------------------
 
-    def release_read(self) -> None:
-        with self._cond:
-            if self._readers <= 0:
-                raise TransactionError(f"read lock on {self.name!r} not held")
-            self._readers -= 1
-            since = self._shared_since.pop(threading.get_ident(), None)
-            if since is not None:
-                self.shared_held_seconds += time.perf_counter() - since
-            if self._readers == 0:
-                self._cond.notify_all()
+    @property
+    def writer_owner(self) -> Any | None:
+        return self._writer_owner
 
-    def acquire_write(self) -> None:
-        deadline = time.monotonic() + self.timeout
-        with self._cond:
-            while self._writer or self._readers > 0:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not self._cond.wait(remaining):
-                    raise LockTimeoutError(f"write lock timeout on {self.name!r}")
-            self._writer = True
+    @property
+    def reader_owners(self) -> list[Any]:
+        return list(self._reader_count)
+
+    @property
+    def waiting_writers(self) -> int:
+        return self._waiting_writers
+
+    @property
+    def is_idle(self) -> bool:
+        """Nobody holds or waits on this lock (for leak regression tests)."""
+        with self.manager._cond:
+            return (
+                self._writer_owner is None
+                and not self._reader_count
+                and self._waiting_writers == 0
+            )
+
+    # -- predicates (callers hold manager._cond) -----------------------------
+
+    def _read_blocked(self, owner: Any) -> bool:
+        if self._writer_owner is not None and self._writer_owner != owner:
+            return True
+        # writer preference: new readers queue behind waiting writers;
+        # owners already reading may "re-enter" without queueing.
+        if self._waiting_writers > 0 and owner not in self._reader_count:
+            return True
+        return False
+
+    def _write_blocked(self, owner: Any) -> bool:
+        if self._writer_owner is not None and self._writer_owner != owner:
+            return True
+        return any(reader != owner for reader in self._reader_count)
+
+    # -- acquire/release -----------------------------------------------------
+
+    def acquire_read(self, owner: Any = None, timeout: float | None = None) -> None:
+        self._acquire(owner, exclusive=False, timeout=timeout)
+
+    def acquire_write(self, owner: Any = None, timeout: float | None = None) -> None:
+        self._acquire(owner, exclusive=True, timeout=timeout)
+
+    def _acquire(self, owner: Any, exclusive: bool, timeout: float | None) -> None:
+        if owner is None:
+            owner = _thread_owner()
+        manager = self.manager
+        blocked = self._write_blocked if exclusive else self._read_blocked
+        with manager._cond:
+            if not blocked(owner):
+                self._grant(owner, exclusive)
+                return
+            limit = self.timeout if timeout is None else timeout
+            deadline = manager.clock() + limit
+            manager._begin_wait(owner, self, exclusive)
+            try:
+                while True:
+                    error = manager._victims.pop(owner, None)
+                    if error is not None:
+                        raise error
+                    # Re-check the predicate on *every* wakeup — a timed-out
+                    # wait() where the lock just became free must acquire,
+                    # not raise.
+                    if not blocked(owner):
+                        self._grant(owner, exclusive)
+                        return
+                    remaining = deadline - manager.clock()
+                    if remaining <= 0:
+                        kind = "write" if exclusive else "read"
+                        raise LockTimeoutError(
+                            f"{kind} lock timeout on {self.name!r} (owner {owner!r})"
+                        )
+                    manager._cond.wait(remaining)
+            finally:
+                manager._end_wait(owner, self, exclusive)
+
+    def _grant(self, owner: Any, exclusive: bool) -> None:
+        if exclusive:
+            self._writer_owner = owner
             self._exclusive_since = time.perf_counter()
+        else:
+            count = self._reader_count.get(owner, 0)
+            self._reader_count[owner] = count + 1
+            if count == 0:
+                self._shared_since[owner] = time.perf_counter()
 
-    def release_write(self) -> None:
-        with self._cond:
-            if not self._writer:
+    def release_read(self, owner: Any = None) -> None:
+        if owner is None:
+            owner = _thread_owner()
+        with self.manager._cond:
+            count = self._reader_count.get(owner)
+            if not count:
+                raise TransactionError(
+                    f"read lock on {self.name!r} not held by {owner!r}"
+                )
+            if count == 1:
+                del self._reader_count[owner]
+                since = self._shared_since.pop(owner, None)
+                if since is not None:
+                    self.shared_held_seconds += time.perf_counter() - since
+            else:
+                self._reader_count[owner] = count - 1
+            self.manager._cond.notify_all()
+
+    def release_write(self, owner: Any = None) -> None:
+        with self.manager._cond:
+            if self._writer_owner is None:
                 raise TransactionError(f"write lock on {self.name!r} not held")
-            self._writer = False
+            if owner is not None and self._writer_owner != owner:
+                raise TransactionError(
+                    f"write lock on {self.name!r} held by {self._writer_owner!r}, "
+                    f"not {owner!r}"
+                )
+            self._writer_owner = None
             self.exclusive_held_seconds += time.perf_counter() - self._exclusive_since
-            self._cond.notify_all()
+            self.manager._cond.notify_all()
 
 
 class Transaction:
@@ -193,8 +432,8 @@ class TransactionManager:
 
     def _release_locks(self, txn: Transaction) -> None:
         for lock in txn.write_locks.values():
-            lock.release_write()
+            lock.release_write(txn.txn_id)
         txn.write_locks.clear()
         for lock in txn.read_locks.values():
-            lock.release_read()
+            lock.release_read(txn.txn_id)
         txn.read_locks.clear()

@@ -1,0 +1,49 @@
+"""``repro.resilience`` — failure classification, retries, budgets, chaos.
+
+The paper's pitch is that graph queries *free-ride* Db2's enterprise
+robustness (§1, §4).  This package is that robustness for the
+reproduction:
+
+* :mod:`~repro.resilience.retry` — transient-vs-permanent error
+  classification and an exponential-backoff-with-jitter
+  :class:`RetryPolicy` applied per SQL statement in the graph layer;
+* :mod:`~repro.resilience.budget` — :class:`QueryBudget` deadlines and
+  resource ceilings with cancellation checkpoints at every SQL issue
+  and traverser expansion;
+* :mod:`~repro.resilience.faults` — a seeded :class:`FaultInjector` the
+  executor consults before each statement, powering the deterministic
+  chaos suite;
+* :mod:`~repro.resilience.errors` — budget errors carrying
+  partial-progress snapshots.
+
+Everything time- or randomness-dependent takes an injectable clock,
+sleep, and rng, so every failure path is testable without real waiting.
+"""
+
+from .budget import BudgetTracker, QueryBudget
+from .errors import (
+    BudgetError,
+    BudgetExceededError,
+    QueryTimeoutError,
+    ResilienceError,
+    RetryExhaustedError,
+)
+from .faults import Fault, FaultInjector, InjectedTransientError
+from .retry import NO_RETRY, TRANSIENT_ERRORS, RetryPolicy, is_transient
+
+__all__ = [
+    "QueryBudget",
+    "BudgetTracker",
+    "ResilienceError",
+    "BudgetError",
+    "BudgetExceededError",
+    "QueryTimeoutError",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "NO_RETRY",
+    "TRANSIENT_ERRORS",
+    "is_transient",
+    "FaultInjector",
+    "Fault",
+    "InjectedTransientError",
+]

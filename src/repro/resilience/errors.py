@@ -1,0 +1,44 @@
+"""Errors raised by the resilience layer (budgets and deadlines).
+
+Budget errors deliberately carry *partial progress* — how far the query
+got before it was cut off — because a deadline abort with no context is
+undiagnosable in production.  ``progress`` is a plain dict::
+
+    {"sql_issued": 12, "rows_fetched": 4100, "traversers_spawned": 950,
+     "steps_completed": 3, "elapsed_seconds": 0.51}
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ResilienceError(Exception):
+    """Base class for resilience-layer errors."""
+
+
+class BudgetError(ResilienceError):
+    """A query exceeded one of its :class:`QueryBudget` limits."""
+
+    def __init__(self, message: str, reason: str, progress: dict[str, Any] | None = None):
+        self.reason = reason
+        self.progress = dict(progress or {})
+        super().__init__(message)
+
+
+class QueryTimeoutError(BudgetError):
+    """The wall-clock deadline expired before the query finished."""
+
+
+class BudgetExceededError(BudgetError):
+    """A resource limit (statements / rows / traversers) was exceeded."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Raised only when a caller asks RetryPolicy to wrap the last error
+    instead of re-raising it; carries the underlying transient error."""
+
+    def __init__(self, message: str, last_error: BaseException, attempts: int):
+        self.last_error = last_error
+        self.attempts = attempts
+        super().__init__(message)

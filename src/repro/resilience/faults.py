@@ -1,0 +1,165 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultInjector` installs on a ``Database`` (all sessions) or a
+single ``Connection`` (that session only); the executor consults it at
+the top of every statement.  Faults match by table name, absolute
+statement count, or seeded probability, and fire a bounded number of
+times — which is what makes chaos runs reproducible: same seed, same
+schedule of faults, same query results after retry.
+
+Injected errors are fresh exception instances per fire (so per-attempt
+``sql.error`` accounting stays 1:1) and carry ``injected = True`` plus,
+for the generic ``"error"`` kind, ``transient = True`` so the retry
+classifier treats them like real transient failures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
+from ..relational.errors import DeadlockError, LockTimeoutError
+
+KINDS = ("lock_timeout", "deadlock", "slow", "error")
+
+
+class InjectedTransientError(Exception):
+    """A synthetic transient failure (classified retryable via the
+    ``transient`` attribute, not by type)."""
+
+    transient = True
+    injected = True
+
+
+@dataclass
+class Fault:
+    """One fault rule; ``times=None`` means unlimited fires."""
+
+    kind: str
+    table: str | None = None
+    at_statement: int | None = None
+    times: int | None = 1
+    probability: float | None = None
+    delay: float = 0.0
+    error: Callable[[], BaseException] | None = None
+    fired: int = field(default=0, init=False)
+
+    def matches(self, statement_no: int, tables: Sequence[str], rng: random.Random) -> bool:
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.at_statement is not None and statement_no != self.at_statement:
+            return False
+        if self.table is not None and self.table.lower() not in {
+            t.lower() for t in tables
+        }:
+            return False
+        if self.probability is not None and rng.random() >= self.probability:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Seeded statement-level fault source.
+
+    ::
+
+        injector = FaultInjector(seed=7)
+        injector.add("lock_timeout", table="knows", times=1)
+        injector.add("slow", at_statement=3, delay=0.05)
+        db.fault_injector = injector        # or connection.fault_injector
+
+    ``sleep`` is injectable so "slow statement" faults can be simulated
+    without real waiting in tests.
+    """
+
+    def __init__(self, seed: int = 0, sleep: Callable[[float], None] = time.sleep):
+        self.rng = random.Random(seed)
+        self.sleep = sleep
+        self.faults: list[Fault] = []
+        self.statements_seen = 0
+        self.fires = 0
+
+    def add(
+        self,
+        kind: str,
+        table: str | None = None,
+        at_statement: int | None = None,
+        times: int | None = 1,
+        probability: float | None = None,
+        delay: float = 0.0,
+        error: Callable[[], BaseException] | None = None,
+    ) -> Fault:
+        if kind not in KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected one of {KINDS}")
+        fault = Fault(kind, table, at_statement, times, probability, delay, error)
+        self.faults.append(fault)
+        return fault
+
+    def reset(self) -> None:
+        self.statements_seen = 0
+        self.fires = 0
+        for fault in self.faults:
+            fault.fired = 0
+
+    # -- executor hook -------------------------------------------------------
+
+    def on_statement(
+        self,
+        kind: str,
+        tables: Sequence[str],
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder = NULL_RECORDER,
+    ) -> None:
+        """Called by the executor before running each statement; raises
+        the injected error (or sleeps, for ``slow``) when a rule fires."""
+        self.statements_seen += 1
+        statement_no = self.statements_seen
+        for fault in self.faults:
+            if not fault.matches(statement_no, tables, self.rng):
+                continue
+            fault.fired += 1
+            self.fires += 1
+            if registry is not None:
+                registry.counter(obs_metrics.FAULTS_INJECTED).increment()
+            trace.emit(
+                tracing.FAULT_INJECTED,
+                kind=fault.kind,
+                table=fault.table,
+                statement=statement_no,
+            )
+            if fault.kind == "slow":
+                self.sleep(fault.delay)
+                continue
+            raise self._build_error(fault, statement_no)
+
+    def _build_error(self, fault: Fault, statement_no: int) -> BaseException:
+        # Fresh instance per fire: each retry attempt gets its own
+        # exception object, so once-per-instance accounting stays exact.
+        where = f"statement #{statement_no}" + (
+            f" on {fault.table!r}" if fault.table else ""
+        )
+        if fault.error is not None:
+            error = fault.error()
+        elif fault.kind == "lock_timeout":
+            error = LockTimeoutError(f"[injected] lock timeout at {where}")
+        elif fault.kind == "deadlock":
+            error = DeadlockError(f"[injected] deadlock at {where}")
+        else:
+            error = InjectedTransientError(f"[injected] transient failure at {where}")
+        try:
+            error.injected = True  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        return error
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(faults={len(self.faults)}, "
+            f"seen={self.statements_seen}, fires={self.fires})"
+        )

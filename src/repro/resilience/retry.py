@@ -1,0 +1,136 @@
+"""Transient-error classification and retry with backoff + jitter.
+
+A production engine distinguishes errors a client should simply retry
+(deadlock victims, lock timeouts — the conflicting work will be gone on
+the next attempt) from errors that will fail identically forever
+(syntax, catalog, type, constraint, authorization).  The graph layer
+retries *per statement*: a traversal is a long multi-step program, and
+re-running one SQL statement is cheap where re-running the traversal is
+not.
+
+Determinism: both the backoff sleep and the jitter source are injected
+(``sleep=``, ``rng=``), so the chaos suite runs with zero real waiting.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, TypeVar
+
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
+from ..relational.errors import DeadlockError, LockTimeoutError
+
+T = TypeVar("T")
+
+#: Errors where retrying the same statement can succeed.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (DeadlockError, LockTimeoutError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """True for errors worth retrying.
+
+    Deadlock victims and lock timeouts are transient by construction:
+    the lock holder finishes and releases.  Everything else — syntax,
+    catalog, typing, constraints, access — is permanent: the same
+    statement fails the same way every time, so retrying only burns
+    time.  Injected faults mark themselves via a ``transient`` attribute.
+    """
+    if isinstance(error, TRANSIENT_ERRORS):
+        return True
+    return bool(getattr(error, "transient", False))
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter around a retryable callable.
+
+    ``delay(attempt) = min(max_delay, base_delay * multiplier**(attempt-1))``
+    scaled by a uniform jitter factor in ``[1 - jitter, 1]`` so
+    concurrent victims of the same conflict don't retry in lockstep.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        jitter: float = 0.5,
+        classify: Callable[[BaseException], bool] = is_transient,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.classify = classify
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        capped = min(self.max_delay, raw)
+        return capped * (1.0 - self.jitter * self.rng.random())
+
+    def run(
+        self,
+        fn: Callable[[], T],
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder = NULL_RECORDER,
+        label: str = "",
+    ) -> T:
+        """Call ``fn`` up to ``max_attempts`` times.
+
+        Permanent errors propagate immediately.  A transient error on
+        the last attempt increments ``retry.exhausted`` and propagates
+        unchanged (callers keep their typed exception).
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as error:
+                if not self.classify(error):
+                    raise
+                if attempt >= self.max_attempts:
+                    if registry is not None:
+                        registry.counter(obs_metrics.RETRY_EXHAUSTED).increment()
+                    trace.emit(
+                        tracing.RETRY_EXHAUSTED,
+                        error=type(error).__name__,
+                        attempts=attempt,
+                        label=label,
+                    )
+                    raise
+                delay = self.delay_for(attempt)
+                if registry is not None:
+                    registry.counter(obs_metrics.RETRY_ATTEMPTS).increment()
+                trace.emit(
+                    tracing.RETRY_ATTEMPT,
+                    error=type(error).__name__,
+                    attempt=attempt,
+                    delay=delay,
+                    label=label,
+                )
+                self.sleep(delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier})"
+        )
+
+
+#: Policy that never retries — useful as an explicit opt-out.
+NO_RETRY = RetryPolicy(max_attempts=1)

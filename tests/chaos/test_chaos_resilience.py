@@ -1,0 +1,230 @@
+"""The chaos suite: deterministic fault injection against real queries.
+
+Everything here is seeded and clock-injected — no real sleeps, no
+timing-sensitive assertions:
+
+* injected transient faults are masked by retries and the query returns
+  results **identical** to a fault-free run (the differential check);
+* budgets abort runaway traversals promptly, with accurate
+  partial-progress counts in the raised error;
+* a failed statement always leaves the transaction rollback-able and
+  the lock table clean.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Db2Graph
+from repro.relational import Database, LockTimeoutError
+from repro.resilience import (
+    BudgetExceededError,
+    FaultInjector,
+    QueryBudget,
+    QueryTimeoutError,
+    RetryPolicy,
+)
+from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+pytestmark = pytest.mark.chaos
+
+
+def no_sleep_retry(max_attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts, sleep=lambda _s: None, rng=random.Random(0)
+    )
+
+
+class TickClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+QUERIES = [
+    lambda g: sorted(v.id for v in g.V().hasLabel("patient").toList()),
+    lambda g: sorted(g.V().hasLabel("patient").out("hasDisease").values("conceptName")),
+    lambda g: g.V().hasLabel("patient").out("hasDisease").count().next(),
+    lambda g: sorted(e.label for e in g.E().toList()),
+]
+
+
+class TestRetriesMaskFaults:
+    def test_identical_results_under_injected_transient_faults(self, paper_db):
+        graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+        baseline = [query(graph.traversal()) for query in QUERIES]
+        graph.reset_stats()
+
+        chaotic = Db2Graph.open(
+            paper_db, HEALTHCARE_TINY_OVERLAY, retry_policy=no_sleep_retry(3)
+        )
+        injector = FaultInjector(seed=11)
+        # transient faults on both hot tables, plus a one-shot at a
+        # fixed statement number — all masked by per-statement retry
+        injector.add("lock_timeout", table="HasDisease", times=2)
+        injector.add("deadlock", table="Patient", times=1)
+        injector.add("error", at_statement=5, times=1)
+        paper_db.fault_injector = injector
+        try:
+            chaotic_results = [query(chaotic.traversal()) for query in QUERIES]
+        finally:
+            paper_db.fault_injector = None
+
+        assert chaotic_results == baseline
+        stats = chaotic.stats()
+        assert stats["faults_injected"] == injector.fires > 0
+        assert stats["retry_attempts"] >= injector.fires  # every fault retried
+        assert stats["sql_errors"] == injector.fires  # each fault surfaced once
+
+    def test_chaos_schedule_is_reproducible(self, paper_db):
+        def run():
+            graph = Db2Graph.open(
+                paper_db, HEALTHCARE_TINY_OVERLAY, retry_policy=no_sleep_retry(4)
+            )
+            injector = FaultInjector(seed=23)
+            injector.add("error", probability=0.2, times=None)
+            paper_db.fault_injector = injector
+            try:
+                results = [query(graph.traversal()) for query in QUERIES]
+            finally:
+                paper_db.fault_injector = None
+            return results, injector.fires, injector.statements_seen
+
+        first = run()
+        second = run()
+        assert first == second
+
+    def test_exhausted_retries_surface_the_transient_error(self, paper_db):
+        graph = Db2Graph.open(
+            paper_db, HEALTHCARE_TINY_OVERLAY, retry_policy=no_sleep_retry(2)
+        )
+        injector = FaultInjector(seed=3)
+        injector.add("lock_timeout", table="Patient", times=None)  # never heals
+        paper_db.fault_injector = injector
+        try:
+            with pytest.raises(LockTimeoutError):
+                graph.traversal().V().hasLabel("patient").toList()
+        finally:
+            paper_db.fault_injector = None
+        assert graph.stats()["retry_exhausted"] == 1
+
+
+class TestBudgetsAbortRunaways:
+    def test_traverser_budget_aborts_unbounded_repeat(self, paper_graph):
+        g = paper_graph.traversal().with_budget(max_traversers=25)
+        from repro.graph.traversal import __
+
+        with pytest.raises(BudgetExceededError) as info:
+            # 64-loop repeat over the ontology — far more expansions
+            # than the budget allows
+            g.V().hasLabel("disease").repeat(__.both()).times(50).toList()
+        assert info.value.reason == "max_traversers"
+        assert info.value.progress["traversers_spawned"] == 26
+        assert info.value.progress["sql_issued"] > 0
+
+    def test_sql_statement_budget(self, paper_graph):
+        g = paper_graph.traversal().with_budget(max_sql_statements=2)
+        with pytest.raises(BudgetExceededError) as info:
+            g.V().out("hasDisease").out("isa").toList()
+        assert info.value.reason == "max_sql_statements"
+        assert info.value.progress["sql_issued"] == 3
+
+    def test_rows_budget(self, paper_graph):
+        g = paper_graph.traversal().with_budget(max_rows=3)
+        with pytest.raises(BudgetExceededError) as info:
+            g.V().toList()
+        assert info.value.reason == "max_rows"
+        assert info.value.progress["rows_fetched"] > 3
+
+    def test_deadline_with_injected_clock_no_sleeping(self, paper_db):
+        clock = TickClock()
+        budget = QueryBudget(deadline_seconds=1.0, clock=clock)
+        graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, budget=budget)
+        g = graph.traversal()
+        stream = iter(g.V().hasLabel("patient").out("hasDisease"))
+        next(stream)  # starts inside the deadline
+        clock.now = 2.0  # time "passes" without sleeping
+        with pytest.raises(QueryTimeoutError) as info:
+            list(stream)
+        assert info.value.reason == "deadline"
+        assert info.value.progress["elapsed_seconds"] == pytest.approx(2.0)
+        assert info.value.progress["traversers_spawned"] > 0
+
+    def test_budget_exceeded_counter_matches_events(self, paper_graph):
+        paper_graph.reset_stats()
+        recorder = paper_graph.enable_tracing()
+        g = paper_graph.traversal().with_budget(max_sql_statements=1)
+        with pytest.raises(BudgetExceededError):
+            g.V().out("hasDisease").toList()
+        from repro.obs import tracing
+
+        assert paper_graph.stats()["budget_exceeded"] == 1
+        assert recorder.count(tracing.BUDGET_EXCEEDED) == 1
+        paper_graph.disable_tracing()
+
+    def test_within_budget_query_is_unaffected(self, paper_graph):
+        unlimited = sorted((str(v.id) for v in paper_graph.traversal().V().toList()))
+        g = paper_graph.traversal().with_budget(
+            max_sql_statements=100, max_rows=10_000, max_traversers=10_000
+        )
+        assert sorted(str(v.id) for v in g.V().toList()) == unlimited
+
+
+class TestFailedStatementsLeaveCleanState:
+    def test_txn_rollbackable_and_lock_table_clean_after_fault(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)")
+        conn = db.connect()
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (1, 'kept-out-by-rollback')")
+
+        injector = FaultInjector(seed=2)
+        injector.add("lock_timeout", at_statement=1)
+        conn.fault_injector = injector
+        with pytest.raises(LockTimeoutError):
+            conn.execute("INSERT INTO t VALUES (2, 'never')")
+        conn.fault_injector = None
+
+        # transaction is still open and rollback-able; locks clean up
+        assert conn.current_txn is not None and conn.current_txn.is_active
+        conn.rollback()
+        assert db.lock_manager.is_clean()
+        assert db.catalog.get_table("t").lock.is_idle
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+        # and the connection keeps working afterwards
+        conn.execute("INSERT INTO t VALUES (3, 'after')")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_session_injector_does_not_affect_other_sessions(self, db):
+        db.execute("CREATE TABLE t (id INT)")
+        chaotic, healthy = db.connect(), db.connect()
+        injector = FaultInjector(seed=4)
+        injector.add("error", times=None)
+        chaotic.fault_injector = injector
+
+        from repro.resilience import InjectedTransientError
+
+        with pytest.raises(InjectedTransientError):
+            chaotic.execute("INSERT INTO t VALUES (1)")
+        healthy.execute("INSERT INTO t VALUES (2)")  # unaffected
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_graph_mutation_fault_keeps_relational_state_consistent(self, paper_db):
+        graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+        before = paper_db.execute("SELECT COUNT(*) FROM Patient").scalar()
+        injector = FaultInjector(seed=6)
+        injector.add("lock_timeout", table="Patient", times=None)
+        paper_db.fault_injector = injector
+        try:
+            with pytest.raises(LockTimeoutError):
+                graph.traversal().addV("patient").property("patientID", 99).property(
+                    "name", "Zed"
+                ).toList()
+        finally:
+            paper_db.fault_injector = None
+        assert paper_db.execute("SELECT COUNT(*) FROM Patient").scalar() == before
+        assert paper_db.lock_manager.is_clean()

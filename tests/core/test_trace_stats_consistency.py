@@ -33,6 +33,19 @@ def assert_counters_match_events(graph, recorder):
     assert stats["edge_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="edge")
     assert stats["vertices_from_edges"] == recorder.count(tracing.VERTEX_FROM_EDGE)
     assert stats["lazy_vertices"] == recorder.count(tracing.VERTEX_LAZY)
+    assert_resilience_counters_match_events(graph, recorder)
+
+
+def assert_resilience_counters_match_events(graph, recorder):
+    """Every resilience counter has a trace event at the same site."""
+    stats = graph.stats()
+    assert stats["sql_errors"] == recorder.count(tracing.SQL_ERROR)
+    assert stats["lock_waits"] == recorder.count(tracing.LOCK_WAIT)
+    assert stats["deadlocks"] == recorder.count(tracing.DEADLOCK_DETECTED)
+    assert stats["retry_attempts"] == recorder.count(tracing.RETRY_ATTEMPT)
+    assert stats["retry_exhausted"] == recorder.count(tracing.RETRY_EXHAUSTED)
+    assert stats["budget_exceeded"] == recorder.count(tracing.BUDGET_EXCEEDED)
+    assert stats["faults_injected"] == recorder.count(tracing.FAULT_INJECTED)
 
 
 def test_fixed_label_elimination_counters_match_events(traced):
@@ -81,6 +94,91 @@ def test_every_event_rule_has_a_matching_counter(traced):
             tracing.TABLE_ELIMINATED, rule=rule
         ), rule
     assert_counters_match_events(graph, recorder)
+
+
+def test_sql_error_counters_match_events(traced):
+    graph, recorder = traced
+    from repro.relational import CatalogError
+
+    with pytest.raises(CatalogError):
+        graph.connection.execute("INSERT INTO NoSuchTable VALUES (1)")
+    assert graph.stats()["sql_errors"] == 1
+    event = recorder.named(tracing.SQL_ERROR)[0]
+    assert event.get("error") == "CatalogError"
+    assert event.get("statement") == "insert"
+    assert_counters_match_events(graph, recorder)
+
+
+def test_retry_and_fault_counters_match_events(paper_db):
+    import random
+
+    from repro.core import Db2Graph
+    from repro.resilience import FaultInjector, RetryPolicy
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    graph = Db2Graph.open(
+        paper_db,
+        HEALTHCARE_TINY_OVERLAY,
+        retry_policy=RetryPolicy(
+            max_attempts=3, sleep=lambda _s: None, rng=random.Random(0)
+        ),
+    )
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+    injector = FaultInjector(seed=9)
+    injector.add("lock_timeout", table="HasDisease", times=2)
+    paper_db.fault_injector = injector
+    try:
+        graph.traversal().V().hasLabel("patient").out("hasDisease").toList()
+    finally:
+        paper_db.fault_injector = None
+    stats = graph.stats()
+    assert stats["faults_injected"] == 2
+    assert stats["retry_attempts"] == 2
+    assert stats["sql_errors"] == 2  # each injected fault surfaced once
+    assert_counters_match_events(graph, recorder)
+    graph.disable_tracing()
+
+
+def test_deadlock_counters_match_events(paper_graph):
+    """Lock waits and deadlocks flow through the graph's registry too —
+    one registry spans the graph layer and the engine under it."""
+    import threading
+    import time as _time
+
+    graph = paper_graph
+    database = graph.connection.database
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+
+    c1, c2 = database.connect(), database.connect()
+    c1.execute("BEGIN")
+    c2.execute("BEGIN")
+    c1.execute("INSERT INTO Patient VALUES (90, 'x', 'a', 1)")
+    c2.execute("INSERT INTO Disease VALUES (90, 'X90', 'x')")
+    txn1_id = c1.current_txn.txn_id
+
+    thread = threading.Thread(
+        target=lambda: c1.execute("INSERT INTO Disease VALUES (91, 'X91', 'y')")
+    )
+    thread.start()
+    deadline = _time.monotonic() + 5.0
+    while txn1_id not in database.lock_manager.waiting_owners():
+        assert _time.monotonic() < deadline
+        _time.sleep(0.001)
+    from repro.relational import DeadlockError
+
+    with pytest.raises(DeadlockError):
+        c2.execute("INSERT INTO Patient VALUES (91, 'y', 'b', 2)")
+    c2.rollback()
+    thread.join(timeout=5.0)
+    c1.rollback()
+
+    stats = graph.stats()
+    assert stats["deadlocks"] == 1
+    assert stats["lock_waits"] >= 2
+    assert_resilience_counters_match_events(graph, recorder)
+    graph.disable_tracing()
 
 
 def test_reset_stats_zeroes_everything(paper_graph):

@@ -1,0 +1,122 @@
+"""QueryBudget / BudgetTracker: limits, deadlines with a fake clock,
+partial-progress payloads, and single emission on trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as M
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+from repro.resilience import BudgetExceededError, QueryBudget, QueryTimeoutError
+
+
+class TickClock:
+    """A monotonic-style clock that only moves when told to."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_limits_must_be_positive():
+    for field in ("deadline_seconds", "max_sql_statements", "max_rows", "max_traversers"):
+        with pytest.raises(ValueError):
+            QueryBudget(**{field: 0})
+
+
+def test_unlimited_budget_never_trips():
+    tracker = QueryBudget().tracker()
+    for _ in range(1000):
+        tracker.note_sql()
+        tracker.note_rows(100)
+        tracker.note_traverser()
+    assert tracker.progress()["sql_issued"] == 1000
+
+
+def test_max_sql_statements_trips_with_progress():
+    tracker = QueryBudget(max_sql_statements=3, clock=TickClock()).tracker()
+    tracker.note_sql()
+    tracker.note_sql()
+    tracker.note_sql()
+    with pytest.raises(BudgetExceededError) as info:
+        tracker.note_sql()
+    assert info.value.reason == "max_sql_statements"
+    assert info.value.progress["sql_issued"] == 4
+
+
+def test_max_rows_trips():
+    tracker = QueryBudget(max_rows=10).tracker()
+    tracker.note_rows(7)
+    with pytest.raises(BudgetExceededError) as info:
+        tracker.note_rows(5)
+    assert info.value.reason == "max_rows"
+    assert info.value.progress["rows_fetched"] == 12
+
+
+def test_max_traversers_trips():
+    tracker = QueryBudget(max_traversers=2).tracker()
+    tracker.note_traverser()
+    tracker.note_traverser()
+    with pytest.raises(BudgetExceededError) as info:
+        tracker.note_traverser()
+    assert info.value.reason == "max_traversers"
+    assert info.value.progress["traversers_spawned"] == 3
+
+
+def test_deadline_uses_injected_clock_no_sleeping():
+    clock = TickClock()
+    tracker = QueryBudget(deadline_seconds=1.0, clock=clock).tracker()
+    tracker.note_sql()  # well inside the deadline
+    clock.now = 0.9
+    tracker.check_deadline()  # still inside
+    clock.now = 1.5
+    with pytest.raises(QueryTimeoutError) as info:
+        tracker.note_sql()
+    assert info.value.reason == "deadline"
+    assert info.value.progress["elapsed_seconds"] == pytest.approx(1.5)
+    assert info.value.progress["sql_issued"] == 2
+
+
+def test_tripped_tracker_keeps_raising_same_error():
+    tracker = QueryBudget(max_sql_statements=1).tracker()
+    tracker.note_sql()
+    with pytest.raises(BudgetExceededError) as first:
+        tracker.note_sql()
+    with pytest.raises(BudgetExceededError) as second:
+        tracker.check_deadline()
+    assert second.value is first.value
+
+
+def test_emits_counter_and_event_exactly_once():
+    registry = MetricsRegistry()
+    trace = TraceRecorder(enabled=True)
+    tracker = QueryBudget(max_traversers=1).tracker(registry, trace)
+    tracker.note_traverser()
+    with pytest.raises(BudgetExceededError):
+        tracker.note_traverser()
+    with pytest.raises(BudgetExceededError):
+        tracker.note_traverser()  # dying generator stack re-checks
+    assert registry.counter(M.BUDGET_EXCEEDED).value == 1
+    assert trace.count(tracing.BUDGET_EXCEEDED) == 1
+    event = trace.named(tracing.BUDGET_EXCEEDED)[0]
+    assert event.get("reason") == "max_traversers"
+    assert event.get("progress")["traversers_spawned"] == 2
+
+
+def test_guard_wraps_stream_and_counts_steps():
+    tracker = QueryBudget(max_traversers=100).tracker()
+    assert list(tracker.guard(iter(range(5)))) == [0, 1, 2, 3, 4]
+    assert tracker.traversers_spawned == 5
+    assert tracker.steps_completed == 1
+
+
+def test_guard_aborts_runaway_stream():
+    tracker = QueryBudget(max_traversers=3).tracker()
+    with pytest.raises(BudgetExceededError):
+        list(tracker.guard(iter(range(1000))))
+    assert tracker.steps_completed == 0  # never finished
+    assert tracker.traversers_spawned == 4

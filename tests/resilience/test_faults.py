@@ -1,0 +1,118 @@
+"""FaultInjector: matching rules, seeded determinism, fresh error
+instances, injected sleep for slow statements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as M
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+from repro.relational.errors import DeadlockError, LockTimeoutError
+from repro.resilience import FaultInjector, InjectedTransientError, is_transient
+
+
+def test_fires_at_exact_statement_count():
+    injector = FaultInjector(seed=1)
+    injector.add("lock_timeout", at_statement=3)
+    injector.on_statement("select", ["t"])
+    injector.on_statement("select", ["t"])
+    with pytest.raises(LockTimeoutError, match="injected"):
+        injector.on_statement("select", ["t"])
+    injector.on_statement("select", ["t"])  # one-shot: fired out
+
+
+def test_matches_by_table_name_case_insensitive():
+    injector = FaultInjector(seed=1)
+    injector.add("deadlock", table="Knows")
+    injector.on_statement("select", ["person"])  # no match
+    with pytest.raises(DeadlockError):
+        injector.on_statement("select", ["KNOWS"])
+
+
+def test_times_bounds_total_fires():
+    injector = FaultInjector(seed=1)
+    injector.add("error", table="t", times=2)
+    for _ in range(2):
+        with pytest.raises(InjectedTransientError):
+            injector.on_statement("select", ["t"])
+    injector.on_statement("select", ["t"])  # exhausted, passes
+    assert injector.fires == 2
+
+
+def test_injected_errors_are_fresh_transient_instances():
+    injector = FaultInjector(seed=1)
+    injector.add("lock_timeout", table="t", times=2)
+    errors = []
+    for _ in range(2):
+        with pytest.raises(LockTimeoutError) as info:
+            injector.on_statement("select", ["t"])
+        errors.append(info.value)
+    assert errors[0] is not errors[1]
+    assert all(e.injected for e in errors)
+    assert all(is_transient(e) for e in errors)
+
+
+def test_probability_schedule_is_seeded_and_reproducible():
+    def run(seed):
+        injector = FaultInjector(seed=seed)
+        injector.add("error", probability=0.3, times=None)
+        fired = []
+        for i in range(50):
+            try:
+                injector.on_statement("select", ["t"])
+                fired.append(False)
+            except InjectedTransientError:
+                fired.append(True)
+        return fired
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+    assert any(run(7))  # some fire
+    assert not all(run(7))  # some pass
+
+
+def test_slow_fault_uses_injected_sleep_and_does_not_raise():
+    slept = []
+    injector = FaultInjector(seed=1, sleep=slept.append)
+    injector.add("slow", at_statement=2, delay=0.25)
+    injector.on_statement("select", ["t"])
+    injector.on_statement("select", ["t"])  # sleeps, passes through
+    assert slept == [0.25]
+
+
+def test_custom_error_factory():
+    injector = FaultInjector(seed=1)
+    injector.add("error", at_statement=1, error=lambda: TimeoutError("custom"))
+    with pytest.raises(TimeoutError, match="custom"):
+        injector.on_statement("select", ["t"])
+
+
+def test_reset_restores_full_schedule():
+    injector = FaultInjector(seed=1)
+    injector.add("error", at_statement=1)
+    with pytest.raises(InjectedTransientError):
+        injector.on_statement("select", ["t"])
+    injector.reset()
+    assert injector.fires == 0
+    with pytest.raises(InjectedTransientError):
+        injector.on_statement("select", ["t"])
+    assert injector.fires == 1
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultInjector().add("explode")
+
+
+def test_emits_counter_and_trace_per_fire():
+    registry = MetricsRegistry()
+    trace = TraceRecorder(enabled=True)
+    injector = FaultInjector(seed=1)
+    injector.add("lock_timeout", table="t", times=2)
+    for _ in range(2):
+        with pytest.raises(LockTimeoutError):
+            injector.on_statement("select", ["t"], registry=registry, trace=trace)
+    assert registry.counter(M.FAULTS_INJECTED).value == 2
+    assert trace.count(tracing.FAULT_INJECTED, kind="lock_timeout") == 2

@@ -1,0 +1,160 @@
+"""RetryPolicy: classification, backoff math, deterministic jitter,
+metrics/trace emission.  No real sleeping anywhere — the sleep is
+captured, the rng is seeded."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import metrics as M
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TraceRecorder
+from repro.relational.errors import (
+    CatalogError,
+    ConstraintViolationError,
+    DeadlockError,
+    LockTimeoutError,
+    SqlSyntaxError,
+)
+from repro.resilience import (
+    InjectedTransientError,
+    NO_RETRY,
+    RetryPolicy,
+    is_transient,
+)
+
+
+class TestClassification:
+    def test_deadlock_and_lock_timeout_are_transient(self):
+        assert is_transient(DeadlockError("boom", victim=3))
+        assert is_transient(LockTimeoutError("slow"))
+
+    def test_permanent_errors_are_not_transient(self):
+        for error in (
+            SqlSyntaxError("bad"),
+            CatalogError("unknown table"),
+            ConstraintViolationError("dup key"),
+            ValueError("misc"),
+        ):
+            assert not is_transient(error)
+
+    def test_transient_attribute_marks_retryable(self):
+        assert is_transient(InjectedTransientError("synthetic"))
+        error = RuntimeError("flagged")
+        error.transient = True
+        assert is_transient(error)
+
+
+def _no_sleep_policy(**kwargs):
+    kwargs.setdefault("rng", random.Random(42))
+    return RetryPolicy(sleep=lambda _s: None, **kwargs)
+
+
+class TestBackoff:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0,
+            sleep=lambda _s: None,
+        )
+        assert policy.delay_for(1) == pytest.approx(0.1)
+        assert policy.delay_for(2) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.4)
+        assert policy.delay_for(4) == pytest.approx(0.5)  # capped
+        assert policy.delay_for(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_with_seeded_rng(self):
+        a = _no_sleep_policy(base_delay=0.1, jitter=0.5, rng=random.Random(7))
+        b = _no_sleep_policy(base_delay=0.1, jitter=0.5, rng=random.Random(7))
+        assert [a.delay_for(i) for i in (1, 2, 3)] == [b.delay_for(i) for i in (1, 2, 3)]
+
+    def test_jitter_stays_within_band(self):
+        policy = _no_sleep_policy(base_delay=0.1, jitter=0.5, max_delay=10.0)
+        for attempt in range(1, 6):
+            delay = policy.delay_for(attempt)
+            nominal = min(10.0, 0.1 * 2 ** (attempt - 1))
+            assert nominal * 0.5 <= delay <= nominal
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestRun:
+    def test_masks_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise LockTimeoutError("busy")
+            return "done"
+
+        assert _no_sleep_policy(max_attempts=3).run(flaky) == "done"
+        assert len(attempts) == 3
+
+    def test_permanent_error_fails_fast(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise SqlSyntaxError("nope")
+
+        with pytest.raises(SqlSyntaxError):
+            _no_sleep_policy(max_attempts=5).run(broken)
+        assert len(calls) == 1
+
+    def test_exhaustion_reraises_original_error(self):
+        original = DeadlockError("victim", victim=9)
+
+        with pytest.raises(DeadlockError) as info:
+            _no_sleep_policy(max_attempts=2).run(lambda: (_ for _ in ()).throw(original))
+        assert info.value is original
+
+    def test_no_retry_policy_is_single_attempt(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise LockTimeoutError("busy")
+
+        with pytest.raises(LockTimeoutError):
+            NO_RETRY.run(failing)
+        assert len(calls) == 1
+
+    def test_sleeps_use_computed_delays(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.1, jitter=0.0, sleep=slept.append
+        )
+
+        def flaky():
+            if len(slept) < 2:
+                raise LockTimeoutError("busy")
+            return "ok"
+
+        assert policy.run(flaky) == "ok"
+        assert slept == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_metrics_and_trace_emitted_one_to_one(self):
+        registry = MetricsRegistry()
+        trace = TraceRecorder(enabled=True)
+        policy = _no_sleep_policy(max_attempts=3)
+
+        with pytest.raises(LockTimeoutError):
+            policy.run(
+                lambda: (_ for _ in ()).throw(LockTimeoutError("busy")),
+                registry=registry,
+                trace=trace,
+            )
+        assert registry.counter(M.RETRY_ATTEMPTS).value == 2
+        assert registry.counter(M.RETRY_EXHAUSTED).value == 1
+        assert trace.count(tracing.RETRY_ATTEMPT) == 2
+        assert trace.count(tracing.RETRY_EXHAUSTED) == 1
+        attempts = trace.named(tracing.RETRY_ATTEMPT)
+        assert [e.get("attempt") for e in attempts] == [1, 2]
+        assert all(e.get("error") == "LockTimeoutError" for e in attempts)
