@@ -22,6 +22,7 @@ from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import TraceRecorder
 from ..relational.database import Connection, Database
+from .fanout import FanoutPool, resolve_batch_size, resolve_parallelism
 from .graph_structure import OverlayGraph, RuntimeOptimizations
 from .overlay import OverlayConfig
 from .sql_dialect import SqlDialect
@@ -61,6 +62,9 @@ class Db2Graph:
         # Default QueryBudget for traversals (None = unlimited); set by
         # open(budget=...) or per-source via g.with_budget(...).
         self.budget = None
+        # FanoutPool shared by every traversal on this graph; set by
+        # open(parallelism=...).  None = serial.
+        self.pool: FanoutPool | None = None
 
     @classmethod
     def open(
@@ -75,8 +79,20 @@ class Db2Graph:
         auto_refresh: bool = False,
         budget: Any = None,
         retry_policy: Any = None,
+        parallelism: int | None = None,
+        batch_size: int | None = None,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
+
+        ``parallelism`` bounds the worker pool that runs a fan-out
+        step's per-table SQL statements concurrently (default 1 =
+        serial, today's behavior; the ``REPRO_PARALLELISM`` env var
+        changes the default).  ``batch_size`` caps how many traversers
+        coalesce into one ``WHERE id IN (...)`` statement per table
+        (default 256; env default ``REPRO_BATCH_SIZE``; 1 = one
+        statement per traverser).  Results are demultiplexed back to
+        their originating traversers in submission order, so any
+        (parallelism, batch_size) setting returns identical results.
 
         ``budget`` (a :class:`~repro.resilience.budget.QueryBudget`)
         bounds every traversal spawned from :meth:`traversal` —
@@ -123,11 +139,20 @@ class Db2Graph:
         # engine underneath it (lock waits, deadlocks, sql errors), so
         # stats()/traces reconcile across layers.
         connection.database.bind_observability(registry, recorder)
-        provider = OverlayGraph(topology, dialect, runtime_opts)
+        workers = resolve_parallelism(parallelism)
+        pool = FanoutPool(workers, registry=registry, trace=recorder)
+        provider = OverlayGraph(
+            topology,
+            dialect,
+            runtime_opts,
+            pool=pool,
+            batch_size=resolve_batch_size(batch_size),
+        )
         graph = cls(
             connection, topology, dialect, provider, optimized, auto_refresh=auto_refresh
         )
         graph.budget = budget
+        graph.pool = pool
         return graph
 
     @classmethod
@@ -232,6 +257,10 @@ class Db2Graph:
             "lazy_vertices": self.provider.stats.lazy_vertices,
             "statement_cache_hits": cache.hits,
             "statement_cache_misses": cache.misses,
+            # parallel fan-out + traverser batching
+            "batched_statements": self.registry.counter(M.SQL_BATCHED).value,
+            "batched_ids": self.registry.counter(M.BATCH_IDS).value,
+            "parallel_fanouts": self.registry.counter(M.FANOUT_PARALLEL).value,
             # resilience layer
             "sql_errors": self.registry.counter(M.SQL_ERRORS).value,
             "lock_waits": self.registry.counter(M.LOCK_WAITS).value,
@@ -288,10 +317,22 @@ class Db2Graph:
 
     def close(self) -> None:
         """Release the graph (the relational data stays untouched —
-        there never was a copy)."""
+        there never was a copy).  Shuts down the fan-out worker pool."""
+        if self.pool is not None:
+            self.pool.shutdown()
+
+    @property
+    def parallelism(self) -> int:
+        return self.pool.parallelism if self.pool is not None else 1
+
+    @property
+    def batch_size(self) -> int:
+        return self.provider.batch_size
 
     def __repr__(self) -> str:
         return (
             f"Db2Graph(v_tables={len(self.topology.vertex_tables)}, "
-            f"e_tables={len(self.topology.edge_tables)}, optimized={self.optimized})"
+            f"e_tables={len(self.topology.edge_tables)}, "
+            f"parallelism={self.parallelism}, batch_size={self.batch_size}, "
+            f"optimized={self.optimized})"
         )

@@ -1,0 +1,188 @@
+"""Bounded worker pool for multi-table fan-out (the parallel execution
+layer).
+
+One traversal step over the overlay fans out into one SQL statement per
+surviving candidate table (after the §6.3 eliminations) — and, with
+traverser batching, one statement per ``batch_size`` ids per table.
+Those sub-statements are independent reads (the relational engine's
+MVCC read path takes no table locks), so a :class:`FanoutPool` may run
+them concurrently on a bounded number of worker threads.
+
+Design points, in the order tests rely on them:
+
+* **Determinism** — ``run()`` returns results in *submission order*, no
+  matter which worker finished first.  Callers demultiplex results back
+  to traversers positionally, so a parallel run is bit-identical to a
+  serial one.
+* **Serial fast path** — ``parallelism <= 1`` (the default) or a
+  single-task fan-out never touches a thread: the task list runs inline
+  on the caller's thread, preserving today's behavior and cost exactly.
+* **Budget propagation** — the dialect's active
+  :class:`~repro.resilience.budget.BudgetTracker` is thread-local;
+  ``run(scope=...)`` re-enters it around every task so worker
+  sub-statements hit the same checkpoints as serial ones.
+* **First-error cancellation** — when a sub-statement raises (budget
+  tripped, retries exhausted), not-yet-started tasks are cancelled and
+  the earliest failure by submission order propagates.  Already-running
+  workers finish their statement; nothing is silently dropped or
+  double-counted.
+
+The pool is created lazily on first parallel dispatch and shared for
+the lifetime of a :class:`~repro.core.db2graph.Db2Graph`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from ..obs import metrics as M
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_RECORDER, TraceRecorder
+
+#: Traverser-coalescing default: matches the step layer's historical
+#: batch of 256 traversers per ``adjacent()`` call, so an unconfigured
+#: graph issues exactly the SQL it always did.
+DEFAULT_BATCH_SIZE = 256
+
+PARALLELISM_ENV = "REPRO_PARALLELISM"
+BATCH_SIZE_ENV = "REPRO_BATCH_SIZE"
+
+# Set while a fan-out task runs on a pool worker.  A nested fan-out
+# started from inside a worker (e.g. adjacent() resolving endpoint
+# vertices) must run inline: re-submitting to a saturated pool and
+# blocking on the results would deadlock the workers against each other.
+_worker_state = threading.local()
+
+
+def in_fanout_worker() -> bool:
+    return getattr(_worker_state, "active", False)
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        return fallback
+
+
+def resolve_parallelism(parallelism: int | None) -> int:
+    """Explicit argument, else ``REPRO_PARALLELISM``, else serial."""
+    if parallelism is None:
+        parallelism = _env_int(PARALLELISM_ENV, 1)
+    return max(1, int(parallelism))
+
+
+def resolve_batch_size(batch_size: int | None) -> int:
+    """Explicit argument, else ``REPRO_BATCH_SIZE``, else 256."""
+    if batch_size is None:
+        batch_size = _env_int(BATCH_SIZE_ENV, DEFAULT_BATCH_SIZE)
+    return max(1, int(batch_size))
+
+
+class FanoutPool:
+    """Runs a fan-out's per-table tasks on at most ``parallelism``
+    threads, returning results in submission order."""
+
+    def __init__(
+        self,
+        parallelism: int = 1,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder = NULL_RECORDER,
+    ):
+        self.parallelism = max(1, int(parallelism))
+        self.registry = registry
+        self.trace = trace
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.parallelism,
+                    thread_name_prefix="repro-fanout",
+                )
+            return self._executor
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[Callable[[], Any]],
+        scope: Callable[[Callable[[], Any]], Any] | None = None,
+    ) -> list[Any]:
+        """Run ``tasks`` and return their results in submission order.
+
+        ``scope`` wraps each task at the call site (used to re-enter the
+        caller's thread-local budget scope inside workers).  On the
+        serial path ``scope`` is skipped — the caller's context is
+        already active on its own thread.
+        """
+        if not tasks:
+            return []
+        if self.parallelism <= 1 or len(tasks) == 1 or in_fanout_worker():
+            return [task() for task in tasks]
+
+        if self.registry is not None:
+            self.registry.counter(M.FANOUT_PARALLEL).increment()
+        self.trace.emit(
+            tracing.FANOUT_PARALLEL,
+            tasks=len(tasks),
+            parallelism=self.parallelism,
+        )
+
+        def wrap(task: Callable[[], Any]) -> Callable[[], Any]:
+            def run_in_worker() -> Any:
+                _worker_state.active = True
+                try:
+                    return scope(task) if scope is not None else task()
+                finally:
+                    _worker_state.active = False
+
+            return run_in_worker
+
+        executor = self._ensure_executor()
+        futures = [executor.submit(wrap(task)) for task in tasks]
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            if first_error is not None:
+                # Outstanding work is cancelled; tasks a worker already
+                # picked up run to completion (their statements were
+                # issued — dropping them mid-flight could tear state).
+                future.cancel()
+                continue
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 — propagated below
+                first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __repr__(self) -> str:
+        state = "live" if self._executor is not None else "idle"
+        return f"FanoutPool(parallelism={self.parallelism}, {state})"
+
+
+def chunked(values: Sequence[Any], size: int) -> list[Sequence[Any]]:
+    """Split ``values`` into ``len(values)//size (+1)`` runs of at most
+    ``size``, preserving order — the traverser-batching unit."""
+    if size <= 0 or len(values) <= size:
+        return [values]
+    return [values[i : i + size] for i in range(0, len(values), size)]

@@ -23,7 +23,7 @@ benchmarks can quantify each:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..graph.model import Direction, Edge, GraphProvider, Pushdown, Vertex
 from ..graph.predicates import P
@@ -31,6 +31,7 @@ from ..obs import metrics as M
 from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import TraceRecorder
+from .fanout import FanoutPool, chunked, resolve_batch_size
 from .sql_dialect import SqlDialect, SqlPredicate, predicate_to_sql
 from .topology import EdgeTopology, Topology, VertexTopology
 
@@ -144,6 +145,9 @@ class OverlayGraph(GraphProvider):
         opts: RuntimeOptimizations | None = None,
         registry: MetricsRegistry | None = None,
         recorder: TraceRecorder | None = None,
+        *,
+        pool: FanoutPool | None = None,
+        batch_size: int | None = None,
     ):
         self.topology = topology
         self.dialect = dialect
@@ -153,9 +157,45 @@ class OverlayGraph(GraphProvider):
         self.registry = registry if registry is not None else dialect.registry
         self.trace = recorder if recorder is not None else dialect.trace
         self.stats = StructureStats(self.registry)
+        # Parallel fan-out pool (None/parallelism=1 = serial, today's
+        # behavior) and the traverser-coalescing unit: at most this many
+        # ids ride one IN (...) probe per table.  ``None`` falls back to
+        # the REPRO_BATCH_SIZE env default, then 256.
+        self.pool = pool
+        self.batch_size = resolve_batch_size(batch_size)
+        # The step layer reads this to size its traverser batches so the
+        # two batching levels agree (see graph/steps.py).
+        self.traverser_batch_size = self.batch_size
 
     def describe(self) -> str:
         return "Db2Graph(OverlayGraph)"
+
+    # -- parallel fan-out ----------------------------------------------
+
+    def _run_fanout(self, tasks: Sequence[Callable[[], list]]) -> list[list]:
+        """Run a fan-out's per-(table, batch) tasks, returning each
+        task's result list in submission order (deterministic demux).
+
+        Serial unless a pool with parallelism > 1 is configured.  The
+        caller's thread-local budget tracker is re-entered inside each
+        worker so parallel sub-statements hit the same checkpoints —
+        and a budget tripped by one worker cancels the outstanding
+        tasks of the batch (see FanoutPool.run)."""
+        if not tasks:
+            return []
+        pool = self.pool
+        if pool is None or pool.parallelism <= 1 or len(tasks) == 1:
+            return [task() for task in tasks]
+        budget = self.dialect.active_budget
+        scope = None
+        if budget is not None:
+            dialect = self.dialect
+
+            def scope(task: Callable[[], list]) -> list:
+                with dialect.budget_scope(budget):
+                    return task()
+
+        return pool.run(tasks, scope=scope)
 
     # -- observability -------------------------------------------------
 
@@ -202,19 +242,36 @@ class OverlayGraph(GraphProvider):
         if ids is not None:
             # Gremlin semantics: g.V(1, 1) yields the vertex twice and
             # preserves request order; the SQL IN-list dedups, so fetch
-            # unique ids and re-emit per request.
+            # unique ids and re-emit per request.  The per-(table, batch)
+            # statements are independent, so they fan out on the pool;
+            # results demux positionally, keeping serial order.
             unique = list(dict.fromkeys(ids))
-            fetched: dict[str, Any] = {}
+            tasks: list[Callable[[], list]] = []
             for vtop in candidates:
-                for vertex in self._query_vertex_table(vtop, unique, pushdown):
+                tasks.extend(self._vertex_table_tasks(vtop, unique, pushdown))
+            fetched: dict[str, Any] = {}
+            for batch in self._run_fanout(tasks):
+                for vertex in batch:
                     fetched.setdefault(str(vertex.id), vertex)
             for requested in ids:
                 vertex = fetched.get(str(requested))
                 if vertex is not None:
                     yield vertex
             return
+        if self._parallel_active() and len(candidates) > 1:
+            scan_tasks: list[Callable[[], list]] = []
+            for vtop in candidates:
+                scan_tasks.extend(self._vertex_table_tasks(vtop, ids, pushdown))
+            for batch in self._run_fanout(scan_tasks):
+                yield from batch
+            return
+        # Serial scans stay lazy: a downstream limit()/next() that stops
+        # pulling must not issue SQL against the remaining tables.
         for vtop in candidates:
             yield from self._query_vertex_table(vtop, ids, pushdown)
+
+    def _parallel_active(self) -> bool:
+        return self.pool is not None and self.pool.parallelism > 1
 
     def _candidate_vertex_tables(
         self, pushdown: Pushdown, record: bool = True
@@ -270,12 +327,34 @@ class OverlayGraph(GraphProvider):
         for predicates in self._vertex_predicate_groups(vtop, ids, pushdown):
             if predicates is None:
                 continue
-            columns = vtop.required_columns(self._effective_projection(pushdown))
-            self._note_table_query(vtop.table_name, "vertex")
-            for row in self.dialect.select(vtop.table_name, columns, predicates):
-                vertex = self._make_vertex(vtop, row, pushdown)
-                if vertex is not None:
-                    yield vertex
+            yield from self._run_vertex_select(vtop, predicates, pushdown)
+
+    def _run_vertex_select(
+        self, vtop: VertexTopology, predicates: list[SqlPredicate], pushdown: Pushdown
+    ) -> list[OverlayVertex]:
+        """One SQL statement against one vertex table — the fan-out
+        unit.  Safe to run on a pool worker: counters/trace are locked
+        and the MVCC read path takes no table locks."""
+        columns = vtop.required_columns(self._effective_projection(pushdown))
+        self._note_table_query(vtop.table_name, "vertex")
+        out: list[OverlayVertex] = []
+        for row in self.dialect.select(vtop.table_name, columns, predicates):
+            vertex = self._make_vertex(vtop, row, pushdown)
+            if vertex is not None:
+                out.append(vertex)
+        return out
+
+    def _vertex_table_tasks(
+        self, vtop: VertexTopology, ids: Sequence[Any] | None, pushdown: Pushdown
+    ) -> list[Callable[[], list[OverlayVertex]]]:
+        """The table's statements as schedulable thunks, one per
+        predicate group (= per id batch).  Groups are materialized here,
+        on the scheduling thread, so elimination events stay ordered."""
+        return [
+            lambda group=group: self._run_vertex_select(vtop, group, pushdown)
+            for group in self._vertex_predicate_groups(vtop, ids, pushdown)
+            if group is not None
+        ]
 
     def _vertex_predicate_groups(
         self, vtop: VertexTopology, ids: Sequence[Any] | None, pushdown: Pushdown
@@ -303,15 +382,17 @@ class OverlayGraph(GraphProvider):
             return
         if len(vtop.id_template.columns) == 1:
             # one varying column (constants already verified by decode):
-            # batch all ids into a single probe
+            # coalesce up to batch_size ids per probe (batch_size=1
+            # degenerates to one `id = ?` statement per traverser)
             column = vtop.relation.canonical(vtop.id_template.columns[0])
             values = tuple(
                 dict.fromkeys(d[vtop.id_template.columns[0]] for d in decoded)
             )
-            if len(values) == 1:
-                yield [SqlPredicate(column, "=", (values[0],))] + base
-            else:
-                yield [SqlPredicate(column, "IN", values)] + base
+            for chunk in chunked(values, self.batch_size):
+                if len(chunk) == 1:
+                    yield [SqlPredicate(column, "=", (chunk[0],), batch=True)] + base
+                else:
+                    yield [SqlPredicate(column, "IN", tuple(chunk), batch=True)] + base
             return
         # multi-column composite id: conjunctive predicates per id (§6.3)
         for values_map in decoded:
@@ -400,14 +481,24 @@ class OverlayGraph(GraphProvider):
             return
         if ids is not None:
             unique = list(dict.fromkeys(ids))
-            fetched: dict[str, Any] = {}
+            tasks: list[Callable[[], list]] = []
             for etop in candidates:
-                for edge in self._query_edge_table(etop, unique, pushdown):
+                tasks.extend(self._edge_table_tasks(etop, unique, pushdown))
+            fetched: dict[str, Any] = {}
+            for batch in self._run_fanout(tasks):
+                for edge in batch:
                     fetched.setdefault(str(edge.id), edge)
             for requested in ids:
                 edge = fetched.get(str(requested))
                 if edge is not None:
                     yield edge
+            return
+        if self._parallel_active() and len(candidates) > 1:
+            scan_tasks: list[Callable[[], list]] = []
+            for etop in candidates:
+                scan_tasks.extend(self._edge_table_tasks(etop, ids, pushdown))
+            for batch in self._run_fanout(scan_tasks):
+                yield from batch
             return
         for etop in candidates:
             yield from self._query_edge_table(etop, ids, pushdown)
@@ -451,12 +542,28 @@ class OverlayGraph(GraphProvider):
         for predicates in self._edge_id_groups(etop, ids, pushdown):
             if predicates is None:
                 continue
-            columns = etop.required_columns(self._effective_projection(pushdown))
-            self._note_table_query(etop.table_name, "edge")
-            for row in self.dialect.select(etop.table_name, columns, predicates):
-                edge = self._make_edge(etop, row, pushdown)
-                if edge is not None:
-                    yield edge
+            yield from self._run_edge_select(etop, predicates, pushdown)
+
+    def _run_edge_select(
+        self, etop: EdgeTopology, predicates: list[SqlPredicate], pushdown: Pushdown
+    ) -> list[OverlayEdge]:
+        columns = etop.required_columns(self._effective_projection(pushdown))
+        self._note_table_query(etop.table_name, "edge")
+        out: list[OverlayEdge] = []
+        for row in self.dialect.select(etop.table_name, columns, predicates):
+            edge = self._make_edge(etop, row, pushdown)
+            if edge is not None:
+                out.append(edge)
+        return out
+
+    def _edge_table_tasks(
+        self, etop: EdgeTopology, ids: Sequence[Any] | None, pushdown: Pushdown
+    ) -> list[Callable[[], list[OverlayEdge]]]:
+        return [
+            lambda group=group: self._run_edge_select(etop, group, pushdown)
+            for group in self._edge_id_groups(etop, ids, pushdown)
+            if group is not None
+        ]
 
     def _edge_id_groups(
         self, etop: EdgeTopology, ids: Sequence[Any] | None, pushdown: Pushdown
@@ -622,8 +729,13 @@ class OverlayGraph(GraphProvider):
         per_vertex_edges: dict[Any, list[tuple[OverlayEdge, Direction]]] = {
             v.id: [] for v in vertices
         }
-        aggregates: list[Any] = []
 
+        # Plan the whole fan-out first — one task per (table, direction,
+        # id batch) — then dispatch.  Results come back in submission
+        # order, so the demux below fills per_vertex_edges exactly as
+        # the serial nested loop always did.
+        tasks: list[Callable[[], list]] = []
+        task_directions: list[Direction] = []
         for etop in candidates:
             for d in directions:
                 matching = self._vertices_matching_endpoint(etop, vertices, d)
@@ -631,18 +743,33 @@ class OverlayGraph(GraphProvider):
                     self._note_elimination(etop.table_name, "src_dst_tables")
                     continue
                 if aggregate_edges:
-                    aggregates.append(
-                        self._aggregate_edges_for(etop, matching, d, edge_pushdown, edge_labels)
+                    tasks.append(
+                        lambda etop=etop, matching=matching, d=d: [
+                            self._aggregate_edges_for(
+                                etop, matching, d, edge_pushdown, edge_labels
+                            )
+                        ]
                     )
+                    task_directions.append(d)
                     continue
-                for edge in self._fetch_edges_for(etop, matching, d, edge_pushdown, edge_labels):
-                    key = edge.out_v_id if d is Direction.OUT else edge.in_v_id
-                    if key in per_vertex_edges:
-                        per_vertex_edges[key].append((edge, d))
+                for fetch in self._edge_fetch_tasks(
+                    etop, matching, d, edge_pushdown, edge_labels
+                ):
+                    tasks.append(fetch)
+                    task_directions.append(d)
+
+        batches = self._run_fanout(tasks)
 
         if aggregate_edges:
+            aggregates = [value for batch in batches for value in batch]
             result[None] = [_combine_aggregates(pushdown.aggregate, aggregates)]
             return result
+
+        for batch, d in zip(batches, task_directions):
+            for edge in batch:
+                key = edge.out_v_id if d is Direction.OUT else edge.in_v_id
+                if key in per_vertex_edges:
+                    per_vertex_edges[key].append((edge, d))
 
         if return_type == "edge":
             for vertex_id, pairs in per_vertex_edges.items():
@@ -691,10 +818,11 @@ class OverlayGraph(GraphProvider):
             values = list(dict.fromkeys(values))
             if not values:
                 return
-            if len(values) == 1:
-                yield [SqlPredicate(column, "=", (values[0],))]
-            else:
-                yield [SqlPredicate(column, "IN", tuple(values))]
+            for chunk in chunked(values, self.batch_size):
+                if len(chunk) == 1:
+                    yield [SqlPredicate(column, "=", (chunk[0],), batch=True)]
+                else:
+                    yield [SqlPredicate(column, "IN", tuple(chunk), batch=True)]
             return
         for vertex in vertices:
             decoded = template.decode(vertex.id, strict=strict)
@@ -728,20 +856,41 @@ class OverlayGraph(GraphProvider):
         pushdown: Pushdown,
         edge_labels: tuple[str, ...] | None,
     ) -> Iterator[OverlayEdge]:
+        for task in self._edge_fetch_tasks(etop, vertices, d, pushdown, edge_labels):
+            yield from task()
+
+    def _edge_fetch_tasks(
+        self,
+        etop: EdgeTopology,
+        vertices: Sequence[Vertex],
+        d: Direction,
+        pushdown: Pushdown,
+        edge_labels: tuple[str, ...] | None,
+    ) -> list[Callable[[], list[OverlayEdge]]]:
+        """One thunk per id batch: each runs a single SELECT against the
+        edge table and returns its matching edges."""
         base = self._sql_predicates(etop, pushdown)
         base.extend(self._endpoint_predicates(etop, pushdown))
         base.extend(self._edge_label_sql(etop, edge_labels))
         label_filter = Pushdown(labels=edge_labels) if edge_labels else None
-        for id_group in self._endpoint_id_predicates(etop, vertices, d):
-            columns = etop.required_columns(self._effective_projection(pushdown))
+        columns = etop.required_columns(self._effective_projection(pushdown))
+
+        def run(id_group: list[SqlPredicate]) -> list[OverlayEdge]:
             self._note_table_query(etop.table_name, "edge")
+            out: list[OverlayEdge] = []
             for row in self.dialect.select(etop.table_name, columns, id_group + base):
                 edge = self._make_edge(etop, row, pushdown)
                 if edge is None:
                     continue
                 if label_filter is not None and not label_filter.matches_labels(edge.label):
                     continue
-                yield edge
+                out.append(edge)
+            return out
+
+        return [
+            lambda id_group=id_group: run(id_group)
+            for id_group in self._endpoint_id_predicates(etop, vertices, d)
+        ]
 
     def _aggregate_edges_for(
         self,
@@ -751,6 +900,22 @@ class OverlayGraph(GraphProvider):
         pushdown: Pushdown,
         edge_labels: tuple[str, ...] | None,
     ) -> Any:
+        # Duplicate endpoint ids (g.V(1, 1).outE().count()) must each
+        # contribute to the aggregate, but the SQL IN-list dedups them —
+        # fetch and weight each edge by its endpoint's multiplicity.
+        multiplicity: dict[str, int] = {}
+        for vertex in vertices:
+            key = str(vertex.id)
+            multiplicity[key] = multiplicity.get(key, 0) + 1
+        if any(count > 1 for count in multiplicity.values()):
+            fetch_pushdown = pushdown.copy()
+            fetch_pushdown.aggregate = None
+            unique = list({str(v.id): v for v in vertices}.values())
+            weighted: list[OverlayEdge] = []
+            for edge in self._fetch_edges_for(etop, unique, d, fetch_pushdown, edge_labels):
+                endpoint = str(edge.out_v_id if d is Direction.OUT else edge.in_v_id)
+                weighted.extend([edge] * multiplicity.get(endpoint, 1))
+            return _memory_aggregate(weighted, pushdown)
         # Aggregates push down only when everything else does too;
         # otherwise fall back to fetching and aggregating in memory.
         if not self._fully_pushable(etop, pushdown, edge_labels):
@@ -1006,7 +1171,8 @@ class OverlayGraph(GraphProvider):
             hint = vertex.source_table if self.opts.use_src_dst_tables else None
             by_hint.setdefault(hint, []).append(vertex)
         empty = Pushdown()
-        for hint, group in by_hint.items():
+
+        def materialize_group(hint: str | None, group: list[Vertex]) -> list:
             ids = list(dict.fromkeys(v.id for v in group))
             loaded: dict[Any, OverlayVertex] = {}
             if hint is not None:
@@ -1020,10 +1186,20 @@ class OverlayGraph(GraphProvider):
             if not loaded:
                 for vertex in self._vertices(ids, empty):
                     loaded.setdefault(vertex.id, vertex)
+            # Each input vertex belongs to exactly one hint group, so
+            # absorbing here is safe even when groups run on workers.
             for vertex in group:
                 fetched = loaded.get(vertex.id)
                 if fetched is not None:
                     vertex.absorb(fetched.label, fetched.properties, fetched.source_table)
+            return []
+
+        self._run_fanout(
+            [
+                lambda hint=hint, group=group: materialize_group(hint, group)
+                for hint, group in by_hint.items()
+            ]
+        )
 
     def load_vertex(self, vertex_id: Any, table_hint: str | None = None) -> Vertex | None:
         candidates: list[VertexTopology]
@@ -1057,16 +1233,19 @@ class OverlayGraph(GraphProvider):
     def _aggregate_over_tables(
         self, candidates: list, ids: Sequence[Any] | None, pushdown: Pushdown, kind: str
     ) -> Any:
-        partials: list[Any] = []
+        tasks: list[Callable[[], list]] = []
         for top in candidates:
             if not self._table_fully_pushable(top, pushdown):
-                fetch_pushdown = pushdown.copy()
-                fetch_pushdown.aggregate = None
-                if kind == "vertex":
-                    elements = list(self._query_vertex_table(top, ids, fetch_pushdown))
-                else:
-                    elements = list(self._query_edge_table(top, ids, fetch_pushdown))
-                partials.append(_memory_aggregate(elements, pushdown))
+                def memory_partial(top=top) -> list:
+                    fetch_pushdown = pushdown.copy()
+                    fetch_pushdown.aggregate = None
+                    if kind == "vertex":
+                        elements = list(self._query_vertex_table(top, ids, fetch_pushdown))
+                    else:
+                        elements = list(self._query_edge_table(top, ids, fetch_pushdown))
+                    return [_memory_aggregate(elements, pushdown)]
+
+                tasks.append(memory_partial)
                 continue
             groups = (
                 self._vertex_predicate_groups(top, ids, pushdown)
@@ -1076,8 +1255,13 @@ class OverlayGraph(GraphProvider):
             for predicates in groups:
                 if predicates is None:
                     continue
-                self._note_table_query(top.table_name, kind)
-                partials.append(self._table_aggregate(top.table_name, pushdown, predicates))
+
+                def sql_partial(top=top, predicates=predicates) -> list:
+                    self._note_table_query(top.table_name, kind)
+                    return [self._table_aggregate(top.table_name, pushdown, predicates)]
+
+                tasks.append(sql_partial)
+        partials = [value for batch in self._run_fanout(tasks) for value in batch]
         return _combine_aggregates(pushdown.aggregate, partials)
 
     def _table_fully_pushable(self, top: Any, pushdown: Pushdown) -> bool:

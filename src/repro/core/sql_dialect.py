@@ -11,6 +11,7 @@ index advisor.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -30,11 +31,18 @@ from ..resilience.retry import RetryPolicy
 
 @dataclass(frozen=True)
 class SqlPredicate:
-    """One WHERE conjunct: ``column op values``."""
+    """One WHERE conjunct: ``column op values``.
+
+    ``batch=True`` marks an id conjunct that coalesces multiple
+    traversers into one ``IN (...)`` probe — the dialect uses it to
+    account batched statements (``sql.batched`` / ``batch.size``)
+    without guessing from the SQL text.
+    """
 
     column: str
     op: str  # '=', '<>', '<', '<=', '>', '>=', 'IN', 'NOT IN', 'IS NULL', 'IS NOT NULL'
     values: tuple[Any, ...] = ()
+    batch: bool = False
 
     def render(self) -> tuple[str, list[Any]]:
         if self.op in ("IS NULL", "IS NOT NULL"):
@@ -213,6 +221,18 @@ class SqlDialect:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = recorder if recorder is not None else NULL_RECORDER
         self.stats = DialectStats(self.registry)
+        # Pre-bound counter cells: one locked increment per event, no
+        # registry lookup (and no racy read-modify-write through the
+        # DialectStats property facade) on the hot path.
+        self._queries_counter = self.registry.counter(M.SQL_QUERIES)
+        self._rows_counter = self.registry.counter(M.SQL_ROWS)
+        self._prepared_counter = self.registry.counter(M.SQL_PREPARED_HITS)
+        self._batched_counter = self.registry.counter(M.SQL_BATCHED)
+        self._batch_ids_counter = self.registry.counter(M.BATCH_IDS)
+        # Stable per-dialect statement ids: worker threads interleave
+        # trace events, so every sql.* event carries the id assigned at
+        # build time (itertools.count is atomic under the GIL).
+        self._statement_ids = itertools.count(1)
         self.tracker = FrequentPatternTracker(pattern_threshold) if track_patterns else None
         self.log: list[str] | None = None  # set to [] to capture generated SQL
         # use_prepared=False re-parses/re-plans every statement — the
@@ -295,12 +315,29 @@ class SqlDialect:
         timed = timing or self.trace.enabled
         started = perf_counter() if timed else 0.0
         sql, params = self.build_select(table, columns, predicates, aggregate)
+        statement_id = next(self._statement_ids)
         if self.log is not None:
             self.log.append(sql)
         if self.tracker is not None and aggregate is None:
             self.tracker.record(table, predicates)
         if timing:
             self.registry.histogram(M.PHASE_TRANSLATE).observe(perf_counter() - started)
+        # Traverser batching: an id conjunct carrying >1 coalesced ids
+        # means this one statement does the work of `size` per-traverser
+        # probes — count it and record how many ids it carried.
+        batch_size = max(
+            (len(p.values) for p in predicates if p.batch and p.op == "IN"),
+            default=0,
+        )
+        if batch_size > 1:
+            self._batched_counter.increment()
+            self._batch_ids_counter.increment(batch_size)
+            self.trace.emit(
+                tracing.SQL_BATCHED,
+                statement_id=statement_id,
+                table=table,
+                size=batch_size,
+            )
         budget = self.active_budget
         if budget is not None:
             budget.note_sql()  # cancellation checkpoint at every SQL issue
@@ -309,8 +346,8 @@ class SqlDialect:
         elapsed = perf_counter() - executed if timed else None
         if timing:
             self.registry.histogram(M.PHASE_EXECUTE).observe(elapsed)
-        self.stats.queries_issued += 1
-        self.stats.rows_fetched += len(result.rows)
+        self._queries_counter.increment()
+        self._rows_counter.increment(len(result.rows))
         if budget is not None:
             budget.note_rows(len(result.rows))
         if self.trace.enabled:
@@ -321,6 +358,7 @@ class SqlDialect:
                 params=list(params),
                 rows=len(result.rows),
                 kind="select",
+                statement_id=statement_id,
             )
         materialized = perf_counter() if timing else 0.0
         keys = [c.lower() for c in result.columns]
@@ -339,8 +377,11 @@ class SqlDialect:
         def attempt():
             if self.use_prepared:
                 prepared = self.connection.prepare(sql)
-                hit = prepared.executions >= 1  # compiled by an earlier execution
-                return prepared.execute(self.connection, params), hit
+                # nth is claimed atomically with the execution: exactly
+                # one concurrent caller sees 0 (the compile), everyone
+                # else is a genuine cache hit.
+                result, nth = prepared.execute_counted(self.connection, params)
+                return result, nth >= 1
             return self.connection.execute(sql, params), False
 
         policy = self.retry_policy
@@ -349,7 +390,7 @@ class SqlDialect:
         else:
             result, hit = policy.run(attempt, registry=self.registry, trace=self.trace)
         if count_hits and hit:
-            self.stats.prepared_hits += 1
+            self._prepared_counter.increment()
         return result
 
     def aggregate_value(
@@ -378,6 +419,7 @@ class SqlDialect:
         column_list = ", ".join(columns)
         holes = ", ".join("?" for _ in columns)
         sql = f"INSERT INTO {table} ({column_list}) VALUES ({holes})"
+        statement_id = next(self._statement_ids)
         if self.log is not None:
             self.log.append(sql)
         timed = self.trace.enabled
@@ -386,7 +428,7 @@ class SqlDialect:
             budget.note_sql()
         started = perf_counter() if timed else 0.0
         self._run_statement(sql, list(values), count_hits=False)
-        self.stats.queries_issued += 1
+        self._queries_counter.increment()
         if timed:
             self.trace.emit(
                 tracing.SQL_ISSUED,
@@ -395,6 +437,7 @@ class SqlDialect:
                 params=list(values),
                 rows=0,
                 kind="insert",
+                statement_id=statement_id,
             )
 
     # -- index advisor -----------------------------------------------------------------

@@ -141,15 +141,26 @@ class Element:
         if source_table is not None:
             self.source_table = source_table
 
+    # Identity is (kind, id), not (concrete class, id): an OverlayVertex
+    # fetched by a table scan and a lazy Vertex minted from an edge
+    # endpoint are the same logical vertex and must dedup() together.
+    _kind = "element"
+
     def __eq__(self, other: object) -> bool:
-        return type(self) is type(other) and self.id == other.id  # type: ignore[attr-defined]
+        return (
+            isinstance(other, Element)
+            and self._kind == other._kind
+            and self.id == other.id
+        )
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.id))
+        return hash((self._kind, self.id))
 
 
 class Vertex(Element):
     __slots__ = ()
+
+    _kind = "vertex"
 
     def _materialize(self) -> None:
         if self._provider is None:
@@ -169,6 +180,8 @@ class Vertex(Element):
 
 class Edge(Element):
     __slots__ = ("out_v_id", "in_v_id", "out_v_table", "in_v_table")
+
+    _kind = "edge"
 
     def __init__(
         self,

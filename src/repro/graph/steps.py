@@ -70,6 +70,12 @@ class TraversalContext:
         self.provider = provider
         self.side_effects: dict[str, list] = {}
         self.track_paths = track_paths
+        # How many traversers one GSA step coalesces per provider call
+        # (and so, per table, per SQL IN-list) — overlay providers expose
+        # their configured batch_size; others keep the historical 256.
+        self.batch_size = max(
+            1, int(getattr(provider, "traverser_batch_size", _BATCH_SIZE) or _BATCH_SIZE)
+        )
         self._step_state: dict[int, dict] = {}
         # Set by profile(): a TraversalProfiler that meters every step
         # boundary — including sub-traversal chains, which all flow
@@ -105,7 +111,7 @@ def _materializing_batches(
     """Yield traversers in order, bulk-materializing lazy elements one
     batch at a time (avoids one backend round trip per element)."""
     while True:
-        batch = list(itertools.islice(incoming, _BATCH_SIZE))
+        batch = list(itertools.islice(incoming, ctx.batch_size))
         if not batch:
             return
         pending = [
@@ -233,7 +239,7 @@ class VertexStep(Step):
 
     def process(self, incoming: Iterator[Traverser], ctx: TraversalContext) -> Iterator[Traverser]:
         while True:
-            batch = list(itertools.islice(incoming, _BATCH_SIZE))
+            batch = list(itertools.islice(incoming, ctx.batch_size))
             if not batch:
                 return
             vertices: list[Vertex] = []

@@ -11,32 +11,41 @@ views over a shared :class:`MetricsRegistry`, so that
   text), *execute* (relational engine), and *materialize* (rows ->
   graph elements) phases via histograms.
 
-Counters are plain integer cells with no locking: increments happen
-under the GIL exactly as the previous dataclass fields did, and the
-hot path must stay as cheap as a ``+= 1``.  Phase timing is gated by
-``MetricsRegistry.timing_enabled`` (off by default) so Tier-1 latency
-is unchanged unless a caller opts in.
+Counters used to be plain integer cells mutated with a bare ``+= 1``;
+that read-modify-write races once fan-out statements run on a worker
+pool, so each cell now increments under its own lock.  Reads stay
+lock-free (``value`` is a single attribute load) and phase timing is
+gated by ``MetricsRegistry.timing_enabled`` (off by default) so Tier-1
+latency is unchanged unless a caller opts in.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator
 
 
 class Counter:
-    """A named monotonically-increasing integer (resettable)."""
+    """A named monotonically-increasing integer (resettable).
 
-    __slots__ = ("name", "value")
+    Increment is atomic under ``_lock`` so worker threads of a parallel
+    fan-out never lose updates; reading ``value`` needs no lock.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def increment(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -49,19 +58,21 @@ class Histogram:
     every observation (benchmarks observe millions of spans).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str):
         self.name = name
+        self._lock = threading.Lock()
         self.reset()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -98,6 +109,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Guards create-on-demand registration: two fan-out workers
+        # asking for the same new counter must share one cell.
+        self._lock = threading.Lock()
         # Gate for phase timing (perf_counter calls around translate /
         # execute / materialize).  Off by default: counters alone cost
         # one integer add; timing costs clock reads.
@@ -108,13 +122,19 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         cell = self._counters.get(name)
         if cell is None:
-            cell = self._counters[name] = Counter(name)
+            with self._lock:
+                cell = self._counters.get(name)
+                if cell is None:
+                    cell = self._counters[name] = Counter(name)
         return cell
 
     def histogram(self, name: str) -> Histogram:
         cell = self._histograms.get(name)
         if cell is None:
-            cell = self._histograms[name] = Histogram(name)
+            with self._lock:
+                cell = self._histograms.get(name)
+                if cell is None:
+                    cell = self._histograms[name] = Histogram(name)
         return cell
 
     def counters(self) -> Iterator[Counter]:
@@ -153,6 +173,10 @@ class MetricsRegistry:
 SQL_QUERIES = "sql.queries_issued"
 SQL_ROWS = "sql.rows_fetched"
 SQL_PREPARED_HITS = "sql.prepared_hits"
+# Parallel fan-out + traverser batching.
+SQL_BATCHED = "sql.batched"  # statements that coalesced >1 traverser id
+BATCH_IDS = "batch.size"  # total ids carried by those batched statements
+FANOUT_PARALLEL = "fanout.parallel"  # fan-outs dispatched on the worker pool
 VERTEX_TABLE_QUERIES = "structure.vertex_table_queries"
 EDGE_TABLE_QUERIES = "structure.edge_table_queries"
 TABLES_ELIMINATED = "structure.tables_eliminated"

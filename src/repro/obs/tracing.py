@@ -17,7 +17,16 @@ event name             attributes
                        table (``label_values``, ``property_names``,
                        ``prefixed_ids``, ``implicit_edge_ids``,
                        ``src_dst_tables``)
-``sql.issued``         ``sql``, ``params``, ``rows``, ``seconds``
+``sql.issued``         ``sql``, ``params``, ``rows``, ``seconds``,
+                       ``statement_id`` — a process-stable id assigned at
+                       build time so events interleaved by worker threads
+                       still correlate with explain()/profile() output
+``sql.batched``        ``statement_id``, ``table``, ``size`` — one
+                       statement coalesced ``size`` (>1) traverser ids
+                       into a single ``IN (...)`` probe
+``fanout.parallel``    ``tasks``, ``parallelism`` — a multi-statement
+                       fan-out was dispatched on the worker pool instead
+                       of running serially
 ``vertex.from_edge``   ``table`` — endpoint built from the edge row
                        without SQL (§6.3)
 ``vertex.lazy``        ``table`` hint — endpoint handed out unmaterialized
@@ -54,6 +63,7 @@ drift from reality.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -90,18 +100,21 @@ class TraceRecorder:
         self.max_events = max_events
         self.events: list[TraceEvent] = []
         self.dropped = 0
+        # Fan-out workers emit concurrently; the bound check plus append
+        # must be atomic or the buffer overshoots / drop counts race.
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
     def emit(self, name: str, seconds: float | None = None, **attributes: Any) -> None:
         if not self.enabled:
             return
-        if len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
-        self.events.append(
-            TraceEvent(name, attributes, seconds, next(_SEQUENCE))
-        )
+        event = TraceEvent(name, attributes, seconds, next(_SEQUENCE))
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped += 1
+                return
+            self.events.append(event)
 
     # -- reading -----------------------------------------------------------
 
@@ -124,8 +137,9 @@ class TraceRecorder:
         return len(self.events)
 
     def clear(self) -> None:
-        self.events.clear()
-        self.dropped = 0
+        with self._lock:
+            self.events.clear()
+            self.dropped = 0
 
     def __repr__(self) -> str:
         state = "on" if self.enabled else "off"
@@ -145,6 +159,8 @@ STRATEGY_APPLIED = "strategy.applied"
 TABLE_QUERIED = "table.queried"
 TABLE_ELIMINATED = "table.eliminated"
 SQL_ISSUED = "sql.issued"
+SQL_BATCHED = "sql.batched"
+FANOUT_PARALLEL = "fanout.parallel"
 VERTEX_FROM_EDGE = "vertex.from_edge"
 VERTEX_LAZY = "vertex.lazy"
 LOCK_WAIT = "lock.wait"

@@ -46,6 +46,7 @@ class Database:
         self.ddl_generation = 0
         self._ddl_lock = threading.Lock()
         self.statements_executed = 0
+        self._stmt_count_lock = threading.Lock()
         # Observability: the lock manager / executor emit counters and
         # trace events here; Db2Graph.open rebinds both so one registry
         # spans the relational and graph layers.
@@ -117,7 +118,8 @@ class Connection:
         return self.execute_parsed(parse_statement(sql), params)
 
     def execute_parsed(self, stmt: Any, params: Sequence[Any]) -> ResultSet:
-        self.database.statements_executed += 1
+        with self.database._stmt_count_lock:
+            self.database.statements_executed += 1
         if isinstance(stmt, TransactionStmt):
             return self._transaction_statement(stmt)
         if self.current_txn is not None:

@@ -32,11 +32,23 @@ class PreparedStatement:
         self.executions = 0
 
     def execute(self, session: Any, params: Sequence[Any] = ()) -> ResultSet:
-        self.executions += 1
+        return self.execute_counted(session, params)[0]
+
+    def execute_counted(self, session: Any, params: Sequence[Any] = ()) -> tuple[ResultSet, int]:
+        """``execute()`` plus the 0-based index of this execution.
+
+        The index is claimed atomically with the increment, so under
+        concurrent execution exactly one caller observes index 0 — the
+        race-free way to count prepared-statement reuse (a post-hoc
+        ``executions >= 1`` check can see another thread's increment
+        and double-count the compile)."""
+        with self._lock:
+            nth = self.executions
+            self.executions += 1
         if isinstance(self.statement, (A.SelectStmt, A.UnionStmt)):
             plan = self._current_plan()
-            return self.database.executor.run_select(plan, session, params)
-        return self.database.executor.execute(self.statement, session, params)
+            return self.database.executor.run_select(plan, session, params), nth
+        return self.database.executor.execute(self.statement, session, params), nth
 
     def _current_plan(self) -> PlannedSelect:
         generation = self.database.ddl_generation

@@ -21,6 +21,7 @@ The clock is injectable so deadline tests never sleep.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Iterator
 
@@ -79,7 +80,15 @@ class QueryBudget:
 
 
 class BudgetTracker:
-    """Mutable per-execution progress counters + checkpoint logic."""
+    """Mutable per-execution progress counters + checkpoint logic.
+
+    One tracker is shared by every worker of a parallel fan-out, so the
+    progress increments are locked and tripping is first-wins: the first
+    thread over a ceiling mints the error (and the single counter/trace
+    emission); every later checkpoint — in any thread — re-raises that
+    same instance, which is how outstanding batch work gets cancelled
+    with a consistent partial-progress payload.
+    """
 
     def __init__(
         self,
@@ -96,6 +105,7 @@ class BudgetTracker:
         self.traversers_spawned = 0
         self.steps_completed = 0
         self._tripped: QueryTimeoutError | BudgetExceededError | None = None
+        self._lock = threading.Lock()
 
     # -- progress ------------------------------------------------------------
 
@@ -112,9 +122,11 @@ class BudgetTracker:
 
     def note_sql(self) -> None:
         """Checkpoint at every SQL statement issue."""
-        self.sql_issued += 1
+        with self._lock:
+            self.sql_issued += 1
+            issued = self.sql_issued
         limit = self.budget.max_sql_statements
-        if limit is not None and self.sql_issued > limit:
+        if limit is not None and issued > limit:
             self._exceed(
                 "max_sql_statements",
                 f"query issued more than {limit} SQL statements",
@@ -122,16 +134,20 @@ class BudgetTracker:
         self.check_deadline()
 
     def note_rows(self, count: int) -> None:
-        self.rows_fetched += count
+        with self._lock:
+            self.rows_fetched += count
+            fetched = self.rows_fetched
         limit = self.budget.max_rows
-        if limit is not None and self.rows_fetched > limit:
+        if limit is not None and fetched > limit:
             self._exceed("max_rows", f"query materialized more than {limit} rows")
 
     def note_traverser(self) -> None:
         """Checkpoint at every traverser expansion."""
-        self.traversers_spawned += 1
+        with self._lock:
+            self.traversers_spawned += 1
+            spawned = self.traversers_spawned
         limit = self.budget.max_traversers
-        if limit is not None and self.traversers_spawned > limit:
+        if limit is not None and spawned > limit:
             self._exceed(
                 "max_traversers", f"traversal spawned more than {limit} traversers"
             )
@@ -161,14 +177,20 @@ class BudgetTracker:
     # -- tripping ------------------------------------------------------------
 
     def _exceed(self, reason: str, message: str, timeout: bool = False) -> None:
-        if self._tripped is not None:
-            raise self._tripped
-        progress = self.progress()
-        if self.registry is not None:
-            self.registry.counter(obs_metrics.BUDGET_EXCEEDED).increment()
-        self.trace.emit(tracing.BUDGET_EXCEEDED, reason=reason, progress=progress)
-        cls = QueryTimeoutError if timeout else BudgetExceededError
-        self._tripped = cls(f"{message} ({progress})", reason=reason, progress=progress)
+        # First-wins under the lock: exactly one thread mints the error
+        # and the single counter/trace emission; the rest re-raise it.
+        with self._lock:
+            if self._tripped is None:
+                progress = self.progress()
+                if self.registry is not None:
+                    self.registry.counter(obs_metrics.BUDGET_EXCEEDED).increment()
+                self.trace.emit(
+                    tracing.BUDGET_EXCEEDED, reason=reason, progress=progress
+                )
+                cls = QueryTimeoutError if timeout else BudgetExceededError
+                self._tripped = cls(
+                    f"{message} ({progress})", reason=reason, progress=progress
+                )
         raise self._tripped
 
 

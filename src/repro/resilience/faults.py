@@ -16,6 +16,7 @@ classifier treats them like real transient failures.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -84,6 +85,9 @@ class FaultInjector:
         self.faults: list[Fault] = []
         self.statements_seen = 0
         self.fires = 0
+        # Statement numbering, rule fire-counts, and the shared rng must
+        # stay exact when fan-out sub-statements arrive from the pool.
+        self._lock = threading.Lock()
 
     def add(
         self,
@@ -118,25 +122,35 @@ class FaultInjector:
     ) -> None:
         """Called by the executor before running each statement; raises
         the injected error (or sleeps, for ``slow``) when a rule fires."""
-        self.statements_seen += 1
-        statement_no = self.statements_seen
-        for fault in self.faults:
-            if not fault.matches(statement_no, tables, self.rng):
-                continue
-            fault.fired += 1
-            self.fires += 1
-            if registry is not None:
-                registry.counter(obs_metrics.FAULTS_INJECTED).increment()
-            trace.emit(
-                tracing.FAULT_INJECTED,
-                kind=fault.kind,
-                table=fault.table,
-                statement=statement_no,
-            )
-            if fault.kind == "slow":
-                self.sleep(fault.delay)
-                continue
-            raise self._build_error(fault, statement_no)
+        error: BaseException | None = None
+        delays: list[float] = []
+        with self._lock:
+            self.statements_seen += 1
+            statement_no = self.statements_seen
+            for fault in self.faults:
+                if not fault.matches(statement_no, tables, self.rng):
+                    continue
+                fault.fired += 1
+                self.fires += 1
+                if registry is not None:
+                    registry.counter(obs_metrics.FAULTS_INJECTED).increment()
+                trace.emit(
+                    tracing.FAULT_INJECTED,
+                    kind=fault.kind,
+                    table=fault.table,
+                    statement=statement_no,
+                )
+                if fault.kind == "slow":
+                    delays.append(fault.delay)
+                    continue
+                error = self._build_error(fault, statement_no)
+                break
+        # Sleep/raise outside the lock so a slow fault on one worker
+        # doesn't serialize the whole pool behind the injector.
+        for delay in delays:
+            self.sleep(delay)
+        if error is not None:
+            raise error
 
     def _build_error(self, fault: Fault, statement_no: int) -> BaseException:
         # Fresh instance per fire: each retry attempt gets its own

@@ -228,3 +228,105 @@ class TestFailedStatementsLeaveCleanState:
             paper_db.fault_injector = None
         assert paper_db.execute("SELECT COUNT(*) FROM Patient").scalar() == before
         assert paper_db.lock_manager.is_clean()
+
+
+class TestChaosUnderParallelism:
+    def test_chaos_under_parallel_fanout_masks_sub_statement_faults(self, paper_db):
+        """A transient fault on ONE sub-statement of a parallel fan-out
+        is retried on its worker without duplicating or dropping rows:
+        the result multiset is identical to a fault-free serial run."""
+        serial = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+        queries = QUERIES + [
+            lambda g: sorted(str(v.id) for v in g.V().both().toList()),
+            lambda g: sorted(str(v.id) for v in g.V().both().both().toList()),
+        ]
+        baseline = [query(serial.traversal()) for query in queries]
+
+        chaotic = Db2Graph.open(
+            paper_db,
+            HEALTHCARE_TINY_OVERLAY,
+            retry_policy=no_sleep_retry(3),
+            parallelism=4,
+            batch_size=2,
+        )
+        injector = FaultInjector(seed=17)
+        injector.add("lock_timeout", table="DiseaseOntology", times=2)
+        injector.add("deadlock", table="HasDisease", times=1)
+        paper_db.fault_injector = injector
+        try:
+            chaotic_results = [query(chaotic.traversal()) for query in queries]
+        finally:
+            paper_db.fault_injector = None
+            chaotic.close()
+
+        assert chaotic_results == baseline
+        stats = chaotic.stats()
+        assert stats["parallel_fanouts"] > 0
+        assert stats["faults_injected"] == injector.fires > 0
+        assert stats["retry_attempts"] >= injector.fires
+        assert paper_db.lock_manager.is_clean()
+
+    def test_budget_trip_mid_fanout_cancels_outstanding_work(self, paper_db):
+        """A budget exceeded on one worker's sub-statement trips ONCE
+        (first-wins across the pool), cancels the batch work that has
+        not started, and reports an accurate partial-progress payload."""
+        from repro.obs import tracing
+
+        graph = Db2Graph.open(
+            paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=2
+        )
+        # Fault-free statement count of the same two-hop query: the
+        # cancelled run must issue strictly fewer.
+        recorder = graph.enable_tracing()
+        graph.traversal().V().both().both().toList()
+        full_run_sql = recorder.count(tracing.SQL_ISSUED)
+        graph.reset_stats()
+
+        limit = 2
+        g = graph.traversal().with_budget(max_sql_statements=limit)
+        with pytest.raises(BudgetExceededError) as info:
+            g.V().both().both().toList()
+
+        assert info.value.reason == "max_sql_statements"
+        # The payload reflects statements *attempted* at trip time: past
+        # the limit, and at most one in-flight attempt per worker beyond
+        # what was actually issued (the tripped attempts never ran).
+        issued = recorder.count(tracing.SQL_ISSUED)
+        assert limit < info.value.progress["sql_issued"] <= issued + graph.parallelism
+        # First-wins: concurrent workers re-raise the same trip, they do
+        # not each mint a counter increment / event.
+        assert graph.stats()["budget_exceeded"] == 1
+        assert recorder.count(tracing.BUDGET_EXCEEDED) == 1
+        # Outstanding fan-out work was cancelled: the aborted run issued
+        # strictly fewer statements than the fault-free run.
+        assert issued < full_run_sql
+        assert paper_db.lock_manager.is_clean()
+
+        # The graph stays usable after the abort.
+        assert graph.traversal().V().hasLabel("patient").count().next() > 0
+        graph.disable_tracing()
+        graph.close()
+
+    def test_retry_exhaustion_on_one_sub_statement_fails_whole_fanout(self, paper_db):
+        """When one sub-statement's fault never heals, the fan-out fails
+        with that error — partial results are never returned."""
+        graph = Db2Graph.open(
+            paper_db,
+            HEALTHCARE_TINY_OVERLAY,
+            retry_policy=no_sleep_retry(2),
+            parallelism=4,
+            batch_size=2,
+        )
+        injector = FaultInjector(seed=5)
+        injector.add("lock_timeout", table="DiseaseOntology", times=None)
+        paper_db.fault_injector = injector
+        try:
+            with pytest.raises(LockTimeoutError):
+                graph.traversal().V().both().toList()
+        finally:
+            paper_db.fault_injector = None
+        assert graph.stats()["retry_exhausted"] >= 1
+        assert paper_db.lock_manager.is_clean()
+        # Healed: the same query now runs clean on the same pool.
+        assert graph.traversal().V().both().count().next() > 0
+        graph.close()

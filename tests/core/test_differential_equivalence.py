@@ -1,4 +1,4 @@
-"""Seeded differential harness: a deterministic corpus of 200+ traversal
+"""Seeded differential harness: a deterministic corpus of 500+ traversal
 chains runs under all four optimization configurations — compile-time
 strategies (§6.2) on/off × runtime data-dependent optimizations (§6.3)
 on/off — plus the in-memory reference graph.  Every configuration must
@@ -6,9 +6,16 @@ return identical (normalized) results, and the fully optimized engine
 must never issue *more* SQL than the stripped one (checked through
 ``sql.issued`` trace events, not wall time, so it is deterministic).
 
+A second, orthogonal matrix locks in the parallel execution layer:
+{serial, parallelism=4} × {batch_size 1, 8, 64} × {strategies on, off}
+must all return the same result multiset as the in-memory reference,
+and the batched engines must issue *strictly fewer* SQL statements
+than batch_size=1 over the corpus (again counted from ``sql.issued``
+trace events, so deterministic).
+
 Unlike the hypothesis fuzzers (test_fuzz_traversals.py), the corpus
 here is generated with a fixed ``random.Random`` seed so every CI run
-exercises exactly the same 210 chains — a regression in any one of
+exercises exactly the same 510 chains — a regression in any one of
 them reproduces locally with no shrinking step.  The hand-written
 corpus from test_equivalence.py is folded in as well.
 """
@@ -27,7 +34,7 @@ from repro.relational import Database
 from .test_equivalence import TRAVERSALS as HANDWRITTEN_TRAVERSALS
 
 SEED = 20260806
-CORPUS_SIZE = 210
+CORPUS_SIZE = 510
 N_LABELS = 3
 LABELS = [f"L{i}" for i in range(N_LABELS)]
 EDGE_LABELS = [f"E{i}" for i in range(N_LABELS)]
@@ -87,6 +94,17 @@ CONFIG_GRID = [
     ("stripped", False, RuntimeOptimizations.all_off()),
 ]
 
+# The parallel execution matrix: {serial, parallelism=4} × {batch_size
+# 1, 8, 64} × {strategies on, off}.  Every cell must agree with the
+# in-memory reference; within a (parallelism, strategies) row the
+# batched cells must issue strictly fewer SQL statements than batch=1.
+PARALLEL_MATRIX = [
+    (f"{mode}/batch{batch}/{'opt' if optimized else 'raw'}", workers, batch, optimized)
+    for mode, workers in (("serial", 1), ("parallel4", 4))
+    for batch in (1, 8, 64)
+    for optimized in (True, False)
+]
+
 
 @pytest.fixture(scope="module")
 def engines():
@@ -96,6 +114,20 @@ def engines():
         for name, optimized, opts in CONFIG_GRID
     }
     return GraphTraversalSource(memory), graphs
+
+
+@pytest.fixture(scope="module")
+def matrix_engines():
+    memory, db, overlay = build_dataset()
+    graphs = {
+        name: Db2Graph.open(
+            db, overlay, optimized=optimized, parallelism=workers, batch_size=batch
+        )
+        for name, workers, batch, optimized in PARALLEL_MATRIX
+    }
+    yield GraphTraversalSource(memory), graphs
+    for graph in graphs.values():
+        graph.close()
 
 
 # ---------------------------------------------------------------------------
@@ -211,7 +243,7 @@ def normalize(results):
 
 
 def test_corpus_is_large_and_deterministic():
-    assert len(CORPUS) >= 200
+    assert len(CORPUS) >= 500
     assert generate_corpus(CORPUS_SIZE, SEED) == CORPUS
 
 
@@ -244,6 +276,68 @@ def _sql_issued(graph, recipe) -> int:
         return recorder.count(tracing.SQL_ISSUED)
     finally:
         graph.disable_tracing()
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution matrix (fan-out pool + traverser batching)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("index", range(CORPUS_SIZE))
+def test_parallel_matrix_agrees_with_reference(matrix_engines, index):
+    """All 12 (parallelism, batch_size, strategies) cells return the
+    same result multiset as the in-memory graph for every chain — the
+    pool's submission-order demux makes parallel runs bit-identical."""
+    g_memory, graphs = matrix_engines
+    recipe = CORPUS[index]
+    expected = normalize(apply_chain(g_memory, recipe))
+    for name, graph in graphs.items():
+        actual = normalize(apply_chain(graph.traversal(), recipe))
+        assert actual == expected, (
+            f"matrix cell {name!r} diverged on chain #{index} {recipe}: "
+            f"overlay={actual} memory={expected}"
+        )
+
+
+@pytest.mark.parametrize("workers,optimized", [(1, True), (1, False), (4, True), (4, False)])
+def test_batched_issues_strictly_fewer_sql(matrix_engines, workers, optimized):
+    """Traverser batching is not free-floating configuration: within a
+    (parallelism, strategies) row, coalescing ids into ``IN (...)``
+    lists must *strictly* reduce the number of SQL statements issued
+    over the corpus, and monotonically so (64 ≤ 8 < 1)."""
+    _, graphs = matrix_engines
+    mode = "serial" if workers == 1 else "parallel4"
+    flavor = "opt" if optimized else "raw"
+    totals = {}
+    for batch in (1, 8, 64):
+        graph = graphs[f"{mode}/batch{batch}/{flavor}"]
+        totals[batch] = sum(_sql_issued(graph, recipe) for recipe in CORPUS)
+    assert totals[64] <= totals[8] < totals[1], totals
+    assert totals[64] < totals[1]
+
+
+def test_batched_statement_counts_reconcile(matrix_engines):
+    """``batch.size`` (total coalesced ids) must equal the sum of the
+    ``size`` attributes on ``sql.batched`` trace events, and the
+    ``sql.batched`` counter the number of those events — the 1:1
+    counter/event invariant extended to the new instrumentation."""
+    _, graphs = matrix_engines
+    graph = graphs["parallel4/batch8/opt"]
+    recorder = graph.enable_tracing()
+    before = graph.stats()
+    try:
+        for recipe in CORPUS[:40]:
+            apply_chain(graph.traversal(), recipe)
+        events = recorder.named(tracing.SQL_BATCHED)
+        after = graph.stats()
+    finally:
+        graph.disable_tracing()
+    assert after["batched_statements"] - before["batched_statements"] == len(events)
+    assert after["batched_ids"] - before["batched_ids"] == sum(
+        e.attributes["size"] for e in events
+    )
+    assert all(e.attributes["size"] > 1 for e in events)
+    assert all("statement_id" in e.attributes for e in events)
 
 
 def test_optimized_never_issues_more_sql(engines):

@@ -33,7 +33,20 @@ def assert_counters_match_events(graph, recorder):
     assert stats["edge_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="edge")
     assert stats["vertices_from_edges"] == recorder.count(tracing.VERTEX_FROM_EDGE)
     assert stats["lazy_vertices"] == recorder.count(tracing.VERTEX_LAZY)
+    assert_parallel_counters_match_events(graph, recorder)
     assert_resilience_counters_match_events(graph, recorder)
+
+
+def assert_parallel_counters_match_events(graph, recorder):
+    """The parallel-execution counters keep the 1:1 invariant: one
+    ``sql.batched`` event per batched statement, ``batch.size`` is the
+    sum of the events' ``size`` attributes, one ``fanout.parallel``
+    event per pool dispatch."""
+    stats = graph.stats()
+    batched = recorder.named(tracing.SQL_BATCHED)
+    assert stats["batched_statements"] == len(batched)
+    assert stats["batched_ids"] == sum(e.get("size", 0) for e in batched)
+    assert stats["parallel_fanouts"] == recorder.count(tracing.FANOUT_PARALLEL)
 
 
 def assert_resilience_counters_match_events(graph, recorder):
@@ -208,3 +221,174 @@ def test_counters_still_count_after_reset(paper_graph):
     assert graph.stats()["sql_queries"] > 0
     assert_counters_match_events(graph, recorder)
     graph.disable_tracing()
+
+
+def test_parallel_fanout_counters_match_events(paper_db):
+    """A parallel graph's pool dispatches and batched statements keep
+    the 1:1 counter/event invariant, and every batched statement event
+    carries a stable statement id that also appears on ``sql.issued``
+    (so explain()/profile() can stitch interleaved worker events)."""
+    from repro.core import Db2Graph
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=2)
+    recorder = graph.enable_tracing()
+    try:
+        g = graph.traversal()
+        g.V().hasLabel("patient").out("hasDisease").toList()
+        g.V().both().toList()
+        stats = graph.stats()
+        assert stats["parallel_fanouts"] > 0
+        assert stats["batched_statements"] > 0
+        assert_counters_match_events(graph, recorder)
+        issued_ids = {e.get("statement_id") for e in recorder.named(tracing.SQL_ISSUED)}
+        for event in recorder.named(tracing.SQL_BATCHED):
+            assert event.get("statement_id") in issued_ids
+    finally:
+        graph.disable_tracing()
+        graph.close()
+
+
+# ---------------------------------------------------------------------------
+# Concurrency stress: mixed traversals + writers against one Database
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.stress
+@pytest.mark.timeout(120)
+def test_concurrent_traversals_and_writers_reconcile(paper_db):
+    """N reader threads run parallel fan-out traversals while M writer
+    threads increment a tally and insert rows on the same Database.
+    Afterwards: no lost updates, a clean lock table, no dropped trace
+    events, and every counter still reconciles 1:1 with its events."""
+    import threading
+
+    from repro.core import Db2Graph
+    from repro.relational import DeadlockError, LockTimeoutError
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    database = paper_db
+    database.execute("CREATE TABLE tally (id INT PRIMARY KEY, n INT)")
+    database.execute("INSERT INTO tally VALUES (1, 0)")
+    initial_patients = database.execute("SELECT COUNT(*) FROM Patient").rows[0][0]
+
+    graph = Db2Graph.open(database, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=4)
+    recorder = graph.enable_tracing()
+
+    n_readers, n_writers, rounds = 4, 3, 20
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_readers + n_writers)
+
+    def reader():
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                g = graph.traversal()
+                names = g.V().hasLabel("patient").out("hasDisease").values("conceptName").toList()
+                assert names
+                assert g.V().hasLabel("patient").outE().count().next() >= 3
+                # both() fans out over every edge table in both
+                # directions — the step that actually hits the pool.
+                assert g.V().both().count().next() > 0
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    def writer(offset):
+        try:
+            conn = database.connect()
+            barrier.wait()
+            for i in range(rounds):
+                for _attempt in range(50):
+                    try:
+                        conn.execute("BEGIN")
+                        conn.execute("UPDATE tally SET n = n + 1 WHERE id = 1")
+                        conn.execute(
+                            "INSERT INTO Patient VALUES (?, 'p', 'addr', 1)",
+                            [1000 + offset * rounds + i],
+                        )
+                        conn.commit()
+                        break
+                    except (DeadlockError, LockTimeoutError):
+                        conn.rollback()
+                else:
+                    raise AssertionError("writer starved after 50 retries")
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    threads += [threading.Thread(target=writer, args=(k,)) for k in range(n_writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+        assert not thread.is_alive(), "stress thread wedged"
+    try:
+        assert not errors, errors[:3]
+
+        # No lost updates: every increment and every insert landed.
+        assert database.execute("SELECT n FROM tally").rows[0][0] == n_writers * rounds
+        patients = database.execute("SELECT COUNT(*) FROM Patient").rows[0][0]
+        assert patients == initial_patients + n_writers * rounds
+
+        # Clean lock table: nothing waiting, nothing held.
+        assert database.lock_manager.is_clean()
+
+        # Counter/event reconciliation survives the interleaving.
+        assert recorder.dropped == 0
+        assert graph.stats()["parallel_fanouts"] > 0
+        assert_counters_match_events(graph, recorder)
+    finally:
+        graph.disable_tracing()
+        graph.close()
+
+
+@pytest.mark.stress
+@pytest.mark.timeout(60)
+def test_prepared_cache_counters_exact_under_hammer(paper_db):
+    """Regression for the racy prepared-hit check: hammer one query
+    from many threads; hits must equal executions minus the single
+    compile, and the statement-cache hit/miss tally must equal the
+    number of lookups — no increments lost to races."""
+    import threading
+
+    from repro.core import Db2Graph
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=8)
+    # Prewarm so the hammer sees a fully-populated cache: every lookup
+    # after this is a hit and the arithmetic below is exact.
+    graph.traversal().V().hasLabel("patient").toList()
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+
+    n_threads, rounds = 8, 25
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer():
+        try:
+            barrier.wait()
+            for _ in range(rounds):
+                assert graph.traversal().V().hasLabel("patient").toList()
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=45.0)
+        assert not thread.is_alive(), "hammer thread wedged"
+    try:
+        assert not errors, errors[:3]
+        stats = graph.stats()
+        issued = recorder.count(tracing.SQL_ISSUED, kind="select")
+        assert issued == n_threads * rounds
+        # Prewarmed: every execution reuses the compiled plan.
+        assert stats["prepared_hits"] == issued
+        assert stats["statement_cache_hits"] == issued
+        assert stats["statement_cache_misses"] == 0
+        assert_counters_match_events(graph, recorder)
+    finally:
+        graph.disable_tracing()
+        graph.close()
