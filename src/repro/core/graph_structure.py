@@ -824,6 +824,7 @@ class OverlayGraph(GraphProvider):
                 else:
                     yield [SqlPredicate(column, "IN", tuple(chunk), batch=True)]
             return
+        seen: set[tuple[Any, ...]] = set()
         for vertex in vertices:
             decoded = template.decode(vertex.id, strict=strict)
             if decoded is None:
@@ -831,6 +832,13 @@ class OverlayGraph(GraphProvider):
             coerced = self._coerce_values(etop, decoded)
             if coerced is None:
                 continue
+            # duplicate traversers at one composite-id vertex must not
+            # re-probe (and re-emit) the same edges — mirror the
+            # dict.fromkeys dedup of the single-column path above
+            key = tuple(sorted(coerced.items()))
+            if key in seen:
+                continue
+            seen.add(key)
             yield [
                 SqlPredicate(etop.relation.canonical(col), "=", (value,))
                 for col, value in coerced.items()
@@ -1053,6 +1061,12 @@ class OverlayGraph(GraphProvider):
                 etop = None
             if etop is not None:
                 vtop = self.topology.vertex_subsumed_by_edge(etop, endpoint)
+                if vtop is not None and any(
+                    c.lower() not in edge.row for c in vtop.required_columns()
+                ):
+                    # the edge was fetched with a projection that dropped
+                    # some vertex columns — the row can't build the vertex
+                    vtop = None
                 if vtop is not None:
                     self.stats.vertices_from_edges += 1
                     self.trace.emit(

@@ -74,6 +74,40 @@ class InMemoryGraph(GraphProvider):
     ) -> Edge:
         return self.add_edge(label, src_id, dst_id, properties)
 
+    # -- in-place mutation (conformance-oracle support) --------------------------
+
+    def remove_vertex(self, vertex_id: Any) -> None:
+        """Delete a vertex and cascade over its incident edges."""
+        if vertex_id not in self._vertices:
+            raise ElementNotFoundError(f"vertex {vertex_id!r} not found")
+        for edge_id in list(self._out.get(vertex_id, ())) + list(self._in.get(vertex_id, ())):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        del self._vertices[vertex_id]
+        self._out.pop(vertex_id, None)
+        self._in.pop(vertex_id, None)
+
+    def remove_edge(self, edge_id: Any) -> None:
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            raise ElementNotFoundError(f"edge {edge_id!r} not found")
+        for adjacency, vertex_id in ((self._out, edge.out_v_id), (self._in, edge.in_v_id)):
+            ids = adjacency.get(vertex_id)
+            if ids is not None and edge_id in ids:
+                ids.remove(edge_id)
+
+    def set_vertex_property(self, vertex_id: Any, key: str, value: Any) -> None:
+        vertex = self._vertices.get(vertex_id)
+        if vertex is None:
+            raise ElementNotFoundError(f"vertex {vertex_id!r} not found")
+        vertex.properties[key] = value
+
+    def set_edge_property(self, edge_id: Any, key: str, value: Any) -> None:
+        edge = self._edges.get(edge_id)
+        if edge is None:
+            raise ElementNotFoundError(f"edge {edge_id!r} not found")
+        edge.properties[key] = value
+
     # -- provider interface ------------------------------------------------------
 
     def graph_step(

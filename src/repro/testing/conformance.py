@@ -1,0 +1,477 @@
+"""The oracle runner: one scenario, every engine configuration.
+
+:func:`run_scenario` materializes the scenario's relational state,
+builds the pure-Python reference graph (:mod:`repro.testing.oracle`),
+opens the overlay engine once per :class:`Cell` of the configuration
+matrix — {strategies on/off} x {runtime opts on/off} x {serial,
+parallel} x {batch 1, 64} — and replays the identical workload on
+every side:
+
+* traversal chains are checked for multiset-equal results between the
+  oracle and every engine cell;
+* the optimized serial cell must never issue *more* SQL statements
+  than the stripped serial cell for the same chain (trace-derived
+  §6.2/§6.3 monotonicity);
+* DML (inside transactions, with commit/rollback) and ``addV``/``addE``
+  mutations advance both worlds; after every commit the incrementally
+  maintained oracle is cross-validated against a from-scratch rebuild
+  of the §5 mapping ("oracle-inconsistency" means the mutation path
+  and the mapping disagree);
+* ``graphQuery`` table-function SQL runs against the real engine and
+  against a shadow database whose ``graphQuery`` is backed by the
+  oracle graph, comparing the final (joined/aggregated) row sets.
+
+A :class:`Divergence` is returned for the first mismatch; ``None``
+means the scenario is conformant.  :class:`ScenarioInvalid` is raised
+when the *scenario itself* cannot be represented (the shrinker uses it
+to reject invalid deletion candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.db2graph import Db2Graph
+from ..core.graph_structure import RuntimeOptimizations
+from ..core.table_function import make_graph_query_function
+from ..graph.errors import GraphError
+from ..graph.gremlin_parser import evaluate_gremlin
+from ..graph.memory import InMemoryGraph
+from ..graph.traversal import GraphTraversalSource
+from ..obs import tracing
+from .oracle import OracleError, graphs_equal, materialize_oracle
+from .scenario import Scenario, build_database, resolve_overlay
+from .workload import apply_chain, normalize_results
+
+
+class ScenarioInvalid(Exception):
+    """The scenario is unrepresentable (NULL ids, dangling endpoints,
+    broken DDL...) — a generator/shrinker artifact, not an engine bug."""
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One engine configuration of the conformance matrix."""
+
+    optimized: bool
+    runtime_on: bool
+    parallelism: int
+    batch_size: int
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{'opt' if self.optimized else 'noopt'}"
+            f"/{'rt' if self.runtime_on else 'nort'}"
+            f"/p{self.parallelism}/b{self.batch_size}"
+        )
+
+    def open(self, db: Any, overlay: dict[str, Any]) -> Db2Graph:
+        return Db2Graph.open(
+            db,
+            overlay,
+            optimized=self.optimized,
+            runtime_opts=None if self.runtime_on else RuntimeOptimizations.all_off(),
+            parallelism=self.parallelism,
+            batch_size=self.batch_size,
+        )
+
+
+#: The full {strategies} x {runtime opts} x {parallelism} x {batch} matrix.
+CELL_FULL_MATRIX: tuple[Cell, ...] = tuple(
+    Cell(optimized, runtime_on, parallelism, batch_size)
+    for optimized in (True, False)
+    for runtime_on in (True, False)
+    for parallelism in (1, 4)
+    for batch_size in (1, 64)
+)
+
+#: The four corners used per-seed in CI: both extremes of the
+#: optimization space, serial/batch-1 vs parallel-4/batch-64.  The
+#: serial corners double as the SQL-count monotonicity pair.
+CELL_CORNERS: tuple[Cell, ...] = (
+    Cell(True, True, 1, 1),
+    Cell(False, False, 1, 1),
+    Cell(True, True, 4, 64),
+    Cell(False, False, 4, 64),
+)
+
+
+@dataclass
+class Divergence:
+    """The first observed disagreement while replaying a scenario."""
+
+    kind: str  # chain | engine-error | graph-sql | sql-monotonicity |
+    #            oracle-inconsistency | open-error
+    seed: int
+    op_index: int
+    cell: str | None = None
+    detail: str = ""
+    expected: Any = None
+    actual: Any = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        where = f" [{self.cell}]" if self.cell else ""
+        return f"{self.kind}{where} at op {self.op_index} (seed {self.seed}): {self.detail}"
+
+
+def run_scenario(
+    scenario: Scenario,
+    cells: Sequence[Cell] = CELL_CORNERS,
+    check_sql_counts: bool = True,
+) -> Divergence | None:
+    """Replay ``scenario`` on the oracle and every engine cell."""
+    seed = scenario.seed
+    try:
+        db = build_database(scenario)
+        overlay = resolve_overlay(scenario, db)
+        shadow_db = build_database(scenario)
+    except Exception as exc:  # broken DDL / rows — shrinker artifact
+        raise ScenarioInvalid(f"cannot build relational state: {exc}") from exc
+    try:
+        oracle = materialize_oracle(db, overlay)
+    except OracleError as exc:
+        raise ScenarioInvalid(str(exc)) from exc
+
+    g_oracle = GraphTraversalSource(oracle)
+    shadow_writer = shadow_db.connect("admin")
+    shadow_db.register_table_function(
+        "graphQuery", make_graph_query_function(_OracleScriptRunner(g_oracle))
+    )
+
+    engines: list[Db2Graph] = []
+    try:
+        for cell in cells:
+            try:
+                engines.append(cell.open(db, overlay))
+            except Exception as exc:
+                return Divergence(
+                    kind="open-error",
+                    seed=seed,
+                    op_index=-1,
+                    cell=cell.name,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+        monotone = _monotonicity_pair(cells) if check_sql_counts else None
+        if monotone is not None:
+            for index in monotone:
+                engines[index].enable_tracing()
+        return _replay(
+            scenario, db, overlay, oracle, g_oracle,
+            shadow_writer, engines, list(cells), monotone,
+        )
+    finally:
+        for engine in engines:
+            engine.close()
+
+
+class _OracleScriptRunner:
+    """Duck-typed stand-in for Db2Graph inside ``graphQuery``: evaluates
+    the Gremlin script on the oracle's traversal source."""
+
+    def __init__(self, g: GraphTraversalSource):
+        self._g = g
+
+    def execute(self, script: str) -> Any:
+        return evaluate_gremlin(self._g, script)
+
+
+def _monotonicity_pair(cells: Sequence[Cell]) -> tuple[int, int] | None:
+    """(optimized serial batch-1 index, stripped serial batch-1 index)."""
+    opt = stripped = None
+    for index, cell in enumerate(cells):
+        if cell.parallelism == 1 and cell.batch_size == 1:
+            if cell.optimized and cell.runtime_on and opt is None:
+                opt = index
+            if not cell.optimized and not cell.runtime_on and stripped is None:
+                stripped = index
+    if opt is None or stripped is None:
+        return None
+    return opt, stripped
+
+
+def _replay(
+    scenario: Scenario,
+    db: Any,
+    overlay: dict[str, Any],
+    oracle: InMemoryGraph,
+    g_oracle: GraphTraversalSource,
+    shadow_writer: Any,
+    engines: list[Db2Graph],
+    cells: list[Cell],
+    monotone: tuple[int, int] | None,
+) -> Divergence | None:
+    seed = scenario.seed
+    writer = db.connect("admin")  # DML needs admin (or granted) privileges
+    pending_mirrors: list[tuple] = []
+    in_txn = False
+
+    def consistency(op_index: int) -> Divergence | None:
+        try:
+            rebuilt = materialize_oracle(db, overlay)
+        except OracleError as exc:
+            raise ScenarioInvalid(f"post-mutation state unrepresentable: {exc}") from exc
+        if not graphs_equal(oracle, rebuilt):
+            return Divergence(
+                kind="oracle-inconsistency",
+                seed=seed,
+                op_index=op_index,
+                detail="incremental oracle != rebuilt §5 mapping after commit",
+            )
+        return None
+
+    for op_index, op in enumerate(scenario.workload):
+        tag = op[0]
+        if tag == "chain":
+            divergence = _check_chain(
+                seed, op_index, op[1], g_oracle, engines, cells, monotone
+            )
+            if divergence is not None:
+                return divergence
+        elif tag == "begin":
+            writer.begin()
+            shadow_writer.begin()
+            in_txn = True
+            pending_mirrors = []
+        elif tag == "commit":
+            writer.commit()
+            shadow_writer.commit()
+            in_txn = False
+            _apply_mirrors(oracle, pending_mirrors)
+            pending_mirrors = []
+            divergence = consistency(op_index)
+            if divergence is not None:
+                return divergence
+        elif tag == "rollback":
+            writer.rollback()
+            shadow_writer.rollback()
+            in_txn = False
+            pending_mirrors = []
+        elif tag == "sql":
+            _sql_tag, sql, params, mirrors = op[:4]
+            try:
+                writer.execute(sql, params)
+                shadow_writer.execute(sql, params)
+            except Exception as exc:
+                raise ScenarioInvalid(f"workload DML failed: {exc}") from exc
+            if in_txn:
+                pending_mirrors.extend(mirrors)
+            else:
+                _apply_mirrors(oracle, mirrors)
+                divergence = consistency(op_index)
+                if divergence is not None:
+                    return divergence
+        elif tag == "addv":
+            _tag, label, props, mirrors, table, full_row = op
+            try:
+                traversal = engines[0].traversal().addV(label)
+                for key, value in props.items():
+                    traversal = traversal.property(key, value)
+                traversal.toList()
+            except Exception as exc:
+                return Divergence(
+                    kind="engine-error",
+                    seed=seed,
+                    op_index=op_index,
+                    cell=cells[0].name,
+                    detail=f"addV({label!r}): {type(exc).__name__}: {exc}",
+                )
+            _shadow_insert(shadow_writer, table, full_row)
+            _apply_mirrors(oracle, mirrors)
+            divergence = consistency(op_index)
+            if divergence is not None:
+                return divergence
+        elif tag == "adde":
+            _tag, label, src_id, dst_id, props, mirrors, table, full_row = op
+            try:
+                traversal = engines[0].traversal().addE(label).from_(src_id).to(dst_id)
+                for key, value in props.items():
+                    traversal = traversal.property(key, value)
+                traversal.toList()
+            except Exception as exc:
+                return Divergence(
+                    kind="engine-error",
+                    seed=seed,
+                    op_index=op_index,
+                    cell=cells[0].name,
+                    detail=f"addE({label!r}, {src_id!r}, {dst_id!r}): "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            _shadow_insert(shadow_writer, table, full_row)
+            _apply_mirrors(oracle, mirrors)
+            divergence = consistency(op_index)
+            if divergence is not None:
+                return divergence
+        elif tag == "graph_sql":
+            divergence = _check_graph_sql(
+                seed, op_index, op[1], shadow_writer, engines, cells
+            )
+            if divergence is not None:
+                return divergence
+        else:
+            raise ScenarioInvalid(f"unknown workload op {op!r}")
+    return None
+
+
+def _check_chain(
+    seed: int,
+    op_index: int,
+    chain: list[tuple],
+    g_oracle: GraphTraversalSource,
+    engines: list[Db2Graph],
+    cells: list[Cell],
+    monotone: tuple[int, int] | None,
+) -> Divergence | None:
+    try:
+        expected = normalize_results(apply_chain(g_oracle, chain))
+    except Exception as exc:
+        raise ScenarioInvalid(f"oracle rejected chain {chain!r}: {exc}") from exc
+    sql_counts: dict[int, int] = {}
+    for index, (engine, cell) in enumerate(zip(engines, cells)):
+        tracked = monotone is not None and index in monotone
+        if tracked:
+            engine.trace.clear()
+        try:
+            actual = normalize_results(apply_chain(engine.traversal(), chain))
+        except Exception as exc:
+            return Divergence(
+                kind="engine-error",
+                seed=seed,
+                op_index=op_index,
+                cell=cell.name,
+                detail=f"{type(exc).__name__}: {exc}",
+                extras={"chain": chain},
+            )
+        if tracked:
+            sql_counts[index] = engine.trace.count(tracing.SQL_ISSUED)
+        if actual != expected:
+            return Divergence(
+                kind="chain",
+                seed=seed,
+                op_index=op_index,
+                cell=cell.name,
+                detail=f"chain {chain!r}",
+                expected=expected,
+                actual=actual,
+                extras={"chain": chain},
+            )
+    if monotone is not None:
+        opt_index, stripped_index = monotone
+        if sql_counts.get(opt_index, 0) > sql_counts.get(stripped_index, 0):
+            return Divergence(
+                kind="sql-monotonicity",
+                seed=seed,
+                op_index=op_index,
+                cell=cells[opt_index].name,
+                detail=(
+                    f"optimized engine issued {sql_counts[opt_index]} statements, "
+                    f"stripped engine only {sql_counts[stripped_index]} "
+                    f"for chain {chain!r}"
+                ),
+                expected=sql_counts[stripped_index],
+                actual=sql_counts[opt_index],
+                extras={"chain": chain},
+            )
+    return None
+
+
+def _check_graph_sql(
+    seed: int,
+    op_index: int,
+    sql: str,
+    shadow_writer: Any,
+    engines: list[Db2Graph],
+    cells: list[Cell],
+) -> Divergence | None:
+    try:
+        expected = sorted(shadow_writer.execute(sql).rows, key=repr)
+    except Exception as exc:
+        raise ScenarioInvalid(f"oracle-backed graphQuery failed: {exc}") from exc
+    for engine, cell in zip(engines, cells):
+        engine.register_table_function("graphQuery")
+        try:
+            actual = sorted(engine.connection.execute(sql).rows, key=repr)
+        except Exception as exc:
+            return Divergence(
+                kind="engine-error",
+                seed=seed,
+                op_index=op_index,
+                cell=cell.name,
+                detail=f"graphQuery SQL failed: {type(exc).__name__}: {exc}",
+                extras={"sql": sql},
+            )
+        if actual != expected:
+            return Divergence(
+                kind="graph-sql",
+                seed=seed,
+                op_index=op_index,
+                cell=cell.name,
+                detail=sql,
+                expected=expected,
+                actual=actual,
+                extras={"sql": sql},
+            )
+    return None
+
+
+def _apply_mirrors(oracle: InMemoryGraph, mirrors: Sequence[tuple]) -> None:
+    for mirror in mirrors:
+        kind = mirror[0]
+        try:
+            if kind == "add_vertex":
+                oracle.add_vertex(mirror[1], mirror[2], mirror[3])
+            elif kind == "add_edge":
+                oracle.add_edge(
+                    mirror[2], mirror[3], mirror[4], mirror[5], edge_id=mirror[1]
+                )
+            elif kind == "remove_vertex":
+                oracle.remove_vertex(mirror[1])
+            elif kind == "remove_edge":
+                oracle.remove_edge(mirror[1])
+            elif kind == "set_vprop":
+                oracle.set_vertex_property(mirror[1], mirror[2], mirror[3])
+            elif kind == "set_eprop":
+                oracle.set_edge_property(mirror[1], mirror[2], mirror[3])
+            else:
+                raise ScenarioInvalid(f"unknown mirror op {mirror!r}")
+        except GraphError as exc:
+            # a shrunk candidate can orphan mirrors (e.g. the insert that
+            # created this element was deleted) — not a conformance bug
+            raise ScenarioInvalid(f"mirror {kind} failed: {exc}") from exc
+
+
+def _shadow_insert(shadow_writer: Any, table: str, full_row: dict[str, Any]) -> None:
+    columns = list(full_row)
+    sql = (
+        f"INSERT INTO {table} ({', '.join(columns)}) "
+        f"VALUES ({', '.join('?' * len(columns))})"
+    )
+    shadow_writer.execute(sql, [full_row[c] for c in columns])
+
+
+Checker = Callable[[Scenario], "Divergence | None"]
+
+
+def make_checker(
+    baseline: Divergence, cells: Sequence[Cell] = CELL_CORNERS
+) -> Checker:
+    """A shrinker predicate: does the candidate still fail *the same
+    way*?  Invalid candidates (the shrinker deleted something load-
+    bearing) count as "no longer failing" and are reverted."""
+
+    def check(candidate: Scenario) -> Divergence | None:
+        try:
+            divergence = run_scenario(candidate, cells=cells)
+        except ScenarioInvalid:
+            return None
+        except Exception:
+            # a candidate that crashes the harness itself is not "the
+            # same failure" — revert the mutation rather than abort
+            return None
+        if divergence is not None and divergence.kind == baseline.kind:
+            return divergence
+        return None
+
+    return check

@@ -1,0 +1,1200 @@
+"""Seeded schema + overlay + data + workload generator.
+
+``generate_scenario(seed)`` emits a :class:`~repro.testing.scenario.Scenario`
+drawn from the full §5 overlay-config space:
+
+* **explicit** scenarios: random vertex tables (bare int/str ids,
+  prefixed ids, composite ``'T'::a::b`` ids; fixed or column labels;
+  explicit or inferred property lists), random edge tables (implicit
+  ``src::label::dst`` ids, explicit bare/prefixed ids, column labels,
+  optional ``src_v_table``/``dst_v_table`` hints, star-schema tables
+  carrying several edge configs), dual vertex+edge tables, and views
+  (filtered projections of vertex or edge tables) as overlay members;
+
+* **auto** scenarios: a random PK/FK catalog (entity tables with
+  foreign keys, keyless many-to-many link tables) whose overlay is
+  produced by AutoOverlay (Algorithms 1 & 2) at resolution time.
+
+The workload mixes traversal chains, ``graphQuery`` table-function SQL,
+and DML inside transactions with commit/rollback.  Every mutation op
+carries the *mirror* graph operations the oracle applies on commit, so
+the runner can maintain the reference graph incrementally and
+cross-validate it against a from-scratch rebuild.
+
+Everything is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Any
+
+from .conformance import ScenarioInvalid
+from .oracle import (
+    OracleError,
+    _label_column,
+    _parse_spec,
+    _property_columns,
+    _render,
+    _spec_columns,
+    materialize_oracle,
+    scenario_vocab,
+    Vocab,
+)
+from .scenario import Scenario, TableDef, ViewDef, build_database, resolve_overlay
+from .workload import chain_to_gremlin
+
+# Global column-name -> SQL-type registry: a property name never changes
+# type across tables, so predicates stay well-typed on every backend.
+PROPERTY_POOL = [
+    ("p_int0", "INT"),
+    ("p_int1", "INT"),
+    ("p_int2", "INT"),
+    ("p_str0", "VARCHAR"),
+    ("p_str1", "VARCHAR"),
+    ("p_dbl0", "DOUBLE"),
+]
+STR_VALUES = ["wax", "wren", "warp", "quip", "quartz", "mox"]
+
+
+def _pairs_unique(meta: dict[str, Any]) -> bool:
+    """Whether this edge config's (src, dst) pairs must stay unique —
+    true for implicit edge ids, or when an implicit-id view reads the
+    same physical rows."""
+    return meta["id_kind"] == "implicit" or bool(meta.get("view_implicit"))
+
+
+def generate_scenario(
+    seed: int, kind: str | None = None, workload_size: int | None = None
+) -> Scenario:
+    rng = random.Random(seed)
+    if kind is None:
+        kind = "auto" if rng.random() < 0.3 else "explicit"
+    builder = _Builder(rng, seed, kind)
+    if kind == "auto":
+        builder.build_auto_schema()
+    else:
+        builder.build_explicit_schema()
+    try:
+        builder.build_workload(workload_size)
+    except OracleError as exc:
+        # the generated data hit an unrepresentable corner (e.g. a star
+        # table too dense for unique implicit-edge pairs) — skip the seed
+        raise ScenarioInvalid(str(exc)) from exc
+    return builder.scenario
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+
+class _Builder:
+    def __init__(self, rng: random.Random, seed: int, kind: str):
+        self.rng = rng
+        self.scenario = Scenario(seed=seed, kind=kind)
+        self.id_counter = 1  # fresh numeric ids/keys, globally unique
+        self.overlay: dict[str, Any] = {"v_tables": [], "e_tables": []}
+        # table -> metadata used by data/workload generation
+        self.vmeta: dict[str, dict[str, Any]] = {}
+        self.emeta: list[dict[str, Any]] = []
+
+    def next_int(self) -> int:
+        value = self.id_counter
+        self.id_counter += 1
+        return value
+
+    # -- explicit schemas ---------------------------------------------------
+
+    def build_explicit_schema(self) -> None:
+        rng = self.rng
+        n_vertex = rng.randint(1, 3)
+        for i in range(n_vertex):
+            self._make_vertex_table(i)
+        names = list(self.vmeta)
+        # dual-role: one vertex table doubles as an edge table
+        if len(names) >= 2 and rng.random() < 0.45:
+            self._make_dual_role(rng.choice(names[1:]), rng.choice(names))
+        # edge-only tables; occasionally one physical table carries two
+        # configs (the star-schema fact-table case)
+        n_edge = rng.randint(1, 3)
+        star = n_edge >= 2 and rng.random() < 0.3
+        for i in range(n_edge):
+            reuse = star and i == 1
+            self._make_edge_table(i, reuse_previous=reuse)
+        self._maybe_make_views()
+        self.scenario.overlay = self.overlay
+        self._generate_rows()
+
+    def _make_vertex_table(self, index: int) -> None:
+        rng = self.rng
+        name = f"v{index}"
+        id_kind = rng.choice(["int", "str", "prefixed", "prefixed", "composite"])
+        columns: list[tuple[str, str]] = []
+        if id_kind == "composite":
+            id_cols = ["ka", "kb"]
+            columns += [("ka", "INT"), ("kb", "INT")]
+            id_spec = f"'{name}'::ka::kb"
+            prefixed = True
+        elif id_kind == "prefixed":
+            id_cols = ["pk"]
+            columns.append(("pk", "INT"))
+            id_spec = f"'{name}'::pk"
+            prefixed = True
+        elif id_kind == "str":
+            id_cols = ["pk"]
+            columns.append(("pk", "VARCHAR"))
+            id_spec = "pk"
+            prefixed = False
+        else:
+            id_cols = ["pk"]
+            columns.append(("pk", "INT"))
+            id_spec = "pk"
+            prefixed = False
+
+        fixed_label = rng.random() < 0.6
+        label_col = None
+        if fixed_label:
+            label_spec = f"'{name}_lab'"
+            label_values = [f"{name}_lab"]
+        else:
+            label_col = "lab"
+            columns.append(("lab", "VARCHAR"))
+            label_spec = "lab"
+            label_values = [f"{name}_a", f"{name}_b"]
+
+        prop_cols = rng.sample(PROPERTY_POOL, rng.randint(1, 3))
+        columns += prop_cols
+
+        entry: dict[str, Any] = {"table_name": name, "id": id_spec, "label": label_spec}
+        if prefixed:
+            entry["prefixed_id"] = True
+        if fixed_label:
+            entry["fix_label"] = True
+        explicit_props = rng.random() < 0.5
+        if explicit_props:
+            listed = [c for c, _ in prop_cols]
+            if len(listed) > 1 and rng.random() < 0.4:
+                listed = listed[:-1]  # deliberately hide one column
+            entry["properties"] = listed
+        self.overlay["v_tables"].append(entry)
+        self.scenario.tables.append(
+            TableDef(name=name, columns=columns, primary_key=list(id_cols))
+        )
+        self.vmeta[name] = {
+            "id_kind": id_kind,
+            "id_cols": id_cols,
+            "id_spec": id_spec,
+            "label_col": label_col,
+            "label_values": label_values,
+            "prop_cols": [c for c, _ in prop_cols],
+            "dual_dst": None,
+        }
+
+    def _make_dual_role(self, vertex_name: str, dst_name: str) -> None:
+        """Extend ``vertex_name``'s table with columns referencing
+        ``dst_name``'s id, and register it as an edge table too (§5:
+        'one table can be both a vertex table and an edge table')."""
+        table = next(t for t in self.scenario.tables if t.name == vertex_name)
+        src = self.vmeta[vertex_name]
+        dst = self.vmeta[dst_name]
+        ref_cols = [f"ref_{c}" for c in dst["id_cols"]]
+        dst_types = {c: t for c, t in _table_columns(self.scenario, dst_name)}
+        for ref, base in zip(ref_cols, dst["id_cols"]):
+            table.columns.append((ref, dst_types[base]))
+        entry = {
+            "table_name": vertex_name,
+            "config_name": f"{vertex_name}_to_{dst_name}",
+            "src_v_table": vertex_name,
+            "src_v": src["id_spec"],
+            "dst_v_table": dst_name,
+            "dst_v": _respell(dst["id_spec"], dict(zip(dst["id_cols"], ref_cols))),
+            "implicit_edge_id": True,
+            "fix_label": True,
+            "label": f"'{vertex_name}_{dst_name}_e'",
+            "properties": [],
+        }
+        self.overlay["e_tables"].append(entry)
+        src["dual_dst"] = dst_name
+        self.emeta.append(
+            {
+                "table": vertex_name,
+                "entry": entry,
+                "src_table": vertex_name,
+                "dst_table": dst_name,
+                "src_cols": src["id_cols"],
+                "dst_cols": ref_cols,
+                "id_kind": "implicit",
+                "label_col": None,
+                "prop_cols": [],
+                "dual": True,
+            }
+        )
+
+    def _make_edge_table(self, index: int, reuse_previous: bool = False) -> None:
+        rng = self.rng
+        vnames = list(self.vmeta)
+        src_name = rng.choice(vnames)
+        dst_name = rng.choice(vnames)
+        src = self.vmeta[src_name]
+        dst = self.vmeta[dst_name]
+
+        if reuse_previous and self.emeta and not self.emeta[-1]["dual"]:
+            # second config over the previous physical table (star schema)
+            base = self.emeta[-1]
+            name = base["table"]
+            table = next(t for t in self.scenario.tables if t.name == name)
+            src_name, src = base["src_table"], self.vmeta[base["src_table"]]
+            src_cols = base["src_cols"]
+            dst_cols = [f"d{index}_{c}" for c in dst["id_cols"]]
+            dst_types = {c: t for c, t in _table_columns(self.scenario, dst_name)}
+            for ref, bcol in zip(dst_cols, dst["id_cols"]):
+                table.columns.append((ref, dst_types[bcol]))
+        else:
+            name = f"e{index}"
+            src_types = {c: t for c, t in _table_columns(self.scenario, src_name)}
+            dst_types = {c: t for c, t in _table_columns(self.scenario, dst_name)}
+            src_cols = [f"s_{c}" for c in src["id_cols"]]
+            dst_cols = [f"d_{c}" for c in dst["id_cols"]]
+            columns = [(col, src_types[b]) for col, b in zip(src_cols, src["id_cols"])]
+            columns += [(col, dst_types[b]) for col, b in zip(dst_cols, dst["id_cols"])]
+            table = TableDef(name=name, columns=columns)
+            self.scenario.tables.append(table)
+
+        id_kind = rng.choice(["implicit", "implicit", "bare", "prefixed"])
+        label_col = None
+        entry: dict[str, Any] = {
+            "table_name": name,
+            "config_name": f"{name}_c{index}",
+            "src_v": _respell(src["id_spec"], dict(zip(src["id_cols"], src_cols))),
+            "dst_v": _respell(dst["id_spec"], dict(zip(dst["id_cols"], dst_cols))),
+        }
+        if rng.random() < 0.7:
+            entry["src_v_table"] = src_name
+            entry["dst_v_table"] = dst_name
+        if id_kind == "implicit":
+            entry["implicit_edge_id"] = True
+            entry["fix_label"] = True
+            entry["label"] = f"'{name}_c{index}_lab'"
+        else:
+            id_col = f"eid{index}"
+            table.columns.append((id_col, "INT"))
+            if id_kind == "prefixed":
+                entry["id"] = f"'{name}x{index}'::{id_col}"
+                entry["prefixed_edge_id"] = True
+            else:
+                entry["id"] = id_col
+            if rng.random() < 0.35:
+                label_col = f"elab{index}"
+                table.columns.append((label_col, "VARCHAR"))
+                entry["label"] = label_col
+            else:
+                entry["fix_label"] = True
+                entry["label"] = f"'{name}_c{index}_lab'"
+
+        prop_cols = [
+            c for c in self.rng.sample(PROPERTY_POOL, self.rng.randint(0, 2))
+            if c[0] not in {col for col, _ in table.columns}
+        ]
+        table.columns += prop_cols
+        if rng.random() < 0.5:
+            entry["properties"] = [c for c, _ in prop_cols]
+        self.overlay["e_tables"].append(entry)
+        self.emeta.append(
+            {
+                "table": name,
+                "entry": entry,
+                "src_table": src_name,
+                "dst_table": dst_name,
+                "src_cols": src_cols,
+                "dst_cols": dst_cols,
+                "id_kind": id_kind,
+                "id_col": None if id_kind == "implicit" else f"eid{index}",
+                "label_col": label_col,
+                "label_values": (
+                    [f"{name}_x", f"{name}_y"] if label_col else None
+                ),
+                "prop_cols": [c for c, _ in prop_cols],
+                "dual": False,
+            }
+        )
+
+    def _maybe_make_views(self) -> None:
+        rng = self.rng
+        # a filtered view over an edge table, as an extra overlay member
+        pure_edges = [m for m in self.emeta if not m["dual"]]
+        if pure_edges and rng.random() < 0.4:
+            base = rng.choice(pure_edges)
+            int_props = [
+                c for c in base["prop_cols"] if c.startswith("p_int")
+            ]
+            view = ViewDef(
+                name=f"{base['table']}_vw",
+                base=base["table"],
+                pred_col=int_props[0] if int_props else None,
+                pred_min=rng.randint(1, 3) if int_props else None,
+            )
+            self.scenario.views.append(view)
+            # the view member uses implicit edge ids, so the base rows
+            # must keep (src, dst) pairs unique even for bare-id configs
+            base["view_implicit"] = True
+            entry = dict(base["entry"])
+            entry["table_name"] = view.name
+            entry["config_name"] = f"{view.name}_c"
+            entry.pop("id", None)
+            entry.pop("prefixed_edge_id", None)
+            entry["implicit_edge_id"] = True
+            entry["fix_label"] = True
+            entry["label"] = f"'{view.name}_lab'"
+            self.overlay["e_tables"].append(entry)
+        # a filtered view over a vertex table, with its own prefixed ids
+        vnames = list(self.vmeta)
+        if vnames and rng.random() < 0.3:
+            base_name = rng.choice(vnames)
+            meta = self.vmeta[base_name]
+            int_props = [c for c in meta["prop_cols"] if c.startswith("p_int")]
+            view = ViewDef(
+                name=f"{base_name}_vw",
+                base=base_name,
+                pred_col=int_props[0] if int_props else None,
+                pred_min=self.rng.randint(1, 3) if int_props else None,
+            )
+            self.scenario.views.append(view)
+            self.overlay["v_tables"].append(
+                {
+                    "table_name": view.name,
+                    "prefixed_id": True,
+                    "id": "::".join([f"'{view.name}'"] + meta["id_cols"]),
+                    "fix_label": True,
+                    "label": f"'{view.name}_lab'",
+                    "properties": list(meta["prop_cols"]),
+                }
+            )
+
+    # -- auto (PK/FK) schemas ----------------------------------------------
+
+    def build_auto_schema(self) -> None:
+        rng = self.rng
+        n = rng.randint(2, 4)
+        names = [f"t{i}" for i in range(n)]
+        for i, name in enumerate(names):
+            columns: list[tuple[str, str]] = [("id", "INT")]
+            prop_cols = rng.sample(PROPERTY_POOL, rng.randint(1, 2))
+            columns += prop_cols
+            fks: list[tuple[list[str], str, list[str]]] = []
+            fk_cols: list[str] = []
+            if i > 0 and rng.random() < 0.7:
+                targets = rng.sample(names[:i], min(len(names[:i]), rng.randint(1, 2)))
+                for target in targets:
+                    col = f"fk_{target}"
+                    columns.append((col, "INT"))
+                    fks.append(([col], target, ["id"]))
+                    fk_cols.append(col)
+            self.scenario.tables.append(
+                TableDef(name=name, columns=columns, primary_key=["id"], foreign_keys=fks)
+            )
+            self.vmeta[name] = {
+                "id_kind": "auto",
+                "id_cols": ["id"],
+                "id_spec": f"'{name}'::id",
+                "label_col": None,
+                "label_values": [name],
+                "prop_cols": [c for c, _ in prop_cols],
+                "fk_cols": fk_cols,
+                "dual_dst": None,
+            }
+        if len(names) >= 2 and rng.random() < 0.6:
+            # keyless many-to-many link table (Algorithm 1's C(k,2) case)
+            refs = rng.sample(names, rng.randint(2, min(3, len(names))))
+            columns = [(f"fk_{t}", "INT") for t in refs]
+            prop_cols = rng.sample(PROPERTY_POOL, rng.randint(0, 1))
+            columns += prop_cols
+            self.scenario.tables.append(
+                TableDef(
+                    name="link0",
+                    columns=columns,
+                    foreign_keys=[([f"fk_{t}"], t, ["id"]) for t in refs],
+                )
+            )
+            self.emeta.append(
+                {"table": "link0", "refs": refs, "prop_cols": [c for c, _ in prop_cols]}
+            )
+        self.scenario.overlay = None  # resolved by AutoOverlay
+        self._generate_auto_rows()
+
+    # -- data ----------------------------------------------------------------
+
+    def _fresh_prop_value(self, column: str) -> Any:
+        rng = self.rng
+        if rng.random() < 0.15:
+            return None
+        if column.startswith("p_int"):
+            return rng.randint(0, 9)
+        if column.startswith("p_dbl"):
+            return rng.randint(0, 40) / 4.0
+        return rng.choice(STR_VALUES)
+
+    def _fresh_vertex_row(self, name: str) -> dict[str, Any]:
+        meta = self.vmeta[name]
+        row: dict[str, Any] = {}
+        if meta["id_kind"] == "composite":
+            row["ka"], row["kb"] = self.next_int(), self.next_int()
+        elif meta["id_kind"] == "str":
+            row["pk"] = f"{name}_{self.next_int()}"
+        elif meta["id_kind"] == "auto":
+            row["id"] = self.next_int()
+        else:
+            row["pk"] = self.next_int()
+        if meta["label_col"]:
+            row[meta["label_col"]] = self.rng.choice(meta["label_values"])
+        for column in meta["prop_cols"]:
+            row[column] = self._fresh_prop_value(column)
+        return row
+
+    def _generate_rows(self) -> None:
+        rng = self.rng
+        rows = self.scenario.rows
+        for name in self.vmeta:
+            rows[name] = [self._fresh_vertex_row(name) for _ in range(rng.randint(2, 6))]
+        # dual-role ref columns + edge rows need existing endpoints
+        for meta in self.emeta:
+            src_rows = rows[meta["src_table"]]
+            dst_rows = rows[meta["dst_table"]]
+            src_meta = self.vmeta[meta["src_table"]]
+            dst_meta = self.vmeta[meta["dst_table"]]
+            if meta["dual"]:
+                for row in rows[meta["table"]]:
+                    target = rng.choice(dst_rows)
+                    for ref, base in zip(meta["dst_cols"], dst_meta["id_cols"]):
+                        row[ref] = target[base]
+                continue
+            table_rows = rows.setdefault(meta["table"], [])
+            seen_pairs = {
+                tuple(r.get(c) for c in meta["src_cols"] + meta["dst_cols"])
+                for r in table_rows
+            }
+            for _ in range(rng.randint(1, 7)):
+                source, target = rng.choice(src_rows), rng.choice(dst_rows)
+                row = {}
+                for col, base in zip(meta["src_cols"], src_meta["id_cols"]):
+                    row[col] = source[base]
+                for col, base in zip(meta["dst_cols"], dst_meta["id_cols"]):
+                    row[col] = target[base]
+                pair = tuple(row[c] for c in meta["src_cols"] + meta["dst_cols"])
+                if pair in seen_pairs and _pairs_unique(meta):
+                    continue  # implicit edge ids must stay unique
+                seen_pairs.add(pair)
+                if meta.get("id_col"):
+                    row[meta["id_col"]] = self.next_int()
+                if meta.get("label_col"):
+                    row[meta["label_col"]] = rng.choice(meta["label_values"])
+                for column in meta["prop_cols"]:
+                    row[column] = self._fresh_prop_value(column)
+                table_rows.append(row)
+        self._fill_star_rows()
+
+    def _fill_star_rows(self) -> None:
+        """Star-schema tables carry several edge configs: a row created
+        for one config must still populate every other config's columns
+        (a fact-table row has all its FK columns set)."""
+        rng = self.rng
+        rows = self.scenario.rows
+        for meta in self.emeta:
+            if meta["dual"]:
+                continue
+            table_rows = rows.get(meta["table"], [])
+            needed = meta["src_cols"] + meta["dst_cols"]
+            src_rows = rows[meta["src_table"]]
+            dst_rows = rows[meta["dst_table"]]
+            src_meta = self.vmeta[meta["src_table"]]
+            dst_meta = self.vmeta[meta["dst_table"]]
+            seen_pairs = {
+                tuple(r.get(c) for c in needed)
+                for r in table_rows
+                if all(r.get(c) is not None for c in needed)
+            }
+            dropped = []
+            for row in table_rows:
+                fill_src = any(row.get(c) is None for c in meta["src_cols"])
+                fill_dst = any(row.get(c) is None for c in meta["dst_cols"])
+                if fill_src or fill_dst:
+                    unique = _pairs_unique(meta)
+                    filled = False
+                    for _ in range(16):
+                        cand = dict(row)
+                        if fill_src:
+                            source = rng.choice(src_rows)
+                            for col, base in zip(meta["src_cols"], src_meta["id_cols"]):
+                                cand[col] = source[base]
+                        if fill_dst:
+                            target = rng.choice(dst_rows)
+                            for col, base in zip(meta["dst_cols"], dst_meta["id_cols"]):
+                                cand[col] = target[base]
+                        pair = tuple(cand.get(c) for c in needed)
+                        if not unique or pair not in seen_pairs:
+                            seen_pairs.add(pair)
+                            row.update(cand)
+                            filled = True
+                            break
+                    if not filled:
+                        # no unique pair left for this config — drop the
+                        # row (losing one edge keeps the scenario valid)
+                        dropped.append(row)
+                        continue
+                if meta.get("id_col") and row.get(meta["id_col"]) is None:
+                    row[meta["id_col"]] = self.next_int()
+                if meta.get("label_col") and row.get(meta["label_col"]) is None:
+                    row[meta["label_col"]] = rng.choice(meta["label_values"])
+                for column in meta["prop_cols"]:
+                    if column not in row:
+                        row[column] = self._fresh_prop_value(column)
+            for row in dropped:
+                table_rows.remove(row)
+
+    def _generate_auto_rows(self) -> None:
+        rng = self.rng
+        rows = self.scenario.rows
+        for name, meta in self.vmeta.items():
+            count = rng.randint(2, 6)
+            rows[name] = []
+            for _ in range(count):
+                row = self._fresh_vertex_row(name)
+                for fk in meta.get("fk_cols", []):
+                    target = fk[len("fk_"):]
+                    row[fk] = rng.choice(rows[target])["id"]
+                rows[name].append(row)
+        for meta in self.emeta:  # link tables
+            refs = meta["refs"]
+            # distinct values per FK column => every C(k,2) projection is
+            # duplicate-free, keeping implicit edge ids unique
+            pools = {t: [r["id"] for r in rows[t]] for t in refs}
+            count = min([rng.randint(1, 4)] + [len(pools[t]) for t in refs])
+            for t in refs:
+                rng.shuffle(pools[t])
+            rows[meta["table"]] = []
+            for i in range(count):
+                row = {f"fk_{t}": pools[t][i] for t in refs}
+                for column in meta["prop_cols"]:
+                    row[column] = self._fresh_prop_value(column)
+                rows[meta["table"]].append(row)
+
+    # -- workload -------------------------------------------------------------
+
+    def build_workload(self, size: int | None) -> None:
+        rng = self.rng
+        scenario = self.scenario
+        db = build_database(scenario)
+        overlay = resolve_overlay(scenario, db)
+        graph = materialize_oracle(db, overlay)
+        vocab = scenario_vocab(graph)
+        mutator = _Mutator(self, overlay)
+        # scenario.rows doubles as the mutator's committed-row shadow
+        # while ops are generated; snapshot the *initial* state now and
+        # restore it afterwards so the replay starts from scratch.
+        initial_rows = copy.deepcopy(scenario.rows)
+        ops: list[tuple] = []
+        for _ in range(size if size is not None else rng.randint(4, 9)):
+            roll = rng.random()
+            if roll < 0.55 or not mutator.can_mutate():
+                ops.append(("chain", random_chain(rng, vocab)))
+            elif roll < 0.72:
+                ops.append(random_graph_sql(rng, vocab))
+            elif roll < 0.88:
+                ops.extend(mutator.transaction_block())
+            else:
+                op = mutator.gremlin_mutation()
+                ops.append(op if op is not None else ("chain", random_chain(rng, vocab)))
+        # always end on a read so mutations get checked
+        ops.append(("chain", random_chain(rng, vocab)))
+        scenario.workload = ops
+        scenario.rows = initial_rows
+
+
+def _table_columns(scenario: Scenario, name: str) -> list[tuple[str, str]]:
+    return next(t for t in scenario.tables if t.name == name).columns
+
+
+def _respell(spec: str, mapping: dict[str, str]) -> str:
+    """Rewrite the column segments of an id spec (constants unchanged)."""
+    out = []
+    for kind, token in _parse_spec(spec):
+        if kind == "const":
+            out.append(f"'{token}'")
+        else:
+            out.append(mapping.get(token, token))
+    return "::".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Chains & graphQuery SQL
+# ---------------------------------------------------------------------------
+
+
+def random_chain(rng: random.Random, vocab: Vocab, max_moves: int = 5) -> list[tuple]:
+    chain: list[tuple] = []
+    roll = rng.random()
+    if roll < 0.45 or not vocab.vertex_ids:
+        chain.append(("V",))
+        state = "vertex"
+    elif roll < 0.75:
+        ids = [rng.choice(vocab.vertex_ids) for _ in range(rng.randint(1, 3))]
+        if rng.random() < 0.25:
+            ids.append(rng.choice(["nope::9", 999999, "zz"]))
+        chain.append(("V", tuple(ids)))
+        state = "vertex"
+    elif roll < 0.9 or not vocab.edge_ids:
+        chain.append(("E",))
+        state = "edge"
+    else:
+        ids = [rng.choice(vocab.edge_ids) for _ in range(rng.randint(1, 2))]
+        chain.append(("E", tuple(ids)))
+        state = "edge"
+
+    for _ in range(rng.randint(0, max_moves)):
+        move, state = _random_move(rng, vocab, state)
+        chain.append(move)
+    if state in ("vertex", "edge") and rng.random() < 0.4:
+        chain.append(rng.choice([("count",), ("id",)]))
+    elif state == "value" and rng.random() < 0.3:
+        chain.append(("count",))
+    return chain
+
+
+def _random_move(rng: random.Random, vocab: Vocab, state: str):
+    def elabel():
+        return rng.choice(vocab.edge_labels) if vocab.edge_labels and rng.random() < 0.7 else None
+
+    if state == "value":
+        return ("dedup",), "value"
+    if state == "edge":
+        moves = [
+            (("inV",), "vertex"),
+            (("outV",), "vertex"),
+            (("dedup",), "edge"),
+            (("label",), "value"),
+        ]
+        if vocab.edge_labels:
+            moves.append((("hasLabel", rng.choice(vocab.edge_labels)), "edge"))
+        if vocab.int_keys:
+            moves.append((("has_lt", rng.choice(vocab.int_keys), rng.randint(1, 9)), "edge"))
+            moves.append((("values", rng.choice(vocab.int_keys)), "value"))
+        return rng.choice(moves)
+    # vertex state
+    moves = [
+        (("out", elabel()), "vertex"),
+        (("in", elabel()), "vertex"),
+        (("both", None), "vertex"),
+        (("outE", elabel()), "edge"),
+        (("inE", elabel()), "edge"),
+        (("dedup",), "vertex"),
+        (("filter_out",), "vertex"),
+        (("where_in",), "vertex"),
+        (("union_out_in",), "vertex"),
+        (("repeat_out", rng.randint(1, 2)), "vertex"),
+        (("id",), "value"),
+        (("label",), "value"),
+    ]
+    if vocab.vertex_labels:
+        moves.append((("hasLabel", rng.choice(vocab.vertex_labels)), "vertex"))
+    if vocab.edge_labels:
+        moves.append((("not_outE", rng.choice(vocab.edge_labels)), "vertex"))
+        moves.append((("optional_out", rng.choice(vocab.edge_labels)), "vertex"))
+    if vocab.int_keys:
+        key = rng.choice(vocab.int_keys)
+        moves.append((("has_gte", key, rng.randint(0, 9)), "vertex"))
+        low = rng.randint(0, 8)
+        moves.append((("has_within", key, (low, low + 1, low + 2)), "vertex"))
+        moves.append((("hasNot", key), "vertex"))
+        moves.append((("values", key), "value"))
+    if vocab.str_keys:
+        key = rng.choice(vocab.str_keys)
+        moves.append((("has_eq", key, rng.choice(vocab.str_values)), "vertex"))
+        moves.append((("values", key), "value"))
+    return rng.choice(moves)
+
+
+def random_graph_sql(rng: random.Random, vocab: Vocab) -> tuple:
+    """A ``("graph_sql", sql)`` op: SQL joining/aggregating graphQuery
+    output.  The embedded chain always ends in a typed scalar column."""
+    terminal = rng.choice(["count", "int_values", "str_values", "label"])
+    chain = random_chain(rng, vocab, max_moves=3)
+    chain = [op for op in chain if op[0] not in ("count", "id", "values", "label", "dedup")]
+    state = "vertex" if chain and chain[0][0] == "V" else "edge"
+    for op in chain[1:]:
+        if op[0] in ("outE", "inE"):
+            state = "edge"
+        elif op[0] in ("out", "in", "both", "inV", "outV"):
+            state = "vertex"
+    if terminal == "count":
+        chain.append(("count",))
+        col_type = "BIGINT"
+    elif terminal == "int_values" and vocab.int_keys:
+        chain.append(("values", rng.choice(vocab.int_keys)))
+        col_type = "INT"
+    elif terminal == "str_values" and vocab.str_keys and state == "vertex":
+        chain.append(("values", rng.choice(vocab.str_keys)))
+        col_type = "VARCHAR"
+    else:
+        chain.append(("label",))
+        col_type = "VARCHAR"
+    gremlin = chain_to_gremlin(chain).replace("'", "''")
+    table_expr = f"TABLE(graphQuery('gremlin', '{gremlin}')) AS t (c0 {col_type})"
+    template = rng.random()
+    if template < 0.4:
+        sql = f"SELECT c0 FROM {table_expr}"
+    elif template < 0.7:
+        sql = f"SELECT COUNT(*), COUNT(c0) FROM {table_expr}"
+    else:
+        sql = f"SELECT c0, COUNT(*) FROM {table_expr} GROUP BY c0"
+    return ("graph_sql", sql)
+
+
+# ---------------------------------------------------------------------------
+# Mutations (DML + mirrors)
+# ---------------------------------------------------------------------------
+
+
+class _Mutator:
+    """Generates DML/addV/addE ops plus their oracle mirror operations,
+    tracking the committed row state as it goes."""
+
+    def __init__(self, builder: _Builder, overlay: dict[str, Any]):
+        self.builder = builder
+        self.rng = builder.rng
+        self.scenario = builder.scenario
+        self.overlay = overlay
+        # entries grouped by the base table whose rows feed them
+        # (directly or through a view)
+        self.cover: dict[str, list[tuple[dict, ViewDef | None, str]]] = {}
+        views_by_name = {v.name: v for v in self.scenario.views}
+        base_tables = {t.name for t in self.scenario.tables}
+        for kind in ("v_tables", "e_tables"):
+            for entry in overlay.get(kind, []):
+                rel = entry["table_name"]
+                view = views_by_name.get(rel)
+                base = view.base if view is not None else rel
+                if base in base_tables:
+                    self.cover.setdefault(base, []).append(
+                        (entry, view, "vertex" if kind == "v_tables" else "edge")
+                    )
+        # tables carrying several edge configs (star schemas): a fresh
+        # row would need every config's columns filled consistently, so
+        # only UPDATE/DELETE touch them — never INSERT/addE
+        config_count: dict[str, int] = {}
+        for meta in builder.emeta:
+            if not meta.get("dual") and "refs" not in meta:
+                config_count[meta["table"]] = config_count.get(meta["table"], 0) + 1
+        self.star_tables = {t for t, n in config_count.items() if n > 1}
+
+    def can_mutate(self) -> bool:
+        return bool(self.cover)
+
+    # -- row -> mirror ops -------------------------------------------------
+
+    def _columns_of(self, table: str) -> list[str]:
+        return [c.lower() for c in
+                next(t for t in self.scenario.tables if t.name == table).column_names()]
+
+    def _entry_parts(self, entry: dict, kind: str, table: str):
+        columns = self._columns_of(table)
+        if kind == "vertex":
+            id_parts = _parse_spec(entry["id"])
+            used = set(_spec_columns(id_parts))
+            label_col = _label_column(entry)
+            if label_col:
+                used.add(label_col)
+            props = _property_columns(entry, columns, used)
+            return id_parts, None, None, props
+        src_parts = _parse_spec(entry["src_v"])
+        dst_parts = _parse_spec(entry["dst_v"])
+        used = set(_spec_columns(src_parts)) | set(_spec_columns(dst_parts))
+        id_parts = None
+        if not entry.get("implicit_edge_id"):
+            id_parts = _parse_spec(entry["id"])
+            used.update(_spec_columns(id_parts))
+        label_col = _label_column(entry)
+        if label_col:
+            used.add(label_col)
+        props = _property_columns(entry, columns, used)
+        return id_parts, src_parts, dst_parts, props
+
+    def _entry_label(self, entry: dict, row: dict) -> str:
+        spec = str(entry["label"]).strip()
+        if spec.startswith("'") and spec.endswith("'"):
+            return spec[1:-1]
+        if entry.get("fix_label"):
+            return spec
+        return str(row[spec.lower()])
+
+    def _element_identity(self, entry: dict, kind: str, table: str, row: dict):
+        """(element_id, src, dst) for the element this entry derives
+        from the row (src/dst None for vertices)."""
+        id_parts, src_parts, dst_parts, _props = self._entry_parts(entry, kind, table)
+        if kind == "vertex":
+            return _render(id_parts, row), None, None
+        src = _render(src_parts, row)
+        dst = _render(dst_parts, row)
+        if id_parts is None:
+            label = self._entry_label(entry, row)
+            edge_id: Any = "::".join([str(src), label, str(dst)])
+        else:
+            edge_id = _render(id_parts, row)
+        return edge_id, src, dst
+
+    def row_add_mirrors(self, table: str, row: dict) -> list[tuple]:
+        vertices, edges = [], []
+        for entry, view, kind in self.cover.get(table, []):
+            if view is not None and not view.admits(row):
+                continue
+            element_id, src, dst = self._element_identity(entry, kind, table, row)
+            _ip, _sp, _dp, props = self._entry_parts(entry, kind, table)
+            properties = {p: row.get(p) for p in props}
+            label = self._entry_label(entry, row)
+            if kind == "vertex":
+                vertices.append(("add_vertex", element_id, label, properties))
+            else:
+                edges.append(("add_edge", element_id, label, src, dst, properties))
+        return vertices + edges
+
+    def row_remove_mirrors(self, table: str, row: dict) -> list[tuple]:
+        edges, vertices = [], []
+        for entry, view, kind in self.cover.get(table, []):
+            if view is not None and not view.admits(row):
+                continue
+            element_id, _src, _dst = self._element_identity(entry, kind, table, row)
+            if kind == "vertex":
+                vertices.append(("remove_vertex", element_id))
+            else:
+                edges.append(("remove_edge", element_id))
+        return edges + vertices
+
+    def update_mirrors(self, table: str, row: dict, column: str, value: Any) -> list[tuple]:
+        mirrors = []
+        for entry, view, kind in self.cover.get(table, []):
+            if view is not None and not view.admits(row):
+                continue
+            _ip, _sp, _dp, props = self._entry_parts(entry, kind, table)
+            if column not in props:
+                continue
+            element_id, _src, _dst = self._element_identity(entry, kind, table, row)
+            op = "set_vprop" if kind == "vertex" else "set_eprop"
+            mirrors.append((op, element_id, column, value))
+        return mirrors
+
+    # -- candidate selection -------------------------------------------------
+
+    def _protected_columns(self, table: str) -> set[str]:
+        """Columns whose values define identity or view membership —
+        never updated in place."""
+        protected: set[str] = set()
+        for entry, view, kind in self.cover.get(table, []):
+            if kind == "vertex":
+                protected.update(_spec_columns(_parse_spec(entry["id"])))
+            else:
+                protected.update(_spec_columns(_parse_spec(entry["src_v"])))
+                protected.update(_spec_columns(_parse_spec(entry["dst_v"])))
+                if not entry.get("implicit_edge_id"):
+                    protected.update(_spec_columns(_parse_spec(entry["id"])))
+            label_col = _label_column(entry)
+            if label_col:
+                protected.add(label_col)
+            if view is not None and view.pred_col:
+                protected.add(view.pred_col)
+        for view in self.scenario.views:
+            if view.base == table and view.pred_col:
+                protected.add(view.pred_col)
+        return protected
+
+    def _row_where(self, table: str, row: dict) -> tuple[str, list]:
+        """A WHERE clause pinning exactly this row (by its id-ish columns)."""
+        tdef = next(t for t in self.scenario.tables if t.name == table)
+        if tdef.primary_key:
+            keys = [c.lower() for c in tdef.primary_key]
+        else:
+            # edge tables: (src cols, dst cols) are unique by construction
+            keys = [
+                c for c in self._protected_columns(table)
+                if c in {col.lower() for col in tdef.column_names()}
+            ]
+            keys = sorted(keys)
+        parts, params = [], []
+        for k in keys:
+            if row.get(k) is None:
+                parts.append(f"{k} IS NULL")  # `k = NULL` never matches
+            else:
+                parts.append(f"{k} = ?")
+                params.append(row[k])
+        return " AND ".join(parts), params
+
+    # -- op generators ---------------------------------------------------------
+
+    def _dml_insert(self) -> tuple | None:
+        rng = self.rng
+        builder = self.builder
+        candidates = [t for t in self.cover if self.scenario.rows.get(t) is not None]
+        if not candidates:
+            return None
+        table = rng.choice(candidates)
+        kinds = {kind for _e, _v, kind in self.cover[table]}
+        meta_v = builder.vmeta.get(table)
+        row: dict[str, Any]
+        if "vertex" in kinds and meta_v is not None:
+            row = builder._fresh_vertex_row(table)
+            # dual-role / auto FK columns must reference existing rows
+            for emeta in builder.emeta:
+                if emeta.get("table") == table and emeta.get("dual"):
+                    dst_rows = self.scenario.rows[emeta["dst_table"]]
+                    if not dst_rows:
+                        return None
+                    target = rng.choice(dst_rows)
+                    dst_meta = builder.vmeta[emeta["dst_table"]]
+                    for ref, base in zip(emeta["dst_cols"], dst_meta["id_cols"]):
+                        row[ref] = target[base]
+            for fk in meta_v.get("fk_cols", []) if meta_v else []:
+                target = fk[len("fk_"):]
+                rows = self.scenario.rows.get(target, [])
+                if not rows:
+                    return None
+                row[fk] = rng.choice(rows)["id"]
+        else:
+            if table in self.star_tables:
+                return None
+            emeta = next(
+                (m for m in builder.emeta if m.get("table") == table and not m.get("dual")),
+                None,
+            )
+            if emeta is None:
+                return None
+            if "refs" in emeta:  # auto link table: needs fresh, unused refs
+                row = {}
+                for t in emeta["refs"]:
+                    used = {r[f"fk_{t}"] for r in self.scenario.rows.get(table, [])}
+                    pool = [r["id"] for r in self.scenario.rows[t] if r["id"] not in used]
+                    if not pool:
+                        return None
+                    row[f"fk_{t}"] = rng.choice(pool)
+            else:
+                src_rows = self.scenario.rows[emeta["src_table"]]
+                dst_rows = self.scenario.rows[emeta["dst_table"]]
+                if not src_rows or not dst_rows:
+                    return None
+                src_meta = builder.vmeta[emeta["src_table"]]
+                dst_meta = builder.vmeta[emeta["dst_table"]]
+                existing = {
+                    tuple(r[c] for c in emeta["src_cols"] + emeta["dst_cols"])
+                    for r in self.scenario.rows.get(table, [])
+                }
+                row = None
+                for _ in range(8):
+                    source, target = rng.choice(src_rows), rng.choice(dst_rows)
+                    cand = {}
+                    for col, base in zip(emeta["src_cols"], src_meta["id_cols"]):
+                        cand[col] = source[base]
+                    for col, base in zip(emeta["dst_cols"], dst_meta["id_cols"]):
+                        cand[col] = target[base]
+                    if tuple(cand[c] for c in emeta["src_cols"] + emeta["dst_cols"]) not in existing:
+                        row = cand
+                        break
+                if row is None:
+                    return None
+                if emeta.get("id_col"):
+                    row[emeta["id_col"]] = builder.next_int()
+                if emeta.get("label_col"):
+                    row[emeta["label_col"]] = rng.choice(emeta["label_values"])
+            for column in emeta["prop_cols"]:
+                row[column] = builder._fresh_prop_value(column)
+        tdef = next(t for t in self.scenario.tables if t.name == table)
+        names = [c.lower() for c in tdef.column_names()]
+        values = [row.get(c) for c in names]
+        sql = f"INSERT INTO {table} ({', '.join(names)}) VALUES ({', '.join('?' * len(names))})"
+        full_row = {c: row.get(c) for c in names}
+        mirrors = self.row_add_mirrors(table, full_row)
+        return ("sql", sql, values, mirrors, table, full_row, "insert")
+
+    def _dml_update(self) -> tuple | None:
+        rng = self.rng
+        candidates = []
+        for table in self.cover:
+            protected = self._protected_columns(table)
+            columns = set(self._columns_of(table))
+            updatable = sorted(columns - protected)
+            for row in self.scenario.rows.get(table, []):
+                for column in updatable:
+                    candidates.append((table, row, column))
+        if not candidates:
+            return None
+        table, row, column = rng.choice(candidates)
+        value = self.builder._fresh_prop_value(column)
+        where, params = self._row_where(table, row)
+        sql = f"UPDATE {table} SET {column} = ? WHERE {where}"
+        mirrors = self.update_mirrors(table, row, column, value)
+        return ("sql", sql, [value] + params, mirrors, table, dict(row), ("update", column, value))
+
+    def _dml_delete(self) -> tuple | None:
+        rng = self.rng
+        candidates = []
+        for table in self.cover:
+            kinds = {kind for _e, _v, kind in self.cover[table]}
+            if "vertex" in kinds:
+                continue  # vertex rows may be referenced by edges elsewhere
+            for row in self.scenario.rows.get(table, []):
+                candidates.append((table, row))
+        if not candidates:
+            return None
+        table, row = rng.choice(candidates)
+        where, params = self._row_where(table, row)
+        sql = f"DELETE FROM {table} WHERE {where}"
+        mirrors = self.row_remove_mirrors(table, row)
+        return ("sql", sql, params, mirrors, table, dict(row), "delete")
+
+    def transaction_block(self) -> list[tuple]:
+        rng = self.rng
+        commits = rng.random() < 0.7
+        body: list[tuple] = []
+        for _ in range(rng.randint(1, 3)):
+            maker = rng.choice([self._dml_insert, self._dml_update, self._dml_delete])
+            op = maker()
+            if op is not None:
+                body.append(op)
+                if commits:
+                    # apply immediately so a later op in the same block
+                    # never targets an already-deleted row
+                    self._apply_to_shadow(op)
+        if not body:
+            return []
+        return [("begin",)] + body + [("commit",) if commits else ("rollback",)]
+
+    def gremlin_mutation(self) -> tuple | None:
+        rng = self.rng
+        builder = self.builder
+        # addV targets: unique fixed-label, non-view, pure vertex tables
+        # (tables that also carry edge configs — dual-role, star, or
+        # AutoOverlay FK tables — would need edge columns filled too)
+        edge_backed = {e["table_name"] for e in self.overlay.get("e_tables", [])}
+        fixed_v = [
+            (entry, entry["table_name"])
+            for entry in self.overlay.get("v_tables", [])
+            if entry.get("fix_label")
+            and entry["table_name"] in builder.vmeta
+            and entry["table_name"] not in edge_backed
+            and not builder.vmeta[entry["table_name"]].get("fk_cols")
+            and not any(
+                m.get("table") == entry["table_name"] for m in builder.emeta
+            )
+        ]
+        labels = {}
+        for entry in self.overlay.get("v_tables", []):
+            spec = str(entry["label"]).strip("'")
+            labels[spec] = labels.get(spec, 0) + 1
+        fixed_v = [(e, t) for e, t in fixed_v if labels[str(e["label"]).strip("'")] == 1]
+        if fixed_v and rng.random() < 0.6:
+            entry, table = rng.choice(fixed_v)
+            row = builder._fresh_vertex_row(table)
+            names = [c.lower() for c, _ in _table_columns(self.scenario, table)]
+            full_row = {c: row.get(c) for c in names}
+            props = {k: v for k, v in full_row.items()}
+            mirrors = self.row_add_mirrors(table, full_row)
+            label = str(entry["label"]).strip("'")
+            op = ("addv", label, props, mirrors, table, full_row)
+            self._apply_to_shadow(op)
+            return op
+        # addE targets: unique fixed-label, non-dual, non-view edge tables
+        fixed_e = []
+        elabels: dict[str, int] = {}
+        for entry in self.overlay.get("e_tables", []):
+            if entry.get("fix_label"):
+                spec = str(entry["label"]).strip("'")
+                elabels[spec] = elabels.get(spec, 0) + 1
+        for meta in builder.emeta:
+            if meta.get("dual") or "refs" in meta or meta["table"] in self.star_tables:
+                continue
+            entry = meta.get("entry")
+            if entry is None or not entry.get("fix_label"):
+                continue
+            if elabels.get(str(entry["label"]).strip("'"), 0) != 1:
+                continue
+            if any(v.base == meta["table"] for v in self.scenario.views):
+                continue  # keep view membership reasoning simple
+            fixed_e.append(meta)
+        if not fixed_e:
+            return None
+        meta = rng.choice(fixed_e)
+        insert = self._dml_insert_for_edge(meta)
+        if insert is None:
+            return None
+        table, full_row, mirrors = insert
+        entry = meta["entry"]
+        src_parts = _parse_spec(entry["src_v"])
+        dst_parts = _parse_spec(entry["dst_v"])
+        src_id = _render(src_parts, full_row)
+        dst_id = _render(dst_parts, full_row)
+        props = {
+            c: full_row[c]
+            for c in full_row
+            if c not in set(_spec_columns(src_parts)) | set(_spec_columns(dst_parts))
+            and full_row[c] is not None
+        }
+        label = str(entry["label"]).strip("'")
+        op = ("adde", label, src_id, dst_id, props, mirrors, table, full_row)
+        self._apply_to_shadow(op)
+        return op
+
+    def _dml_insert_for_edge(self, emeta: dict):
+        rng = self.rng
+        builder = self.builder
+        table = emeta["table"]
+        src_rows = self.scenario.rows[emeta["src_table"]]
+        dst_rows = self.scenario.rows[emeta["dst_table"]]
+        if not src_rows or not dst_rows:
+            return None
+        src_meta = builder.vmeta[emeta["src_table"]]
+        dst_meta = builder.vmeta[emeta["dst_table"]]
+        existing = {
+            tuple(r[c] for c in emeta["src_cols"] + emeta["dst_cols"])
+            for r in self.scenario.rows.get(table, [])
+        }
+        for _ in range(8):
+            source, target = rng.choice(src_rows), rng.choice(dst_rows)
+            row = {}
+            for col, base in zip(emeta["src_cols"], src_meta["id_cols"]):
+                row[col] = source[base]
+            for col, base in zip(emeta["dst_cols"], dst_meta["id_cols"]):
+                row[col] = target[base]
+            if tuple(row[c] for c in emeta["src_cols"] + emeta["dst_cols"]) in existing:
+                continue
+            if emeta.get("id_col"):
+                row[emeta["id_col"]] = builder.next_int()
+            if emeta.get("label_col"):
+                row[emeta["label_col"]] = rng.choice(emeta["label_values"])
+            for column in emeta["prop_cols"]:
+                row[column] = builder._fresh_prop_value(column)
+            names = [c.lower() for c, _ in _table_columns(self.scenario, table)]
+            full_row = {c: row.get(c) for c in names}
+            return table, full_row, self.row_add_mirrors(table, full_row)
+        return None
+
+    # -- shadow state -------------------------------------------------------
+
+    def _apply_to_shadow(self, op: tuple) -> None:
+        """Advance the generator's committed-row model."""
+        kind = op[0]
+        if kind in ("addv", "adde"):
+            table, full_row = op[-2], op[-1]
+            self.scenario_shadow_insert(table, full_row)
+            return
+        _tag, _sql, _params, _mirrors, table, row, action = op
+        if action == "insert":
+            self.scenario_shadow_insert(table, row)
+        elif action == "delete":
+            rows = self.scenario.rows.get(table, [])
+            self.scenario.rows[table] = [r for r in rows if r != row]
+        else:
+            _verb, column, value = action
+            for existing in self.scenario.rows.get(table, []):
+                if existing == row:
+                    existing[column] = value
+                    break
+
+    def scenario_shadow_insert(self, table: str, row: dict) -> None:
+        self.scenario.rows.setdefault(table, []).append(dict(row))

@@ -1,0 +1,127 @@
+"""Conformance sweep CLI — ``python -m repro.testing.runner``.
+
+Normal mode generates one scenario per seed and replays it on the
+oracle and the engine matrix; the first divergence is minimized by the
+shrinker and printed (and written to ``--artifact``), exiting 1.  A
+clean sweep exits 0.
+
+``--inject-bug NAME`` inverts the game: a known-wrong §6.3 rule is
+monkeypatched in (see :mod:`repro.testing.inject`) and the sweep must
+*catch* it — exit 0 means the bug was detected and shrunk, exit 1
+means the harness missed it.
+
+Examples::
+
+    python -m repro.testing.runner --seeds 200 --budget 300s
+    python -m repro.testing.runner --seeds 2000 --matrix full
+    python -m repro.testing.runner --inject-bug label-elimination
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import sys
+import time
+
+from .conformance import (
+    CELL_CORNERS,
+    CELL_FULL_MATRIX,
+    Divergence,
+    ScenarioInvalid,
+    make_checker,
+    run_scenario,
+)
+from .generate import generate_scenario
+from .inject import BUGS, injected_bug
+from .scenario import Scenario
+from .shrinker import render_repro, shrink
+
+
+def _parse_budget(text: str | None) -> float | None:
+    if text is None:
+        return None
+    return float(text.rstrip("sS"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.runner",
+        description="generative overlay-conformance sweep",
+    )
+    parser.add_argument("--seeds", type=int, default=200,
+                        help="number of seeds to sweep (default 200)")
+    parser.add_argument("--start-seed", type=int, default=0)
+    parser.add_argument("--budget", type=str, default=None, metavar="SECONDS",
+                        help="wall-clock budget, e.g. '300' or '300s'")
+    parser.add_argument("--matrix", choices=["corners", "full"], default="corners",
+                        help="engine-configuration matrix per seed")
+    parser.add_argument("--inject-bug", choices=sorted(BUGS), default=None,
+                        help="install a known translation bug; the sweep "
+                             "must catch and shrink it")
+    parser.add_argument("--artifact", type=str, default=None, metavar="PATH",
+                        help="write the shrunk reproduction here on divergence")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    cells = CELL_FULL_MATRIX if args.matrix == "full" else CELL_CORNERS
+    budget = _parse_budget(args.budget)
+    started = time.monotonic()
+    checked = skipped = 0
+
+    def say(message: str) -> None:
+        if not args.quiet:
+            print(message, flush=True)
+
+    bug_context = injected_bug(args.inject_bug) if args.inject_bug else contextlib.nullcontext()
+    with bug_context:
+        for seed in range(args.start_seed, args.start_seed + args.seeds):
+            if budget is not None and time.monotonic() - started > budget:
+                say(f"budget exhausted after {checked} seeds; stopping early")
+                break
+            try:
+                scenario = generate_scenario(seed)
+                divergence = run_scenario(scenario, cells=cells)
+            except ScenarioInvalid as exc:
+                skipped += 1
+                say(f"seed {seed}: skipped (unrepresentable: {exc})")
+                continue
+            checked += 1
+            if divergence is None:
+                if checked % 25 == 0:
+                    say(f"... {checked} seeds conformant "
+                        f"({time.monotonic() - started:.1f}s)")
+                continue
+            return _report(args, scenario, divergence, cells, say)
+
+    elapsed = time.monotonic() - started
+    if args.inject_bug:
+        say(f"MISSED: injected bug {args.inject_bug!r} survived "
+            f"{checked} seeds ({elapsed:.1f}s)")
+        return 1
+    say(f"OK: {checked} seeds conformant, {skipped} skipped, "
+        f"matrix={args.matrix} ({elapsed:.1f}s)")
+    return 0
+
+
+def _report(args, scenario: Scenario, divergence: Divergence, cells, say) -> int:
+    say(f"DIVERGENCE at seed {scenario.seed}: {divergence.summary()}")
+    say("shrinking ...")
+    checker = make_checker(divergence, cells=cells)
+    shrunk, final = shrink(scenario, checker)
+    repro = render_repro(shrunk, final)
+    print(repro, flush=True)
+    say(f"shrunk to {len(shrunk.tables)} tables, {shrunk.total_rows()} rows, "
+        f"{len(shrunk.workload)} workload ops")
+    if args.artifact:
+        with open(args.artifact, "w") as handle:
+            handle.write(repro + "\n")
+        say(f"reproduction written to {args.artifact}")
+    if args.inject_bug:
+        say(f"CAUGHT: injected bug {args.inject_bug!r} detected and shrunk")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

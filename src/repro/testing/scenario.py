@@ -1,0 +1,121 @@
+"""The generated-scenario model: schema + overlay + rows + workload.
+
+A :class:`Scenario` is fully serializable and self-contained — given
+one, :func:`build_database` reconstructs the relational state and
+:func:`resolve_overlay` the overlay configuration (either the explicit
+config the generator emitted, or the AutoOverlay config derived from
+the catalog's PK/FK metadata for ``kind == "auto"`` scenarios).  The
+shrinker mutates copies of scenarios, so everything here is plain data.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..relational.database import Database
+
+
+@dataclass
+class TableDef:
+    """One base table: ordered (column, sql type) pairs + keys."""
+
+    name: str
+    columns: list[tuple[str, str]]
+    primary_key: list[str] = field(default_factory=list)
+    # (columns, ref_table, ref_columns) — declared so AutoOverlay sees
+    # them; referential integrity is the generator's job.
+    foreign_keys: list[tuple[list[str], str, list[str]]] = field(default_factory=list)
+
+    def ddl(self) -> str:
+        parts = [f"{name} {sql_type}" for name, sql_type in self.columns]
+        if self.primary_key:
+            parts.append(f"PRIMARY KEY ({', '.join(self.primary_key)})")
+        for cols, ref_table, ref_cols in self.foreign_keys:
+            parts.append(
+                f"FOREIGN KEY ({', '.join(cols)}) "
+                f"REFERENCES {ref_table} ({', '.join(ref_cols)})"
+            )
+        return f"CREATE TABLE {self.name} ({', '.join(parts)})"
+
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
+
+
+@dataclass
+class ViewDef:
+    """A view overlay member: ``SELECT * FROM base WHERE pred_col >= pred_min``
+    (or an unfiltered projection when ``pred_col`` is None)."""
+
+    name: str
+    base: str
+    pred_col: str | None = None
+    pred_min: int | None = None
+
+    def ddl(self) -> str:
+        where = ""
+        if self.pred_col is not None:
+            where = f" WHERE {self.pred_col} >= {self.pred_min}"
+        return f"CREATE VIEW {self.name} AS SELECT * FROM {self.base}{where}"
+
+    def admits(self, row: dict[str, Any]) -> bool:
+        """Does a base-table row appear through this view?"""
+        if self.pred_col is None:
+            return True
+        value = row.get(self.pred_col)
+        return value is not None and value >= (self.pred_min or 0)
+
+
+@dataclass
+class Scenario:
+    """A complete conformance-test case."""
+
+    seed: int
+    kind: str  # "explicit" | "auto"
+    tables: list[TableDef] = field(default_factory=list)
+    views: list[ViewDef] = field(default_factory=list)
+    # table name -> row dicts (lowercase column -> value), FK-safe order
+    rows: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+    # explicit overlay config dict; None => AutoOverlay from the catalog
+    overlay: dict[str, Any] | None = None
+    auto_tables: list[str] | None = None
+    workload: list[tuple] = field(default_factory=list)
+
+    def clone(self) -> "Scenario":
+        return copy.deepcopy(self)
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.rows.values())
+
+    def ddl_statements(self) -> list[str]:
+        return [t.ddl() for t in self.tables] + [v.ddl() for v in self.views]
+
+
+def build_database(scenario: Scenario) -> Database:
+    """Materialize the scenario's relational state in a fresh engine.
+
+    Foreign keys are declared (AutoOverlay reads them from the catalog)
+    but not enforced — the workload generator keeps data consistent
+    itself, and enforcement would reject the deliberately-exotic
+    explicit scenarios (edge tables without declared keys, etc.)."""
+    db = Database(enforce_foreign_keys=False)
+    for statement in scenario.ddl_statements():
+        db.execute(statement)
+    connection = db.connect()
+    for table in scenario.tables:
+        rows = scenario.rows.get(table.name, [])
+        if rows:
+            names = [c.lower() for c in table.column_names()]
+            connection.insert_rows(table.name, [tuple(r.get(c) for c in names) for r in rows])
+    return db
+
+
+def resolve_overlay(scenario: Scenario, db: Database) -> dict[str, Any]:
+    """The overlay config dict for this scenario (AutoOverlay scenarios
+    derive it from the live catalog — Algorithms 1 & 2)."""
+    if scenario.overlay is not None:
+        return scenario.overlay
+    from ..core.auto_overlay import generate_overlay
+
+    return generate_overlay(db, scenario.auto_tables).to_dict()

@@ -1,0 +1,211 @@
+"""Greedy minimizing shrinker for diverging scenarios.
+
+Given a scenario whose replay produced a :class:`Divergence` and a
+checker (usually :func:`repro.testing.conformance.make_checker`), the
+shrinker deletes pieces until nothing more can go: whole workload
+units (transaction blocks are atomic), individual chain steps, rows,
+then tables together with their overlay members and views.  Any
+candidate that stops reproducing the divergence — or becomes invalid
+(:class:`~repro.testing.conformance.ScenarioInvalid` inside the
+checker) — is reverted.  The loop runs to a fixpoint, so the result is
+1-minimal with respect to the deletion operators.
+
+:func:`render_repro` prints the survivor as a paste-able standalone
+reproduction: seed, DDL, overlay JSON, row inserts, the workload, and
+the expected/actual results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .conformance import Checker, Divergence
+from .scenario import Scenario
+from .workload import chain_to_gremlin
+
+
+def shrink(
+    scenario: Scenario, checker: Checker, max_passes: int = 12
+) -> tuple[Scenario, Divergence]:
+    """Minimize ``scenario`` while ``checker`` keeps reproducing."""
+    best = scenario.clone()
+    divergence = checker(best)
+    if divergence is None:
+        raise ValueError("scenario does not reproduce under the checker")
+    for _ in range(max_passes):
+        progressed = False
+        for reducer in (_drop_workload_units, _trim_chains, _drop_rows, _drop_tables):
+            while True:
+                candidate = None
+                for candidate in reducer(best):
+                    reproduced = checker(candidate)
+                    if reproduced is not None:
+                        best = candidate
+                        divergence = reproduced
+                        progressed = True
+                        break
+                else:
+                    break  # no candidate of this reducer reproduces
+        if not progressed:
+            break
+    return best, divergence
+
+
+# ---------------------------------------------------------------------------
+# Reducers: each yields candidate scenarios one deletion smaller
+# ---------------------------------------------------------------------------
+
+
+def _workload_units(workload: list[tuple]) -> list[list[tuple]]:
+    """Split a workload into deletable units; a begin..commit/rollback
+    block is one unit so transactions stay balanced."""
+    units: list[list[tuple]] = []
+    block: list[tuple] | None = None
+    for op in workload:
+        if op[0] == "begin":
+            block = [op]
+        elif block is not None:
+            block.append(op)
+            if op[0] in ("commit", "rollback"):
+                units.append(block)
+                block = None
+        else:
+            units.append([op])
+    if block is not None:  # unterminated block (shrinker artifact)
+        units.append(block)
+    return units
+
+
+def _drop_workload_units(scenario: Scenario):
+    units = _workload_units(scenario.workload)
+    if len(units) <= 1:
+        return
+    for index in range(len(units) - 1, -1, -1):
+        candidate = scenario.clone()
+        remaining = units[:index] + units[index + 1 :]
+        candidate.workload = [op for unit in remaining for op in unit]
+        yield candidate
+
+
+def _trim_chains(scenario: Scenario):
+    for op_index, op in enumerate(scenario.workload):
+        if op[0] != "chain":
+            continue
+        chain = op[1]
+        # delete any single non-head step (the head V/E must stay)
+        for step_index in range(len(chain) - 1, 0, -1):
+            candidate = scenario.clone()
+            trimmed = chain[:step_index] + chain[step_index + 1 :]
+            candidate.workload[op_index] = ("chain", trimmed)
+            yield candidate
+        # a V(ids)/E(ids) head can drop its id list
+        if len(chain[0]) > 1:
+            candidate = scenario.clone()
+            candidate.workload[op_index] = ("chain", [(chain[0][0],)] + chain[1:])
+            yield candidate
+
+
+def _drop_rows(scenario: Scenario):
+    for table, rows in scenario.rows.items():
+        for row_index in range(len(rows) - 1, -1, -1):
+            candidate = scenario.clone()
+            del candidate.rows[table][row_index]
+            yield candidate
+
+
+def _drop_tables(scenario: Scenario):
+    if len(scenario.tables) <= 1:
+        return
+    for table_index in range(len(scenario.tables) - 1, -1, -1):
+        name = scenario.tables[table_index].name
+        candidate = scenario.clone()
+        del candidate.tables[table_index]
+        candidate.rows.pop(name, None)
+        dropped_views = [v.name for v in candidate.views if v.base == name]
+        candidate.views = [v for v in candidate.views if v.base != name]
+        gone = {name, *dropped_views}
+        if candidate.overlay is not None:
+            for kind in ("v_tables", "e_tables"):
+                candidate.overlay[kind] = [
+                    entry
+                    for entry in candidate.overlay.get(kind, [])
+                    if entry["table_name"] not in gone
+                ]
+        if candidate.auto_tables is not None:
+            candidate.auto_tables = [t for t in candidate.auto_tables if t not in gone]
+        yield candidate
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_repro(scenario: Scenario, divergence: Divergence) -> str:
+    """A standalone, paste-able reproduction of the divergence."""
+    lines: list[str] = []
+    emit = lines.append
+    emit("=" * 72)
+    emit(f"CONFORMANCE DIVERGENCE  seed={scenario.seed}  kind={divergence.kind}")
+    emit("=" * 72)
+    emit(divergence.summary())
+    if divergence.expected is not None or divergence.actual is not None:
+        emit(f"  expected: {divergence.expected!r}")
+        emit(f"  actual:   {divergence.actual!r}")
+    emit("")
+    emit(f"-- scenario ({scenario.kind}): {len(scenario.tables)} tables, "
+         f"{scenario.total_rows()} rows, {len(scenario.workload)} workload ops")
+    emit("")
+    emit("-- DDL")
+    for statement in scenario.ddl_statements():
+        emit(f"{statement};")
+    emit("")
+    emit("-- rows")
+    for table in scenario.tables:
+        for row in scenario.rows.get(table.name, []):
+            columns = list(row)
+            values = ", ".join(_sql_literal(row[c]) for c in columns)
+            emit(f"INSERT INTO {table.name} ({', '.join(columns)}) VALUES ({values});")
+    emit("")
+    emit("-- overlay")
+    if scenario.overlay is not None:
+        emit(json.dumps(scenario.overlay, indent=2, default=str))
+    else:
+        emit(f"# AutoOverlay over tables {scenario.auto_tables or 'ALL'}")
+    emit("")
+    emit("-- workload")
+    for op_index, op in enumerate(scenario.workload):
+        marker = ">>" if op_index == divergence.op_index else "  "
+        emit(f"{marker} [{op_index}] {_render_op(op)}")
+    emit("")
+    emit("-- replay")
+    emit("from repro.testing import generate_scenario, run_scenario")
+    emit(f"print(run_scenario(generate_scenario({scenario.seed})))")
+    emit("=" * 72)
+    return "\n".join(lines)
+
+
+def _render_op(op: tuple) -> str:
+    tag = op[0]
+    if tag == "chain":
+        return f"chain  {chain_to_gremlin(op[1])}"
+    if tag == "graph_sql":
+        return f"sql    {op[1]}"
+    if tag == "sql":
+        return f"dml    {op[1]}  params={op[2]!r}"
+    if tag == "addv":
+        return f"addV   label={op[1]!r} props={op[2]!r}"
+    if tag == "adde":
+        return f"addE   label={op[1]!r} {op[2]!r} -> {op[3]!r} props={op[4]!r}"
+    return tag
+
+
+def _sql_literal(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)

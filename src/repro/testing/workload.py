@@ -1,0 +1,212 @@
+"""Workload operations: traversal chains (serializable, renderable to
+Gremlin strings) and the mutation / table-function op vocabulary.
+
+A chain is a list of plain tuples, e.g.::
+
+    [("V",), ("hasLabel", "customer"), ("out", "soldTo"), ("count",)]
+
+:func:`apply_chain` replays it against any
+:class:`~repro.graph.traversal.GraphTraversalSource`;
+:func:`chain_to_gremlin` renders the identical query as a Gremlin
+string for the parser round-trip and ``graphQuery`` workloads.  Every
+op in the vocabulary is expressible in both forms, and none is
+iteration-order-sensitive (no limit/range/order), so result multisets
+are comparable across backends.
+
+Workload ops (the tuples a :class:`~repro.testing.scenario.Scenario`
+carries) are:
+
+* ``("chain", chain_ops)`` — read query, checked on every engine cell
+* ``("begin",)`` / ``("commit",)`` / ``("rollback",)``
+* ``("sql", statement, params, mirrors)`` — DML on the writer
+  connection; ``mirrors`` are the graph-level effects applied to the
+  oracle if and when the surrounding transaction commits
+* ``("addv", label, properties, mirrors)`` — Gremlin ``g.addV`` run on
+  the designated mutation cell (autocommit)
+* ``("adde", label, src_id, dst_id, properties, mirrors)``
+* ``("graph_sql", sql)`` — a SQL statement over
+  ``TABLE(graphQuery('gremlin', ...))``, cross-checked against a
+  shadow database whose ``graphQuery`` is backed by the oracle graph
+
+Mirror ops: ``("add_vertex", id, label, props)``, ``("add_edge", id,
+label, src, dst, props)``, ``("remove_vertex", id)``,
+``("remove_edge", id)``, ``("set_vprop", id, key, value)``,
+``("set_eprop", id, key, value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..graph.model import Edge, Vertex
+from ..graph.predicates import P
+from ..graph.traversal import Traversal, __
+
+
+# ---------------------------------------------------------------------------
+# Chain application (fluent API)
+# ---------------------------------------------------------------------------
+
+
+def apply_chain(g: Any, chain: Iterable[tuple]) -> list[Any]:
+    """Replay a chain against a traversal source and collect results."""
+    traversal: Traversal | None = None
+    for op in chain:
+        traversal = _apply_op(g, traversal, op)
+    if traversal is None:
+        return []
+    return traversal.toList()
+
+
+def _apply_op(g: Any, t: Traversal | None, op: tuple) -> Traversal:
+    name = op[0]
+    if name == "V":
+        ids = op[1] if len(op) > 1 else ()
+        return g.V(*ids)
+    if name == "E":
+        ids = op[1] if len(op) > 1 else ()
+        return g.E(*ids)
+    if t is None:
+        raise ValueError(f"chain must start with V or E, got {op!r}")
+    if name == "out":
+        return t.out(*_labels(op))
+    if name == "in":
+        return t.in_(*_labels(op))
+    if name == "both":
+        return t.both(*_labels(op))
+    if name == "outE":
+        return t.outE(*_labels(op))
+    if name == "inE":
+        return t.inE(*_labels(op))
+    if name == "outV":
+        return t.outV()
+    if name == "inV":
+        return t.inV()
+    if name == "hasLabel":
+        return t.hasLabel(op[1])
+    if name == "has_eq":
+        return t.has(op[1], op[2])
+    if name == "has_gte":
+        return t.has(op[1], P.gte(op[2]))
+    if name == "has_lt":
+        return t.has(op[1], P.lt(op[2]))
+    if name == "has_within":
+        return t.has(op[1], P.within(*op[2]))
+    if name == "hasNot":
+        return t.hasNot(op[1])
+    if name == "dedup":
+        return t.dedup()
+    if name == "values":
+        return t.values(op[1])
+    if name == "id":
+        return t.id_()
+    if name == "label":
+        return t.label()
+    if name == "count":
+        return t.count()
+    if name == "union_out_in":
+        return t.union(__.out(), __.in_())
+    if name == "not_outE":
+        return t.not_(__.outE(op[1]))
+    if name == "filter_out":
+        return t.filter_(__.out())
+    if name == "where_in":
+        return t.where(__.in_())
+    if name == "repeat_out":
+        return t.repeat(__.out().dedup()).times(op[1])
+    if name == "optional_out":
+        return t.optional(__.out(op[1]))
+    raise ValueError(f"unknown chain op {op!r}")
+
+
+def _labels(op: tuple) -> tuple:
+    return (op[1],) if len(op) > 1 and op[1] is not None else ()
+
+
+# ---------------------------------------------------------------------------
+# Chain rendering (Gremlin string)
+# ---------------------------------------------------------------------------
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+def chain_to_gremlin(chain: Iterable[tuple]) -> str:
+    parts = ["g"]
+    for op in chain:
+        name = op[0]
+        if name in ("V", "E"):
+            ids = op[1] if len(op) > 1 else ()
+            parts.append(f"{name}({', '.join(_literal(i) for i in ids)})")
+        elif name in ("out", "in", "both", "outE", "inE"):
+            label = op[1] if len(op) > 1 else None
+            parts.append(f"{name}({_literal(label) if label is not None else ''})")
+        elif name in ("outV", "inV", "dedup", "id", "label", "count"):
+            parts.append(f"{name}()")
+        elif name == "hasLabel":
+            parts.append(f"hasLabel({_literal(op[1])})")
+        elif name == "has_eq":
+            parts.append(f"has({_literal(op[1])}, {_literal(op[2])})")
+        elif name == "has_gte":
+            parts.append(f"has({_literal(op[1])}, P.gte({_literal(op[2])}))")
+        elif name == "has_lt":
+            parts.append(f"has({_literal(op[1])}, P.lt({_literal(op[2])}))")
+        elif name == "has_within":
+            args = ", ".join(_literal(v) for v in op[2])
+            parts.append(f"has({_literal(op[1])}, P.within({args}))")
+        elif name == "hasNot":
+            parts.append(f"hasNot({_literal(op[1])})")
+        elif name == "values":
+            parts.append(f"values({_literal(op[1])})")
+        elif name == "union_out_in":
+            parts.append("union(out(), in())")
+        elif name == "not_outE":
+            parts.append(f"not(outE({_literal(op[1])}))")
+        elif name == "filter_out":
+            parts.append("filter(out())")
+        elif name == "where_in":
+            parts.append("where(in())")
+        elif name == "repeat_out":
+            parts.append(f"repeat(out().dedup()).times({op[1]})")
+        elif name == "optional_out":
+            parts.append(f"optional(out({_literal(op[1])}))")
+        else:
+            raise ValueError(f"cannot render chain op {op!r}")
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Result normalization
+# ---------------------------------------------------------------------------
+
+
+def normalize_results(results: Iterable[Any]) -> list[Any]:
+    """Backend-independent multiset form: elements become id/label
+    tuples, floats are rounded (summation order may differ), and the
+    list is sorted by repr."""
+    out = []
+    for item in results:
+        out.append(_normalize_value(item))
+    return sorted(out, key=repr)
+
+
+def _normalize_value(item: Any) -> Any:
+    if isinstance(item, Edge):
+        return ("edge", str(item.id), item.label, str(item.out_v_id), str(item.in_v_id))
+    if isinstance(item, Vertex):
+        return ("vertex", str(item.id), item.label)
+    if isinstance(item, float):
+        return round(item, 9)
+    if isinstance(item, dict):
+        return tuple(sorted((k, _normalize_value(v)) for k, v in item.items()))
+    if isinstance(item, (list, tuple)):
+        return tuple(_normalize_value(v) for v in item)
+    return item

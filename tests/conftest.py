@@ -2,12 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.common.clock import ManualClock
 from repro.core import Db2Graph
 from repro.relational import Database
 from repro.workloads.healthcare import HealthcareConfig, HealthcareDataset
+
+# Hypothesis profiles: CI runs must be reproducible (derandomized, no
+# wall-clock deadline flakes); local runs keep the randomized default.
+# Select explicitly with HYPOTHESIS_PROFILE=ci, or implicitly via CI=1.
+settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+settings.register_profile("dev", deadline=None)
+_profile = os.environ.get("HYPOTHESIS_PROFILE") or ("ci" if os.environ.get("CI") else None)
+if _profile:
+    settings.load_profile(_profile)
 
 
 @pytest.fixture

@@ -3,21 +3,31 @@ type-correct) traversal chains and runs them against both the overlay
 engine (Gremlin -> SQL) and the in-memory reference graph over
 identical data.  Any divergence is a bug in the translation layer.
 
-The chain composer tracks the traverser type (vertex / edge / value) so
-generated chains are always executable.  Order-sensitive steps (limit,
-range) are excluded: Gremlin guarantees no iteration order, so backends
-may legitimately differ there.  Both the fully optimized overlay engine
-and the strategy-free / runtime-optimizations-off one are checked.
+Two generators feed this file:
+
+* the local chain composer below runs long random chains over one
+  fixed two-label schema (deep chains, shallow schema);
+* ``repro.testing`` draws the *schema and overlay* themselves from the
+  full §5 config space — prefixed/composite ids, column labels,
+  implicit edge ids, dual and star tables, views, AutoOverlay — and
+  replays a whole generated workload per seed (shallow chains, deep
+  schema space).
+
+Order-sensitive steps (limit, range) are excluded: Gremlin guarantees
+no iteration order, so backends may legitimately differ there.  Both
+the fully optimized overlay engine and the strategy-free /
+runtime-optimizations-off one are checked.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import Db2Graph, RuntimeOptimizations
 from repro.graph import GraphTraversalSource, InMemoryGraph, P, TextP, __
 from repro.relational import Database
+from repro.testing import ScenarioInvalid, generate_scenario, run_scenario
 
 LABELS = ["La", "Lb"]
 EDGE_LABELS = ["Ea", "Eb"]
@@ -187,3 +197,22 @@ def test_fuzz_overlay_matches_memory(recipe):
         assert actual == expected, (
             f"divergence for chain {recipe}: overlay={actual} memory={expected}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Generated schemas/overlays: hypothesis picks the seed, repro.testing
+# generates schema + overlay + data + workload and replays it across
+# the engine matrix against the independent §5 oracle.
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 20_000))
+@settings(max_examples=40, deadline=None)
+def test_fuzz_generated_overlays(seed):
+    try:
+        scenario = generate_scenario(seed)
+        divergence = run_scenario(scenario)
+    except ScenarioInvalid:
+        assume(False)
+        return
+    assert divergence is None, divergence.summary()

@@ -3,11 +3,18 @@ the same results as the equivalent fluent-API traversal."""
 
 from __future__ import annotations
 
+import random
+
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.graph import GraphTraversalSource, InMemoryGraph, P, __
 from repro.graph.gremlin_parser import evaluate_gremlin
+from repro.testing import ScenarioInvalid, generate_scenario
+from repro.testing.oracle import materialize_oracle, scenario_vocab, OracleError
+from repro.testing.scenario import build_database, resolve_overlay
+from repro.testing.workload import apply_chain, chain_to_gremlin, normalize_results
+from repro.testing.generate import random_chain
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +94,39 @@ def test_string_and_fluent_agree(backend_value, case_index):
         assert normalize(string_result) == normalize(fluent_result)
     else:
         assert string_result == fluent_result
+
+
+# ---------------------------------------------------------------------------
+# Generated chains round-trip: repro.testing's chain generator renders
+# each chain to a Gremlin string via chain_to_gremlin; parsing that
+# string back must produce the same results as the fluent application.
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 5_000), st.integers(0, 7))
+@settings(max_examples=40, deadline=None)
+def test_generated_chain_round_trip(seed, chain_draw):
+    try:
+        scenario = generate_scenario(seed, workload_size=0)
+        db = build_database(scenario)
+        overlay = resolve_overlay(scenario, db)
+        oracle = materialize_oracle(db, overlay)
+    except (OracleError, ScenarioInvalid):
+        assume(False)
+        return
+    vocab = scenario_vocab(oracle)
+    rng = random.Random(seed * 1000 + chain_draw)
+    chain = random_chain(rng, vocab)
+    g = GraphTraversalSource(oracle)
+    try:
+        fluent = normalize_results(apply_chain(g, chain))
+    except Exception:
+        assume(False)  # chain not executable on this graph (rare)
+        return
+    script = chain_to_gremlin(chain)
+    parsed = evaluate_gremlin(g, script)
+    if not isinstance(parsed, list):
+        parsed = [parsed]
+    assert normalize_results(parsed) == fluent, (
+        f"chain {chain!r} rendered as {script!r} diverged after parsing"
+    )

@@ -1,0 +1,55 @@
+"""The oracle runner: clean sweeps, matrix cells, divergence plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import (
+    CELL_CORNERS,
+    CELL_FULL_MATRIX,
+    Cell,
+    ScenarioInvalid,
+    generate_scenario,
+    run_scenario,
+)
+
+
+def test_corner_cells_cover_the_matrix():
+    assert len(CELL_FULL_MATRIX) == 16
+    assert {(c.optimized, c.runtime_on) for c in CELL_CORNERS} == {
+        (True, True),
+        (False, False),
+    }
+    assert {(c.parallelism, c.batch_size) for c in CELL_CORNERS} == {(1, 1), (4, 64)}
+
+
+def test_seed_sweep_is_divergence_free():
+    checked = 0
+    for seed in range(25):
+        try:
+            assert run_scenario(generate_scenario(seed)) is None
+        except ScenarioInvalid:
+            continue
+        checked += 1
+    assert checked >= 20  # the generator must mostly produce valid seeds
+
+
+def test_full_matrix_on_one_seed():
+    divergence = run_scenario(generate_scenario(3), cells=CELL_FULL_MATRIX)
+    assert divergence is None
+
+
+def test_cell_names_are_stable():
+    assert Cell(True, True, 1, 1).name == "opt/rt/p1/b1"
+    assert Cell(False, False, 4, 64).name == "noopt/nort/p4/b64"
+
+
+def test_sql_monotonicity_is_checked():
+    """The serial corner pair carries tracing: a scenario replay must
+    not report the optimized engine issuing more SQL than the stripped
+    one (the §6.3 strategies only ever eliminate statements)."""
+    for seed in (0, 1, 2):
+        try:
+            assert run_scenario(generate_scenario(seed), check_sql_counts=True) is None
+        except ScenarioInvalid:
+            continue

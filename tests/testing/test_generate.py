@@ -1,0 +1,109 @@
+"""The scenario generator: determinism and §5 feature coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import ScenarioInvalid, generate_scenario
+
+SEED_RANGE = range(60)
+
+
+def scenarios():
+    out = []
+    for seed in SEED_RANGE:
+        try:
+            out.append(generate_scenario(seed))
+        except ScenarioInvalid:
+            continue
+    return out
+
+
+def test_generation_is_deterministic():
+    for seed in (0, 7, 19, 42):
+        a = generate_scenario(seed)
+        b = generate_scenario(seed)
+        assert a.rows == b.rows
+        assert a.workload == b.workload
+        assert a.overlay == b.overlay
+        assert [t.ddl() for t in a.tables] == [t.ddl() for t in b.tables]
+
+
+def test_every_section5_feature_is_drawn():
+    """Across a modest seed range the generator must exercise the full
+    §5 overlay-config space at least once each."""
+    seen = set()
+    for s in scenarios():
+        if s.kind == "auto":
+            seen.add("auto_overlay")
+            if any(not t.primary_key for t in s.tables):
+                seen.add("keyless_link_table")
+            continue
+        overlay = s.overlay
+        v_tables = {e["table_name"] for e in overlay["v_tables"]}
+        e_tables = {e["table_name"] for e in overlay["e_tables"]}
+        view_names = {v.name for v in s.views}
+        for entry in overlay["v_tables"]:
+            if entry.get("prefixed_id"):
+                seen.add("prefixed_vertex_id")
+            if entry.get("fix_label"):
+                seen.add("fixed_vertex_label")
+            else:
+                seen.add("column_vertex_label")
+            if "::" in str(entry.get("id", "")).replace("'", "").partition("::")[2]:
+                seen.add("composite_vertex_id")
+            if entry["table_name"] in view_names:
+                seen.add("view_as_vertex_member")
+        for entry in overlay["e_tables"]:
+            if entry.get("implicit_edge_id"):
+                seen.add("implicit_edge_id")
+            if entry.get("prefixed_edge_id"):
+                seen.add("prefixed_edge_id")
+            if "src_v_table" in entry:
+                seen.add("src_dst_table_hints")
+            if not entry.get("fix_label") and not str(entry.get("label", "")).startswith("'"):
+                seen.add("column_edge_label")
+            if entry["table_name"] in v_tables:
+                seen.add("dual_vertex_edge_table")
+            if entry["table_name"] in view_names:
+                seen.add("view_as_edge_member")
+        table_configs: dict[str, int] = {}
+        for entry in overlay["e_tables"]:
+            if entry["table_name"] not in view_names and entry["table_name"] not in v_tables:
+                table_configs[entry["table_name"]] = (
+                    table_configs.get(entry["table_name"], 0) + 1
+                )
+        if any(count > 1 for count in table_configs.values()):
+            seen.add("multi_config_edge_table")
+    expected = {
+        "auto_overlay",
+        "keyless_link_table",
+        "prefixed_vertex_id",
+        "composite_vertex_id",
+        "fixed_vertex_label",
+        "column_vertex_label",
+        "implicit_edge_id",
+        "prefixed_edge_id",
+        "src_dst_table_hints",
+        "column_edge_label",
+        "dual_vertex_edge_table",
+        "multi_config_edge_table",
+        "view_as_vertex_member",
+        "view_as_edge_member",
+    }
+    assert expected <= seen, f"never generated: {sorted(expected - seen)}"
+
+
+def test_workloads_mix_reads_and_mutations():
+    tags = set()
+    for s in scenarios():
+        tags.update(op[0] for op in s.workload)
+    assert {"chain", "begin", "commit", "rollback", "sql", "graph_sql"} <= tags
+    assert "addv" in tags or "adde" in tags
+
+
+def test_clone_is_independent():
+    s = generate_scenario(2)
+    c = s.clone()
+    c.rows[next(iter(c.rows))].clear()
+    assert s.rows != c.rows or not s.total_rows()

@@ -1,0 +1,43 @@
+"""The sweep CLI: exit codes, budget handling, artifact output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.runner import main
+
+
+def test_clean_sweep_exits_zero(capsys):
+    assert main(["--seeds", "10", "--quiet"]) == 0
+
+
+def test_progress_output(capsys):
+    assert main(["--seeds", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "25 seeds conformant" in out
+    assert "OK:" in out
+
+
+def test_budget_stops_early(capsys):
+    assert main(["--seeds", "100000", "--budget", "0.2s"]) == 0
+    assert "budget exhausted" in capsys.readouterr().out
+
+
+def test_injected_bug_mode_exits_zero_when_caught(tmp_path, capsys):
+    artifact = tmp_path / "repro.txt"
+    code = main(
+        ["--inject-bug", "implicit-id-swap", "--seeds", "40",
+         "--artifact", str(artifact)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "CAUGHT" in out
+    assert artifact.exists()
+    text = artifact.read_text()
+    assert "CREATE TABLE" in text and "run_scenario" in text
+
+
+def test_injected_bug_mode_exits_one_when_missed(capsys):
+    # one seed is (deliberately) not enough to catch this bug
+    code = main(["--inject-bug", "label-elimination", "--seeds", "1", "--quiet"])
+    assert code == 1
