@@ -1,0 +1,126 @@
+"""Transactional read cache: cold vs warm statement counts (DESIGN.md
+"Caching & invalidation").
+
+Not a paper figure — the paper's prototype recomputes every traversal
+from SQL — but the epoch-invalidated read cache added on top is worth
+quantifying: dashboard-style workloads replay the same point lookups
+and expansions over and over, and every replay the cache absorbs is a
+statement the engine never parses, plans, or scans for.
+
+Two configurations over the same database and the *same fixed call
+list* (sampled once, replayed every round — a fresh sample per round
+would measure the generator, not the cache):
+
+* ``cache-off`` — every round re-issues the full SQL of the mix
+* ``cache-on``  — round one fills, later rounds answer from the cache
+
+Recorded per configuration: wall-clock latency of the replayed mix and
+the exact number of SQL statements issued (from stats(), so
+deterministic).  The acceptance bar: ``cache-on`` issues >=2x fewer
+statements than ``cache-off`` and runs faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.db2graph import Db2Graph
+from repro.workloads.linkbench import LinkBenchConfig, LinkBenchDataset, LinkBenchWorkload
+
+CONFIGS = [
+    ("cache-off", False),
+    ("cache-on", True),
+]
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def cache_setup():
+    from repro.relational.database import Database
+
+    dataset = LinkBenchDataset(LinkBenchConfig.small())
+    database = Database(enforce_foreign_keys=False)
+    dataset.install_relational(database)
+    workload = LinkBenchWorkload(dataset, seed=31)
+    # Fix the call list once: a repeated-read mix of point lookups,
+    # link-list expansions, and counts, plus a handful of two-hop
+    # chains over stable source ids.
+    calls = []
+    for _ in range(12):
+        calls.append(workload.sample("getNode"))
+        calls.append(workload.sample("getLinkList"))
+        calls.append(workload.sample("countLinks"))
+    sources = list(workload._sources)[:6]
+    graphs = {
+        name: Db2Graph.open(database, dataset.overlay_config(), cache=cache)
+        for name, cache in CONFIGS
+    }
+    yield calls, sources, graphs
+    for graph in graphs.values():
+        graph.close()
+
+
+def _run_mix(graph, calls, sources) -> tuple[float, int]:
+    before = graph.stats()["sql_queries"]
+    start = time.perf_counter()
+    for call in calls:
+        call.run(graph.traversal())
+    for id1 in sources:
+        graph.traversal().V(id1).out().out().count().next()
+    elapsed = time.perf_counter() - start
+    return elapsed, graph.stats()["sql_queries"] - before
+
+
+@pytest.mark.parametrize("mode", [name for name, _cache in CONFIGS])
+def test_cache_hit_latency(benchmark, cache_setup, mode):
+    calls, sources, graphs = cache_setup
+    graph = graphs[mode]
+    _run_mix(graph, calls, sources)  # warmup (prepared caches; cache fill)
+
+    timings: list[float] = []
+
+    def run_once():
+        elapsed, issued = _run_mix(graph, calls, sources)
+        timings.append(elapsed)
+        return issued
+
+    statements = benchmark.pedantic(run_once, rounds=5, iterations=1, warmup_rounds=1)
+    _RESULTS[mode] = {
+        "seconds": min(timings),
+        "statements": float(statements),
+        "hits": float(graph.stats()["cache_hits"]),
+    }
+
+
+def test_cache_hit_report(cache_setup, collector):
+    assert set(_RESULTS) == {name for name, _cache in CONFIGS}
+    rows = []
+    for name, _cache in CONFIGS:
+        result = _RESULTS[name]
+        rows.append(
+            [
+                name,
+                f"{result['seconds'] * 1e3:.1f}",
+                int(result["statements"]),
+                int(result["hits"]),
+            ]
+        )
+    collector.add(
+        "cache_hit",
+        format_table(
+            ["config", "best ms/round", "sql stmts/round", "cache hits"],
+            rows,
+            title="Transactional read cache, warm replay (LinkBench-style mix)",
+        ),
+    )
+
+    off = _RESULTS["cache-off"]
+    on = _RESULTS["cache-on"]
+    # The acceptance bar: a warm cache cuts SQL statements >=2x on the
+    # replayed mix and wall-clock strictly improves.
+    assert on["statements"] * 2 <= off["statements"]
+    assert on["seconds"] < off["seconds"]

@@ -1,0 +1,69 @@
+"""Per-table epoch counters — the cache invalidation substrate.
+
+Every base table has a monotonically increasing *epoch*, bumped once
+per DML commit that wrote the table (the transaction manager's commit
+hook calls :meth:`EpochRegistry.bump` with the written tables *after*
+row versions are stamped and *before* locks release; rollback never
+bumps).  A cached entry captures the epoch *vector* of its dependency
+tables before issuing SQL and is valid iff the vector still matches at
+lookup time.
+
+Why capture-before-SQL can never serve stale data: the commit sequence
+is CSN allocation -> version stamping -> epoch bump.  If a reader
+captures a vector *after* a bump, the commit's versions are already
+stamped, so the rows the reader then fetches include that commit — new
+vector, new data.  If the reader captures *before* the bump, the entry
+lands under the old vector and the very next lookup (which recomputes
+the current vector) sees a mismatch and drops it.  Entries can only be
+invalidated too eagerly, never too late.
+
+This module has no imports from the relational engine, so
+``relational.database`` can own an :class:`EpochRegistry` without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+
+class EpochRegistry:
+    """Thread-safe map of lowercase table name -> epoch (int, from 0)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epochs: dict[str, int] = {}
+        #: Total bumps ever — a cheap global change indicator for tests.
+        self.total_bumps = 0
+
+    def epoch(self, table: str) -> int:
+        with self._lock:
+            return self._epochs.get(table.lower(), 0)
+
+    def vector(self, tables: Iterable[str]) -> tuple[int, ...]:
+        """Epochs of ``tables`` in the given order (one atomic read)."""
+        with self._lock:
+            return tuple(self._epochs.get(t.lower(), 0) for t in tables)
+
+    def bump(self, tables: Iterable[str]) -> list[str]:
+        """Advance the epoch of every named table; returns the lowercase
+        names actually bumped (deduplicated, input order)."""
+        bumped: list[str] = []
+        with self._lock:
+            for table in tables:
+                key = table.lower()
+                if key in bumped:
+                    continue
+                self._epochs[key] = self._epochs.get(key, 0) + 1
+                self.total_bumps += 1
+                bumped.append(key)
+        return bumped
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._epochs)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"EpochRegistry({len(self._epochs)} tables, {self.total_bumps} bumps)"

@@ -69,9 +69,11 @@ class LruCache(Generic[K, V]):
             self._put_locked(key, value)
             return value
 
-    def put(self, key: K, value: V) -> None:
+    def put(self, key: K, value: V) -> list[K]:
+        """Insert/refresh ``key``; returns the keys evicted to make room
+        (empty for unbounded caches or in-capacity inserts)."""
         with self._timed_lock():
-            self._put_locked(key, value)
+            return self._put_locked(key, value)
 
     def invalidate(self, key: K) -> None:
         with self._timed_lock():
@@ -102,14 +104,17 @@ class LruCache(Generic[K, V]):
         self.evictions = 0
         self.lock_held_seconds = 0.0
 
-    def _put_locked(self, key: K, value: V) -> None:
+    def _put_locked(self, key: K, value: V) -> list[K]:
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
+        evicted: list[K] = []
         if self.capacity is not None:
             while len(self._data) > self.capacity:
-                self._data.popitem(last=False)
+                victim, _value = self._data.popitem(last=False)
                 self.evictions += 1
+                evicted.append(victim)
+        return evicted
 
     def _timed_lock(self) -> "_TimedLock":
         return _TimedLock(self)

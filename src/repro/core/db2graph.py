@@ -14,6 +14,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+from ..cache import CacheConfig, GraphCache, resolve_cache_config
 from ..graph.gremlin_parser import evaluate_gremlin
 from ..graph.strategy import StrategyRegistry
 from ..graph.traversal import GraphTraversalSource
@@ -65,6 +66,9 @@ class Db2Graph:
         # FanoutPool shared by every traversal on this graph; set by
         # open(parallelism=...).  None = serial.
         self.pool: FanoutPool | None = None
+        # Transactional read cache (repro.cache); set by open(cache=...).
+        # None = every read goes to the relational engine.
+        self.cache: GraphCache | None = None
 
     @classmethod
     def open(
@@ -81,6 +85,7 @@ class Db2Graph:
         retry_policy: Any = None,
         parallelism: int | None = None,
         batch_size: int | None = None,
+        cache: CacheConfig | bool | None = None,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
 
@@ -114,6 +119,15 @@ class Db2Graph:
         catalog whenever DDL changes (the paper's §5.1 future work) —
         e.g. a column added to a table with inferred properties shows
         up as a new graph property without reopening.
+
+        ``cache`` enables the transactional read cache
+        (:mod:`repro.cache`): ``None`` consults ``REPRO_CACHE_ENABLED``
+        (off by default), ``True``/``False`` force it, and a
+        :class:`~repro.cache.CacheConfig` sets explicit capacities.
+        Cached entries are invalidated by per-table epoch counters
+        bumped on DML commit, so graph reads stay coherent with
+        relational writes; lookups inside an explicit transaction
+        bypass the cache for read-your-writes.
         """
         if isinstance(database, Connection):
             connection = database
@@ -128,12 +142,24 @@ class Db2Graph:
         topology = Topology(connection.database, config)
         registry = MetricsRegistry()
         recorder = TraceRecorder()
+        cache_config = resolve_cache_config(cache)
+        graph_cache = (
+            GraphCache(
+                connection.database,
+                cache_config,
+                registry=registry,
+                recorder=recorder,
+            )
+            if cache_config is not None
+            else None
+        )
         dialect = SqlDialect(
             connection,
             track_patterns=track_patterns,
             registry=registry,
             recorder=recorder,
             retry_policy=retry_policy,
+            cache=graph_cache,
         )
         # One registry/recorder span the graph layer AND the relational
         # engine underneath it (lock waits, deadlocks, sql errors), so
@@ -147,12 +173,14 @@ class Db2Graph:
             runtime_opts,
             pool=pool,
             batch_size=resolve_batch_size(batch_size),
+            cache=graph_cache,
         )
         graph = cls(
             connection, topology, dialect, provider, optimized, auto_refresh=auto_refresh
         )
         graph.budget = budget
         graph.pool = pool
+        graph.cache = graph_cache
         return graph
 
     @classmethod
@@ -261,6 +289,12 @@ class Db2Graph:
             "batched_statements": self.registry.counter(M.SQL_BATCHED).value,
             "batched_ids": self.registry.counter(M.BATCH_IDS).value,
             "parallel_fanouts": self.registry.counter(M.FANOUT_PARALLEL).value,
+            # graph read cache (repro.cache)
+            "cache_hits": self.registry.counter(M.CACHE_HITS).value,
+            "cache_misses": self.registry.counter(M.CACHE_MISSES).value,
+            "cache_evictions": self.registry.counter(M.CACHE_EVICTIONS).value,
+            "cache_invalidations": self.registry.counter(M.CACHE_INVALIDATIONS).value,
+            "cache_bypass_txn": self.registry.counter(M.CACHE_BYPASS_TXN).value,
             # resilience layer
             "sql_errors": self.registry.counter(M.SQL_ERRORS).value,
             "lock_waits": self.registry.counter(M.LOCK_WAITS).value,
@@ -334,5 +368,6 @@ class Db2Graph:
             f"Db2Graph(v_tables={len(self.topology.vertex_tables)}, "
             f"e_tables={len(self.topology.edge_tables)}, "
             f"parallelism={self.parallelism}, batch_size={self.batch_size}, "
+            f"cache={'on' if self.cache is not None else 'off'}, "
             f"optimized={self.optimized})"
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from ..cache.graph_cache import NEGATIVE
 from ..graph.model import Direction, Edge, GraphProvider, Pushdown, Vertex
 from ..graph.predicates import P
 from ..obs import metrics as M
@@ -148,10 +149,15 @@ class OverlayGraph(GraphProvider):
         *,
         pool: FanoutPool | None = None,
         batch_size: int | None = None,
+        cache: Any = None,
     ):
         self.topology = topology
         self.dialect = dialect
         self.opts = opts or RuntimeOptimizations()
+        # Optional GraphCache (repro.cache): level 2 memoizes endpoint
+        # materialization (bulk_materialize groups, load_vertex point
+        # lookups); level 1 lives inside the dialect.
+        self.cache = cache
         # Share the dialect's registry/recorder by default so one
         # snapshot covers both modules.
         self.registry = registry if registry is not None else dialect.registry
@@ -1188,6 +1194,30 @@ class OverlayGraph(GraphProvider):
 
         def materialize_group(hint: str | None, group: list[Vertex]) -> list:
             ids = list(dict.fromkeys(v.id for v in group))
+            ticket = None
+            if self.cache is not None:
+                # The (hint, id-tuple) group is the cache unit: the
+                # hint-table-then-fallback logic below is group-
+                # composition dependent, so a hit must replay exactly
+                # one previously computed group, never per-id slices.
+                status, payload = self.cache.lookup_group(
+                    self.dialect.connection,
+                    self._vertex_relations(),
+                    hint,
+                    tuple(ids),
+                )
+                if status == "hit":
+                    found = {
+                        vid: (label, dict(items), table)
+                        for vid, label, items, table in payload
+                    }
+                    for vertex in group:
+                        entry = found.get(vertex.id)
+                        if entry is not None:
+                            vertex.absorb(*entry)
+                    return []
+                if status == "miss":
+                    ticket = payload
             loaded: dict[Any, OverlayVertex] = {}
             if hint is not None:
                 try:
@@ -1206,6 +1236,14 @@ class OverlayGraph(GraphProvider):
                 fetched = loaded.get(vertex.id)
                 if fetched is not None:
                     vertex.absorb(fetched.label, fetched.properties, fetched.source_table)
+            if ticket is not None:
+                self.cache.store(
+                    ticket,
+                    tuple(
+                        (vid, v.label, tuple(v.properties.items()), v.source_table)
+                        for vid, v in loaded.items()
+                    ),
+                )
             return []
 
         self._run_fanout(
@@ -1215,7 +1253,53 @@ class OverlayGraph(GraphProvider):
             ]
         )
 
+    def _vertex_relations(self) -> tuple[str, ...]:
+        """The level-2 cache's dependency set: every vertex table of the
+        current topology (views included; the cache resolves them)."""
+        return tuple(v.table_name for v in self.topology.vertex_tables)
+
     def load_vertex(self, vertex_id: Any, table_hint: str | None = None) -> Vertex | None:
+        ticket = None
+        if self.cache is not None:
+            scope = (
+                table_hint
+                if table_hint is not None and self.opts.use_src_dst_tables
+                else None
+            )
+            status, payload = self.cache.lookup_vertex(
+                self.dialect.connection, self._vertex_relations(), scope, vertex_id
+            )
+            if status == "hit":
+                if payload == NEGATIVE:
+                    return None
+                found_id, label, items, source_table = payload
+                return OverlayVertex(
+                    found_id,
+                    label,
+                    dict(items),
+                    provider=self,
+                    source_table=source_table,
+                )
+            if status == "miss":
+                ticket = payload
+        result = self._load_vertex_uncached(vertex_id, table_hint)
+        if ticket is not None:
+            self.cache.store(
+                ticket,
+                NEGATIVE
+                if result is None
+                else (
+                    result.id,
+                    result.label,
+                    tuple(result.properties.items()),
+                    result.source_table,
+                ),
+            )
+        return result
+
+    def _load_vertex_uncached(
+        self, vertex_id: Any, table_hint: str | None = None
+    ) -> Vertex | None:
         candidates: list[VertexTopology]
         if table_hint is not None and self.opts.use_src_dst_tables:
             try:

@@ -216,8 +216,12 @@ class SqlDialect:
         registry: MetricsRegistry | None = None,
         recorder: TraceRecorder | None = None,
         retry_policy: RetryPolicy | None = None,
+        cache: Any = None,
     ):
         self.connection = connection
+        # Optional GraphCache (repro.cache): consulted by select() before
+        # issuing SQL, filled only after a successful statement.
+        self.cache = cache
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = recorder if recorder is not None else NULL_RECORDER
         self.stats = DialectStats(self.registry)
@@ -315,6 +319,25 @@ class SqlDialect:
         timed = timing or self.trace.enabled
         started = perf_counter() if timed else 0.0
         sql, params = self.build_select(table, columns, predicates, aggregate)
+        ticket = None
+        if self.cache is not None:
+            status, payload = self.cache.lookup_statement(
+                self.connection, table, sql, tuple(params)
+            )
+            if status == "hit":
+                keys, row_tuples = payload
+                budget = self.active_budget
+                if budget is not None:
+                    # A hit skips the statement checkpoint (no SQL was
+                    # issued) but still counts rows and honors the
+                    # deadline — materialized data is materialized data.
+                    budget.note_rows(len(row_tuples))
+                    budget.check_deadline()
+                # Fresh dicts per hit: cached tuples are never aliased
+                # into mutable traversal state.
+                return [dict(zip(keys, row)) for row in row_tuples]
+            if status == "miss":
+                ticket = payload
         statement_id = next(self._statement_ids)
         if self.log is not None:
             self.log.append(sql)
@@ -363,6 +386,13 @@ class SqlDialect:
         materialized = perf_counter() if timing else 0.0
         keys = [c.lower() for c in result.columns]
         rows = [dict(zip(keys, row)) for row in result.rows]
+        if ticket is not None:
+            # Fill only after the statement (and any retries) succeeded:
+            # injected faults and exhausted retries never poison an entry.
+            self.cache.store(
+                ticket,
+                (tuple(keys), tuple(tuple(row) for row in result.rows)),
+            )
         if timing:
             self.registry.histogram(M.PHASE_MATERIALIZE).observe(
                 perf_counter() - materialized

@@ -193,6 +193,12 @@ RETRY_ATTEMPTS = "retry.attempts"
 RETRY_EXHAUSTED = "retry.exhausted"
 BUDGET_EXCEEDED = "budget.exceeded"
 FAULTS_INJECTED = "fault.injected"
+# Graph read cache (repro.cache) — each mirrors a 1:1 trace event.
+CACHE_HITS = "cache.hits"
+CACHE_MISSES = "cache.misses"
+CACHE_EVICTIONS = "cache.evictions"
+CACHE_INVALIDATIONS = "cache.invalidations"
+CACHE_BYPASS_TXN = "cache.bypass_txn"
 
 
 def eliminated_counter_name(rule: str) -> str:

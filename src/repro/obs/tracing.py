@@ -45,6 +45,17 @@ event name             attributes
                        (deadline / statements / rows / traversers)
 ``fault.injected``     ``kind``, ``table``, ``statement`` — the fault
                        injector fired (chaos tests only)
+``cache.hit``          ``segment`` (``statement``/``row``), ``table`` — a
+                       graph-cache entry was served (epoch vector matched)
+``cache.miss``         ``segment``, ``table`` — no servable entry; the
+                       statement ran and may fill on success
+``cache.evict``        ``segment``, ``table`` — a fill pushed an entry out
+                       of a full segment (capacity pressure, not staleness)
+``cache.invalidate``   ``table`` — a DML commit bumped the table's epoch,
+                       invalidating every entry that depends on it
+``cache.bypass.txn``   ``segment``, ``table`` — a lookup inside an active
+                       explicit transaction skipped the cache
+                       (read-your-writes / snapshot isolation)
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -170,3 +181,8 @@ RETRY_ATTEMPT = "retry.attempt"
 RETRY_EXHAUSTED = "retry.exhausted"
 BUDGET_EXCEEDED = "budget.exceeded"
 FAULT_INJECTED = "fault.injected"
+CACHE_HIT = "cache.hit"
+CACHE_MISS = "cache.miss"
+CACHE_EVICT = "cache.evict"
+CACHE_INVALIDATE = "cache.invalidate"
+CACHE_BYPASS_TXN = "cache.bypass.txn"

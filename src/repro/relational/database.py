@@ -11,7 +11,10 @@ from __future__ import annotations
 import threading
 from typing import Any, Iterable, Sequence
 
+from ..cache.epochs import EpochRegistry
 from ..common.clock import Clock, SystemClock
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_RECORDER, TraceRecorder
 from .access import AccessControl
@@ -55,6 +58,17 @@ class Database:
         # Chaos hook (repro.resilience.faults.FaultInjector) consulted by
         # the executor before running each statement.  None in production.
         self.fault_injector = None
+        # Per-table epoch counters for the graph read cache: bumped on
+        # every DML commit (never on rollback) via the transaction
+        # manager's commit hook, with one cache.invalidate counter +
+        # trace event per written table.
+        self.epochs = EpochRegistry()
+        self.txn_manager.commit_hooks.append(self._note_committed_writes)
+
+    def _note_committed_writes(self, tables: Sequence[str]) -> None:
+        for table in self.epochs.bump(tables):
+            self.obs_registry.counter(obs_metrics.CACHE_INVALIDATIONS).increment()
+            self.obs_trace.emit(obs_tracing.CACHE_INVALIDATE, table=table)
 
     def bind_observability(self, registry: MetricsRegistry, trace: TraceRecorder) -> None:
         """Point all engine-side emission sites at shared sinks."""

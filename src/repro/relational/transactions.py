@@ -386,6 +386,11 @@ class TransactionManager:
         # at that time, used to translate AS OF timestamps to CSNs.
         self._commit_times: list[float] = []
         self._commit_csns: list[int] = []
+        # Called with the written (lowercase) table names of every DML
+        # commit, after version stamping and before lock release; the
+        # database registers the cache epoch bump here.  Rollback never
+        # fires these.
+        self.commit_hooks: list = []
 
     def begin(self) -> Transaction:
         with self._lock:
@@ -411,6 +416,15 @@ class TransactionManager:
         for version in txn.ended:
             version.commit_end(csn, now)
         txn.status = Transaction.COMMITTED
+        # Epoch bumps must land after the versions above are stamped
+        # (committed data visible before its epoch moves — the cache's
+        # capture-before-SQL rule depends on this order) and before the
+        # write locks release.
+        if self.commit_hooks:
+            written = list(txn.write_locks)
+            if written:
+                for hook in self.commit_hooks:
+                    hook(written)
         self._release_locks(txn)
         return csn
 

@@ -4,8 +4,8 @@
 builds the pure-Python reference graph (:mod:`repro.testing.oracle`),
 opens the overlay engine once per :class:`Cell` of the configuration
 matrix — {strategies on/off} x {runtime opts on/off} x {serial,
-parallel} x {batch 1, 64} — and replays the identical workload on
-every side:
+parallel} x {batch 1, 64} x {read cache off/on} — and replays the
+identical workload on every side:
 
 * traversal chains are checked for multiset-equal results between the
   oracle and every engine cell;
@@ -58,6 +58,7 @@ class Cell:
     runtime_on: bool
     parallelism: int
     batch_size: int
+    cache_on: bool = False
 
     @property
     def name(self) -> str:
@@ -65,6 +66,7 @@ class Cell:
             f"{'opt' if self.optimized else 'noopt'}"
             f"/{'rt' if self.runtime_on else 'nort'}"
             f"/p{self.parallelism}/b{self.batch_size}"
+            f"{'/cache' if self.cache_on else ''}"
         )
 
     def open(self, db: Any, overlay: dict[str, Any]) -> Db2Graph:
@@ -75,26 +77,36 @@ class Cell:
             runtime_opts=None if self.runtime_on else RuntimeOptimizations.all_off(),
             parallelism=self.parallelism,
             batch_size=self.batch_size,
+            # Explicit True/False so the matrix is deterministic even
+            # when a CI leg exports REPRO_CACHE_ENABLED=1.
+            cache=self.cache_on,
         )
 
 
-#: The full {strategies} x {runtime opts} x {parallelism} x {batch} matrix.
+#: The full {strategies} x {runtime opts} x {parallelism} x {batch} x
+#: {cache off/on} matrix.
 CELL_FULL_MATRIX: tuple[Cell, ...] = tuple(
-    Cell(optimized, runtime_on, parallelism, batch_size)
+    Cell(optimized, runtime_on, parallelism, batch_size, cache_on)
     for optimized in (True, False)
     for runtime_on in (True, False)
     for parallelism in (1, 4)
     for batch_size in (1, 64)
+    for cache_on in (False, True)
 )
 
-#: The four corners used per-seed in CI: both extremes of the
-#: optimization space, serial/batch-1 vs parallel-4/batch-64.  The
-#: serial corners double as the SQL-count monotonicity pair.
+#: The corners used per-seed in CI: both extremes of the optimization
+#: space, serial/batch-1 vs parallel-4/batch-64, plus the same two
+#: shape corners with the read cache on — a cached engine replays the
+#: whole DML-interleaved workload and must stay multiset-identical to
+#: the oracle (and hence to every uncached cell).  The serial uncached
+#: corners double as the SQL-count monotonicity pair.
 CELL_CORNERS: tuple[Cell, ...] = (
     Cell(True, True, 1, 1),
     Cell(False, False, 1, 1),
     Cell(True, True, 4, 64),
     Cell(False, False, 4, 64),
+    Cell(True, True, 1, 1, cache_on=True),
+    Cell(True, True, 4, 64, cache_on=True),
 )
 
 
@@ -179,10 +191,15 @@ class _OracleScriptRunner:
 
 
 def _monotonicity_pair(cells: Sequence[Cell]) -> tuple[int, int] | None:
-    """(optimized serial batch-1 index, stripped serial batch-1 index)."""
+    """(optimized serial batch-1 index, stripped serial batch-1 index).
+
+    Cached cells are excluded: a cache hit legitimately skips the
+    ``sql.issued`` event, so statement counts are only comparable
+    between uncached engines.
+    """
     opt = stripped = None
     for index, cell in enumerate(cells):
-        if cell.parallelism == 1 and cell.batch_size == 1:
+        if cell.parallelism == 1 and cell.batch_size == 1 and not cell.cache_on:
             if cell.optimized and cell.runtime_on and opt is None:
                 opt = index
             if not cell.optimized and not cell.runtime_on and stripped is None:

@@ -1,0 +1,86 @@
+"""Unit tests for cache configuration and the ``REPRO_CACHE_*`` knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    CacheConfig,
+    ENABLED_ENV,
+    ROWS_ENV,
+    STATEMENTS_ENV,
+    STRIPES_ENV,
+    config_from_env,
+    env_enabled,
+    resolve_cache_config,
+)
+
+
+def test_defaults():
+    config = CacheConfig()
+    assert config.statement_capacity == 512
+    assert config.row_capacity == 2048
+    assert config.stripes == 8
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"statement_capacity": 0},
+        {"statement_capacity": -1},
+        {"row_capacity": 0},
+        {"stripes": 0},
+        {"stripes": -4},
+    ],
+)
+def test_invalid_capacities_rejected(kwargs):
+    with pytest.raises(ValueError):
+        CacheConfig(**kwargs)
+
+
+def test_resolve_false_is_always_off(monkeypatch):
+    monkeypatch.setenv(ENABLED_ENV, "1")
+    assert resolve_cache_config(False) is None
+
+
+def test_resolve_none_follows_environment(monkeypatch):
+    monkeypatch.delenv(ENABLED_ENV, raising=False)
+    assert resolve_cache_config(None) is None
+    for truthy in ("1", "true", "YES", " on "):
+        monkeypatch.setenv(ENABLED_ENV, truthy)
+        assert env_enabled()
+        assert resolve_cache_config(None) == config_from_env()
+    for falsy in ("", "0", "false", "off", "nope"):
+        monkeypatch.setenv(ENABLED_ENV, falsy)
+        assert not env_enabled()
+        assert resolve_cache_config(None) is None
+
+
+def test_resolve_true_uses_env_capacities(monkeypatch):
+    monkeypatch.delenv(ENABLED_ENV, raising=False)
+    monkeypatch.setenv(STATEMENTS_ENV, "7")
+    monkeypatch.setenv(ROWS_ENV, "9")
+    monkeypatch.setenv(STRIPES_ENV, "2")
+    config = resolve_cache_config(True)
+    assert config == CacheConfig(statement_capacity=7, row_capacity=9, stripes=2)
+
+
+def test_resolve_explicit_config_wins(monkeypatch):
+    monkeypatch.setenv(STATEMENTS_ENV, "7")
+    explicit = CacheConfig(statement_capacity=3, row_capacity=5, stripes=1)
+    assert resolve_cache_config(explicit) is explicit
+
+
+def test_resolve_rejects_other_types():
+    with pytest.raises(TypeError):
+        resolve_cache_config(42)
+
+
+def test_malformed_env_values_fall_back(monkeypatch):
+    monkeypatch.setenv(STATEMENTS_ENV, "not-a-number")
+    monkeypatch.setenv(ROWS_ENV, "-5")
+    monkeypatch.setenv(STRIPES_ENV, "")
+    config = config_from_env()
+    assert config.statement_capacity == 512  # unparsable -> default
+    assert config.row_capacity == 1  # negative -> clamped to 1
+    assert config.stripes == 8

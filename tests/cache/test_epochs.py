@@ -1,0 +1,88 @@
+"""Unit tests for the epoch registry — the invalidation substrate.
+
+The registry's contract is small but load-bearing: lowercase
+normalization (the engine's write-lock keys are lowercase), per-bump
+deduplication, atomic vector reads, and loss-free concurrent bumps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache import EpochRegistry
+
+
+def test_unknown_table_has_epoch_zero():
+    reg = EpochRegistry()
+    assert reg.epoch("person") == 0
+    assert reg.vector(["person", "knows"]) == (0, 0)
+    assert reg.snapshot() == {}
+
+
+def test_bump_increments_and_returns_lowercase_names():
+    reg = EpochRegistry()
+    assert reg.bump(["Person"]) == ["person"]
+    assert reg.epoch("person") == 1
+    assert reg.bump(["person", "KNOWS"]) == ["person", "knows"]
+    assert reg.epoch("person") == 2
+    assert reg.epoch("knows") == 1
+
+
+def test_case_insensitive_across_all_entry_points():
+    reg = EpochRegistry()
+    reg.bump(["PeRsOn"])
+    assert reg.epoch("PERSON") == reg.epoch("person") == 1
+    assert reg.vector(["Person"]) == (1,)
+    assert reg.snapshot() == {"person": 1}
+
+
+def test_bump_deduplicates_within_one_call():
+    reg = EpochRegistry()
+    assert reg.bump(["a", "A", "b", "a"]) == ["a", "b"]
+    assert reg.epoch("a") == 1  # one logical commit = one bump
+    assert reg.total_bumps == 2
+
+
+def test_bump_empty_is_a_noop():
+    reg = EpochRegistry()
+    assert reg.bump([]) == []
+    assert reg.total_bumps == 0
+
+
+def test_vector_preserves_input_order():
+    reg = EpochRegistry()
+    reg.bump(["b"])
+    reg.bump(["b"])
+    reg.bump(["c"])
+    assert reg.vector(["a", "b", "c"]) == (0, 2, 1)
+    assert reg.vector(["c", "b", "a"]) == (1, 2, 0)
+
+
+def test_snapshot_is_a_copy():
+    reg = EpochRegistry()
+    reg.bump(["t"])
+    snap = reg.snapshot()
+    snap["t"] = 99
+    assert reg.epoch("t") == 1
+
+
+def test_concurrent_bumps_lose_nothing():
+    reg = EpochRegistry()
+    n_threads, rounds = 8, 200
+    barrier = threading.Barrier(n_threads)
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        for _ in range(rounds):
+            reg.bump(["shared", f"own{i}"])
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+        assert not t.is_alive()
+    assert reg.epoch("shared") == n_threads * rounds
+    for i in range(n_threads):
+        assert reg.epoch(f"own{i}") == rounds
+    assert reg.total_bumps == 2 * n_threads * rounds

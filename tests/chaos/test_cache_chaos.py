@@ -1,0 +1,151 @@
+"""Chaos battery for the graph read cache: injected faults must never
+poison it.
+
+The fill discipline under test: a cache entry is installed only after
+the statement (including any retries) succeeded, so a fault that fires
+mid-traversal can delay an answer but can never install a partial or
+wrong result.  Every test compares the cached+faulted engine against a
+fault-free uncached baseline on the same database.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Db2Graph
+from repro.relational import LockTimeoutError
+from repro.resilience import FaultInjector, RetryPolicy
+from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+pytestmark = pytest.mark.chaos
+
+
+def no_sleep_retry(max_attempts: int = 3) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts, sleep=lambda _s: None, rng=random.Random(0)
+    )
+
+
+QUERIES = [
+    lambda g: sorted(v.id for v in g.V().hasLabel("patient").toList()),
+    lambda g: sorted(g.V().hasLabel("patient").out("hasDisease").values("conceptName")),
+    lambda g: g.V().hasLabel("patient").out("hasDisease").count().next(),
+    lambda g: sorted(e.label for e in g.E().toList()),
+]
+
+
+def run_all(graph):
+    return [query(graph.traversal()) for query in QUERIES]
+
+
+def test_faults_masked_by_retry_never_poison_the_cache(paper_db):
+    baseline = run_all(Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY))
+
+    # max_attempts=5: caching compresses statement numbering, so the
+    # at_statement fault and both table faults can pile onto one
+    # statement's retry chain — still transient, still maskable.
+    cached = Db2Graph.open(
+        paper_db, HEALTHCARE_TINY_OVERLAY, cache=True, retry_policy=no_sleep_retry(5)
+    )
+    injector = FaultInjector(seed=11)
+    injector.add("lock_timeout", table="HasDisease", times=2)
+    injector.add("deadlock", table="Patient", times=1)
+    injector.add("error", at_statement=5, times=1)
+    paper_db.fault_injector = injector
+    try:
+        faulted = run_all(cached)
+    finally:
+        paper_db.fault_injector = None
+
+    assert faulted == baseline
+    assert injector.fires > 0
+    # Faults gone: replay everything from the now-warm cache and from a
+    # fresh uncached engine — three-way agreement or the cache kept a
+    # fault-tainted entry.
+    warm = run_all(cached)
+    fresh = run_all(Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY))
+    assert warm == baseline == fresh
+    assert cached.stats()["cache_hits"] > 0
+
+
+def test_exhausted_retries_leave_no_partial_entries(paper_db):
+    """A statement that fails for good (retries exhausted) must leave
+    the cache exactly as it was — the next fault-free run recomputes
+    and matches the uncached answer."""
+    baseline = run_all(Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY))
+
+    cached = Db2Graph.open(
+        paper_db, HEALTHCARE_TINY_OVERLAY, cache=True, retry_policy=no_sleep_retry(2)
+    )
+    injector = FaultInjector(seed=3)
+    injector.add("lock_timeout", table="Patient", times=None)  # never heals
+    paper_db.fault_injector = injector
+    try:
+        with pytest.raises(LockTimeoutError):
+            cached.traversal().V().hasLabel("patient").toList()
+        entries_after_failure = cached.cache.entry_counts()
+        # The Patient statement kept failing — nothing was installed
+        # for it (other tables may have cached fine before the raise).
+        with pytest.raises(LockTimeoutError):
+            cached.traversal().V().hasLabel("patient").toList()
+        assert cached.cache.entry_counts() == entries_after_failure
+    finally:
+        paper_db.fault_injector = None
+    assert run_all(cached) == baseline
+
+
+def test_probabilistic_fault_storm_with_dml_interleaved(paper_db):
+    """Random transient faults while committed DML interleaves with
+    cached reads: every read must reflect the committed state at that
+    point, fault or no fault."""
+    # Open the cached engine last: Db2Graph.open rebinds the database's
+    # observability sinks, and the invalidation counter asserted below
+    # must land on the cached engine's registry.
+    reference = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+    cached = Db2Graph.open(
+        paper_db, HEALTHCARE_TINY_OVERLAY, cache=True, retry_policy=no_sleep_retry(5)
+    )
+    injector = FaultInjector(seed=42)
+    injector.add("lock_timeout", probability=0.15, times=None)
+    paper_db.fault_injector = injector
+    try:
+        for step in range(8):
+            paper_db.fault_injector = None
+            expected = run_all(reference)
+            paper_db.fault_injector = injector
+            assert run_all(cached) == expected, f"step {step} diverged"
+            paper_db.fault_injector = None
+            paper_db.execute(
+                "INSERT INTO Patient VALUES (?, 'chaos', 'addr', 1)", [500 + step]
+            )
+            paper_db.execute(
+                "INSERT INTO HasDisease VALUES (?, 10, 'dx')", [500 + step]
+            )
+            paper_db.fault_injector = injector
+    finally:
+        paper_db.fault_injector = None
+    assert cached.stats()["cache_invalidations"] > 0
+
+
+def test_fault_during_transaction_bypass_stays_coherent(paper_db):
+    """Faults inside an explicit transaction hit the bypass path; after
+    rollback the cache still answers from pre-transaction state."""
+    cached = Db2Graph.open(
+        paper_db, HEALTHCARE_TINY_OVERLAY, cache=True, retry_policy=no_sleep_retry(3)
+    )
+    baseline = run_all(cached)  # warm
+    conn = cached.connection
+    injector = FaultInjector(seed=7)
+    injector.add("error", table="HasDisease", times=1)
+    conn.begin()
+    paper_db.fault_injector = injector
+    try:
+        conn.execute("INSERT INTO Patient VALUES (600, 'tx', 'addr', 1)")
+        run_all(cached)  # reads bypass; one may retry through the fault
+    finally:
+        paper_db.fault_injector = None
+        conn.rollback()
+    assert cached.stats()["cache_bypass_txn"] > 0
+    assert run_all(cached) == baseline

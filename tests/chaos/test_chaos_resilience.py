@@ -55,12 +55,19 @@ QUERIES = [
 
 class TestRetriesMaskFaults:
     def test_identical_results_under_injected_transient_faults(self, paper_db):
-        graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY)
+        # cache=False on both engines: the at_statement fault below needs
+        # deterministic statement numbering, and read-cache hits
+        # (REPRO_CACHE_ENABLED=1 CI leg) compress it.  The cached variant
+        # of this test lives in tests/chaos/test_cache_chaos.py.
+        graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, cache=False)
         baseline = [query(graph.traversal()) for query in QUERIES]
         graph.reset_stats()
 
         chaotic = Db2Graph.open(
-            paper_db, HEALTHCARE_TINY_OVERLAY, retry_policy=no_sleep_retry(3)
+            paper_db,
+            HEALTHCARE_TINY_OVERLAY,
+            retry_policy=no_sleep_retry(3),
+            cache=False,
         )
         injector = FaultInjector(seed=11)
         # transient faults on both hot tables, plus a one-shot at a
@@ -272,8 +279,10 @@ class TestChaosUnderParallelism:
         not started, and reports an accurate partial-progress payload."""
         from repro.obs import tracing
 
+        # cache=False: the budget-trip arithmetic compares exact issued
+        # statement counts, which read-cache hits would skip.
         graph = Db2Graph.open(
-            paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=2
+            paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=2, cache=False
         )
         # Fault-free statement count of the same two-hop query: the
         # cancelled run must issue strictly fewer.

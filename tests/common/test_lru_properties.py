@@ -1,0 +1,173 @@
+"""Property tests for :class:`repro.common.lru.LruCache`.
+
+These complement ``test_lru.py``'s capacity/recency properties with a
+full model-based check (every op compared against a reference
+OrderedDict), the eviction-report contract of ``put`` that the graph
+read cache's eviction counters rely on, exact hit/miss accounting, and
+a multi-thread ``get_or_load`` stampede.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.lru import LruCache
+
+# op := ("put", key, value) | ("get", key) | ("invalidate", key)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 15), st.integers()),
+        st.tuples(st.just("get"), st.integers(0, 15)),
+        st.tuples(st.just("invalidate"), st.integers(0, 15)),
+    ),
+    max_size=300,
+)
+
+
+@given(_ops, st.integers(1, 6))
+def test_property_matches_reference_model(ops, capacity):
+    """The cache agrees with a straight-line OrderedDict model on
+    residency, values, recency order, and which keys each put evicts."""
+    cache = LruCache(capacity=capacity)
+    model: OrderedDict = OrderedDict()
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            if key in model:
+                model.move_to_end(key)
+            model[key] = value
+            expected_evicted = []
+            while len(model) > capacity:
+                victim, _ = model.popitem(last=False)
+                expected_evicted.append(victim)
+            assert cache.put(key, value) == expected_evicted
+        elif op[0] == "get":
+            _, key = op
+            expected = model.get(key)
+            if key in model:
+                model.move_to_end(key)
+            assert cache.get(key) == expected
+        else:
+            _, key = op
+            model.pop(key, None)
+            cache.invalidate(key)
+        assert cache.keys() == list(model.keys())
+
+
+@given(_ops, st.integers(1, 6))
+def test_property_eviction_accounting_is_exact(ops, capacity):
+    """``evictions`` equals the total number of keys ever reported
+    evicted by ``put``, and a reported victim is no longer resident."""
+    cache = LruCache(capacity=capacity)
+    reported = 0
+    for op in ops:
+        if op[0] != "put":
+            continue
+        _, key, value = op
+        evicted = cache.put(key, value)
+        reported += len(evicted)
+        for victim in evicted:
+            assert victim not in cache
+        assert len(set(evicted)) == len(evicted)
+    assert cache.evictions == reported
+
+
+@given(_ops)
+def test_property_hit_miss_accounting(ops):
+    """hits + misses == number of reads; hits are exactly the reads of
+    then-resident keys."""
+    cache = LruCache(capacity=8)
+    resident: OrderedDict = OrderedDict()
+    expected_hits = expected_misses = 0
+    for op in ops:
+        if op[0] == "put":
+            _, key, value = op
+            if key in resident:
+                resident.move_to_end(key)
+            resident[key] = value
+            while len(resident) > 8:
+                resident.popitem(last=False)
+            cache.put(key, value)
+        elif op[0] == "get":
+            _, key = op
+            if key in resident:
+                expected_hits += 1
+                resident.move_to_end(key)
+            else:
+                expected_misses += 1
+            cache.get(key)
+        else:
+            _, key = op
+            resident.pop(key, None)
+            cache.invalidate(key)
+    assert cache.hits == expected_hits
+    assert cache.misses == expected_misses
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=100))
+def test_property_get_or_load_loads_each_resident_key_once(keys):
+    cache = LruCache(capacity=None)
+    loads: list[int] = []
+
+    def loader(key):
+        loads.append(key)
+        return key * 10
+
+    for key in keys:
+        assert cache.get_or_load(key, loader) == key * 10
+    assert sorted(loads) == sorted(set(keys))
+    assert cache.hits == len(keys) - len(set(keys))
+    assert cache.misses == len(set(keys))
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 2**32 - 1))
+def test_property_get_or_load_stampede_loads_once_per_key(seed):
+    """8 threads hammer the same key set through ``get_or_load``; the
+    loader must run exactly once per key (the loader runs inside the
+    stripe lock), every thread must observe the loaded value, and the
+    hit/miss tally must equal the number of lookups — nothing lost to
+    races."""
+    import random
+
+    rng = random.Random(seed)
+    universe = list(range(25))
+    n_threads, rounds = 8, 60
+    cache = LruCache(capacity=None)
+    load_counts: dict[int, int] = {}
+    count_lock = threading.Lock()
+
+    def loader(key):
+        with count_lock:
+            load_counts[key] = load_counts.get(key, 0) + 1
+        return key * 7
+
+    schedules = [
+        [rng.choice(universe) for _ in range(rounds)] for _ in range(n_threads)
+    ]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(schedule):
+        try:
+            barrier.wait()
+            for key in schedule:
+                assert cache.get_or_load(key, loader) == key * 7
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in schedules]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+        assert not t.is_alive(), "stampede thread wedged"
+    assert not errors, errors[:3]
+    touched = {key for schedule in schedules for key in schedule}
+    assert set(load_counts) == touched
+    assert all(count == 1 for count in load_counts.values()), load_counts
+    assert cache.misses == len(touched)
+    assert cache.hits == n_threads * rounds - len(touched)

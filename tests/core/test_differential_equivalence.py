@@ -110,7 +110,11 @@ PARALLEL_MATRIX = [
 def engines():
     memory, db, overlay = build_dataset()
     graphs = {
-        name: Db2Graph.open(db, overlay, optimized=optimized, runtime_opts=opts)
+        # cache=False: this module counts sql.issued events exactly;
+        # read-cache hits (REPRO_CACHE_ENABLED=1 CI leg) skip statements.
+        name: Db2Graph.open(
+            db, overlay, optimized=optimized, runtime_opts=opts, cache=False
+        )
         for name, optimized, opts in CONFIG_GRID
     }
     return GraphTraversalSource(memory), graphs
@@ -121,7 +125,12 @@ def matrix_engines():
     memory, db, overlay = build_dataset()
     graphs = {
         name: Db2Graph.open(
-            db, overlay, optimized=optimized, parallelism=workers, batch_size=batch
+            db,
+            overlay,
+            optimized=optimized,
+            parallelism=workers,
+            batch_size=batch,
+            cache=False,
         )
         for name, workers, batch, optimized in PARALLEL_MATRIX
     }

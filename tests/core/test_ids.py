@@ -133,3 +133,75 @@ class TestImplicitEdgeId:
         src, dst = self.prefixed.decode(rendered)
         assert src == f"patient::{a}"
         assert dst == str(b)
+
+
+class TestConstructorContract:
+    def test_no_parts_rejected(self):
+        with pytest.raises(CatalogError):
+            IdTemplate([])
+
+    def test_constant_only_parts_rejected(self):
+        from repro.core.ids import ConstPart
+
+        with pytest.raises(CatalogError):
+            IdTemplate([ConstPart("x"), ConstPart("y")])
+
+    def test_parse_strips_whitespace(self):
+        template = IdTemplate.parse(" 'p' :: a ")
+        assert template.constants == ("p",)
+        assert template.columns == ("a",)
+        assert template.spec() == "'p'::a"
+
+    def test_repr_shows_spec(self):
+        assert repr(IdTemplate.parse("'p'::a")) == "IdTemplate('p'::a)"
+
+    def test_hashable_and_usable_as_dict_key(self):
+        a1 = IdTemplate.parse("'p'::a")
+        a2 = IdTemplate.parse("'p'::a")
+        b = IdTemplate.parse("'q'::a")
+        assert hash(a1) == hash(a2)
+        assert len({a1, a2, b}) == 2
+        assert {a1: "first"}[a2] == "first"
+
+    def test_prefix_none_when_leading_part_is_column(self):
+        assert IdTemplate.parse("a::'mid'::b").prefix is None
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    lambda s: f"'{s}'",
+                    st.text(alphabet="abcxyz", min_size=1, max_size=4),
+                ),
+                st.text(alphabet="abcxyz", min_size=1, max_size=4),
+            ),
+            min_size=1,
+            max_size=4,
+        ).filter(lambda parts: any(not p.startswith("'") for p in parts))
+    )
+    def test_property_spec_parse_roundtrip(self, parts):
+        spec = "::".join(parts)
+        template = IdTemplate.parse(spec)
+        assert IdTemplate.parse(template.spec()) == template
+
+
+class TestDecodeEdgeCases:
+    def test_multi_column_constants_ignored_when_naive(self):
+        template = IdTemplate.parse("'x'::a::'y'::b")
+        assert template.decode("x::1::WRONG::2", strict=True) is None
+        assert template.decode("x::1::WRONG::2", strict=False) == {"a": "1", "b": "2"}
+
+    def test_composite_src_and_dst_implicit_edge(self):
+        edge = ImplicitEdgeId(
+            IdTemplate.parse("'s'::a::b"), "link", IdTemplate.parse("'d'::c::e")
+        )
+        rendered = edge.render({"a": 1, "b": 2, "c": 3, "e": 4})
+        assert rendered == "s::1::2::link::d::3::4"
+        assert edge.decode(rendered) == ("s::1::2", "d::3::4")
+
+    def test_implicit_edge_render_null_endpoint_raises(self):
+        edge = ImplicitEdgeId(
+            IdTemplate.parse("src"), "knows", IdTemplate.parse("dst")
+        )
+        with pytest.raises(CatalogError):
+            edge.render({"src": None, "dst": 2})

@@ -172,9 +172,16 @@ class TestSqlEffects:
     def test_optimized_vs_not_sql_counts(self, paper_graph):
         from repro.core import Db2Graph
 
-        optimized = paper_graph
+        # cache=False on both: this asserts exact statement counts, and
+        # read-cache hits (REPRO_CACHE_ENABLED=1 CI leg) skip statements.
+        optimized = Db2Graph.open(
+            paper_graph.connection, paper_graph.topology.config, cache=False
+        )
         unoptimized = Db2Graph.open(
-            paper_graph.connection, paper_graph.topology.config, optimized=False
+            paper_graph.connection,
+            paper_graph.topology.config,
+            optimized=False,
+            cache=False,
         )
         for build in (
             lambda g: g.V("patient::1").outE("hasDisease").count(),

@@ -189,3 +189,79 @@ class TestViewsInOverlay:
     def test_describe_mentions_tables(self, topology):
         text = topology.describe()
         assert "Patient" in text and "HasDisease" in text
+
+
+class TestRelationInfo:
+    def test_has_column_and_canonical_are_case_insensitive(self, topology):
+        relation = topology.vertex_tables[0].relation
+        assert relation.has_column("PATIENTID")
+        assert relation.canonical("patientid") == "patientID"
+
+    def test_canonical_unknown_column_raises(self, topology):
+        relation = topology.vertex_tables[0].relation
+        with pytest.raises(OverlayError):
+            relation.canonical("noSuchColumn")
+
+    def test_coerce_typed_untyped_and_null(self, topology):
+        relation = topology.vertex_tables[0].relation
+        assert relation.coerce("patientID", "7") == 7
+        assert relation.coerce("patientID", None) is None
+        # unknown column -> no type information -> passthrough
+        assert relation.coerce("ghost", "7") == "7"
+
+
+class TestColumnSets:
+    def test_required_columns_deduplicate_id_and_property_overlap(self, topology):
+        # patientID is both the id column and (by default) a property —
+        # the SELECT list must name it exactly once.
+        patient = topology.vertex_tables[0]
+        columns = patient.required_columns()
+        assert len(columns) == len({c.lower() for c in columns})
+        assert "patientID" in columns
+
+    def test_edge_required_columns_cover_endpoints_and_label(self, topology):
+        ontology = topology.edge_tables[0]  # column label, explicit id
+        columns = {c.lower() for c in ontology.required_columns()}
+        assert {"sourceid", "targetid", "type"} <= columns
+
+    def test_edge_required_columns_projection_still_fetches_endpoints(self, topology):
+        has_disease = topology.edge_tables[1]
+        columns = {c.lower() for c in has_disease.required_columns([])}
+        assert {"patientid", "diseaseid"} <= columns
+        assert "description" not in columns
+
+    def test_has_property_is_case_insensitive(self, topology):
+        disease = topology.vertex_tables[1]
+        assert disease.has_property("CONCEPTCODE")
+        assert not disease.has_property("description")
+
+
+class TestLookupEdgeCases:
+    def test_vertex_table_unknown_name_raises(self, topology):
+        with pytest.raises(OverlayError):
+            topology.vertex_table("Missing")
+
+    def test_vertex_table_lookup_is_case_insensitive(self, topology):
+        assert topology.vertex_table("PATIENT").table_name == "Patient"
+
+    def test_multi_property_lookup_requires_all(self, topology):
+        both = topology.vertex_tables_with_property(["conceptCode", "conceptName"])
+        assert [v.table_name for v in both] == ["Disease"]
+        assert topology.vertex_tables_with_property(["conceptCode", "name"]) == []
+
+    def test_label_lookup_with_multiple_labels(self, topology):
+        tables = topology.vertex_tables_with_label(["patient", "disease"])
+        assert [v.table_name for v in tables] == ["Patient", "Disease"]
+
+    def test_prefix_pinning_ignores_unprefixed_config(self, paper_db):
+        # Disease ids are plain ints; even an id shaped like a prefix
+        # must not pin to a table that didn't declare prefixed_id.
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        topology = Topology(paper_db, config)
+        assert topology.vertex_table_for_prefix("disease::1") is None
+
+    def test_row_label_from_column_stringifies(self, paper_db):
+        config = OverlayConfig.from_dict(HEALTHCARE_TINY_OVERLAY)
+        topology = Topology(paper_db, config)
+        ontology = topology.edge_tables[0]
+        assert ontology.row_label({"sourceid": 1, "targetid": 2, "type": 99}) == "99"

@@ -35,6 +35,7 @@ def assert_counters_match_events(graph, recorder):
     assert stats["lazy_vertices"] == recorder.count(tracing.VERTEX_LAZY)
     assert_parallel_counters_match_events(graph, recorder)
     assert_resilience_counters_match_events(graph, recorder)
+    assert_cache_counters_match_events(graph, recorder)
 
 
 def assert_parallel_counters_match_events(graph, recorder):
@@ -59,6 +60,18 @@ def assert_resilience_counters_match_events(graph, recorder):
     assert stats["retry_exhausted"] == recorder.count(tracing.RETRY_EXHAUSTED)
     assert stats["budget_exceeded"] == recorder.count(tracing.BUDGET_EXCEEDED)
     assert stats["faults_injected"] == recorder.count(tracing.FAULT_INJECTED)
+
+
+def assert_cache_counters_match_events(graph, recorder):
+    """The graph read cache keeps the 1:1 invariant too — with the
+    cache off every counter and event count is identically zero, so
+    the same assertions pin both configurations."""
+    stats = graph.stats()
+    assert stats["cache_hits"] == recorder.count(tracing.CACHE_HIT)
+    assert stats["cache_misses"] == recorder.count(tracing.CACHE_MISS)
+    assert stats["cache_evictions"] == recorder.count(tracing.CACHE_EVICT)
+    assert stats["cache_invalidations"] == recorder.count(tracing.CACHE_INVALIDATE)
+    assert stats["cache_bypass_txn"] == recorder.count(tracing.CACHE_BYPASS_TXN)
 
 
 def test_fixed_label_elimination_counters_match_events(traced):
@@ -192,6 +205,44 @@ def test_deadlock_counters_match_events(paper_graph):
     assert stats["lock_waits"] >= 2
     assert_resilience_counters_match_events(graph, recorder)
     graph.disable_tracing()
+
+
+def test_cache_counters_match_events(paper_db):
+    """With the read cache on, hits/misses/invalidations/bypasses all
+    reconcile 1:1 with their trace events across repeated traversals,
+    DML-driven invalidation, and an explicit-transaction bypass."""
+    from repro.core import Db2Graph
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, cache=True)
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+    try:
+        g = graph.traversal()
+        g.V().hasLabel("patient").out("hasDisease").toList()
+        g.V().hasLabel("patient").out("hasDisease").toList()  # hits
+        stats = graph.stats()
+        assert stats["cache_hits"] > 0
+        assert stats["cache_misses"] > 0
+
+        # DML commit bumps epochs: one invalidation counter increment
+        # and one cache.invalidate event per written table.
+        paper_db.execute("INSERT INTO Patient VALUES (80, 'new', 'addr', 1)")
+        assert graph.stats()["cache_invalidations"] == 1
+
+        # An explicit transaction bypasses lookup and fill.
+        conn = graph.connection
+        conn.begin()
+        try:
+            graph.traversal().V().hasLabel("patient").toList()
+            assert graph.stats()["cache_bypass_txn"] > 0
+        finally:
+            conn.rollback()
+
+        assert_counters_match_events(graph, recorder)
+    finally:
+        graph.disable_tracing()
+        graph.close()
 
 
 def test_reset_stats_zeroes_everything(paper_graph):
@@ -354,7 +405,11 @@ def test_prepared_cache_counters_exact_under_hammer(paper_db):
     from repro.core import Db2Graph
     from tests.conftest import HEALTHCARE_TINY_OVERLAY
 
-    graph = Db2Graph.open(paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=8)
+    # cache=False: the hammer arithmetic requires every round to issue
+    # SQL; read-cache hits would serve rounds without a statement.
+    graph = Db2Graph.open(
+        paper_db, HEALTHCARE_TINY_OVERLAY, parallelism=4, batch_size=8, cache=False
+    )
     # Prewarm so the hammer sees a fully-populated cache: every lookup
     # after this is a hit and the arithmetic below is exact.
     graph.traversal().V().hasLabel("patient").toList()

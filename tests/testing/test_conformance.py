@@ -15,12 +15,18 @@ from repro.testing import (
 
 
 def test_corner_cells_cover_the_matrix():
-    assert len(CELL_FULL_MATRIX) == 16
+    assert len(CELL_FULL_MATRIX) == 32
     assert {(c.optimized, c.runtime_on) for c in CELL_CORNERS} == {
         (True, True),
         (False, False),
     }
     assert {(c.parallelism, c.batch_size) for c in CELL_CORNERS} == {(1, 1), (4, 64)}
+    # Both shape corners are also exercised with the read cache on.
+    assert {(c.parallelism, c.batch_size) for c in CELL_CORNERS if c.cache_on} == {
+        (1, 1),
+        (4, 64),
+    }
+    assert {c.cache_on for c in CELL_FULL_MATRIX} == {False, True}
 
 
 def test_seed_sweep_is_divergence_free():
@@ -42,6 +48,31 @@ def test_full_matrix_on_one_seed():
 def test_cell_names_are_stable():
     assert Cell(True, True, 1, 1).name == "opt/rt/p1/b1"
     assert Cell(False, False, 4, 64).name == "noopt/nort/p4/b64"
+    assert Cell(True, True, 4, 64, cache_on=True).name == "opt/rt/p4/b64/cache"
+
+
+def test_cached_cells_replay_dml_interleaved_workloads():
+    """A cache-on engine replays the same generated workloads — chains
+    interleaved with transactional DML, addV/addE, and rollbacks — and
+    must stay multiset-identical to the oracle throughout.  Run the
+    cached cells side-by-side with one uncached reference so a
+    coherence bug shrinks like any other divergence."""
+    cells = (
+        Cell(True, True, 1, 1),
+        Cell(True, True, 1, 1, cache_on=True),
+        Cell(True, True, 4, 64, cache_on=True),
+    )
+    checked = 0
+    for seed in range(15):
+        try:
+            divergence = run_scenario(
+                generate_scenario(seed), cells=cells, check_sql_counts=False
+            )
+        except ScenarioInvalid:
+            continue
+        assert divergence is None, divergence.summary()
+        checked += 1
+    assert checked >= 10
 
 
 def test_sql_monotonicity_is_checked():
