@@ -1,0 +1,232 @@
+"""Durability cost and recovery speed (DESIGN.md "Durability &
+recovery").
+
+Not a paper figure — the paper inherits Db2's recovery (§1, §7) — but
+the reproduction's own WAL + checkpoint subsystem has the same two
+knobs worth quantifying:
+
+* **Commit-path overhead** — the same LinkBench-style write mix run
+  with WAL logging off vs on (fsync disabled, as in the crash
+  simulator: an in-process crash cannot lose the OS page cache).  The
+  gap is the pure cost of encoding + appending + flushing redo groups.
+* **Recovery wall-clock vs log length** — crash a durable database
+  after W committed write transactions and time ``Database.open``.
+  Recovery replays the committed WAL suffix, so its cost should grow
+  with W — and collapse back down when periodic checkpoints
+  (``checkpoint_every``) truncate the suffix.
+
+Recorded per configuration: wall-clock, WAL records replayed, and rows
+recovered (all from the RecoveryReport, so deterministic).  Acceptance
+bars: WAL-on throughput stays within 5x of WAL-off, recovery time
+grows with WAL length, and checkpointing beats the no-checkpoint
+recovery on the longest log.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.durability import DurabilityConfig
+from repro.relational.database import Database
+
+N_NODES = 400
+WRITE_COUNTS = [250, 1000, 4000]
+CHECKPOINT_EVERY = 200  # commits between auto checkpoints in the ckpt run
+
+_THROUGHPUT: dict[str, dict[str, float]] = {}
+_RECOVERY: list[dict[str, float]] = []
+
+
+def _install_base(db: Database) -> None:
+    db.execute(
+        "CREATE TABLE nodetable_0 ("
+        "id BIGINT PRIMARY KEY, version INT, time DOUBLE, data VARCHAR)"
+    )
+    db.execute(
+        "CREATE TABLE linktable_0 ("
+        "id1 BIGINT, id2 BIGINT, visibility INT, data VARCHAR, "
+        "time DOUBLE, version INT)"
+    )
+    db.execute("CREATE INDEX idx_linktable_0_id1 ON linktable_0 (id1)")
+    connection = db.connect()
+    connection.insert_rows(
+        "nodetable_0", [(i, 1, float(i), f"node-{i}") for i in range(1, N_NODES + 1)]
+    )
+
+
+def _write_mix(db: Database, writes: int, seed: int = 7) -> None:
+    """LinkBench-ish write mix: mostly addLink, some node updates and
+    inserts, a few link deletes.  One autocommit statement per write —
+    each is one WAL group flush when durability is on."""
+    rng = random.Random(seed)
+    connection = db.connect()
+    next_node = N_NODES + 1
+    for i in range(writes):
+        roll = rng.random()
+        if roll < 0.6:  # addLink
+            id1, id2 = rng.randint(1, N_NODES), rng.randint(1, N_NODES)
+            connection.execute(
+                "INSERT INTO linktable_0 VALUES (?, ?, 1, 'd', ?, 1)",
+                [id1, id2, float(i)],
+            )
+        elif roll < 0.8:  # updateNode
+            connection.execute(
+                "UPDATE nodetable_0 SET version = version + 1 WHERE id = ?",
+                [rng.randint(1, N_NODES)],
+            )
+        elif roll < 0.9:  # addNode
+            connection.execute(
+                "INSERT INTO nodetable_0 VALUES (?, 1, ?, 'new')",
+                [next_node, float(i)],
+            )
+            next_node += 1
+        else:  # deleteLink
+            connection.execute(
+                "DELETE FROM linktable_0 WHERE id1 = ? AND time < ?",
+                [rng.randint(1, N_NODES), float(i)],
+            )
+
+
+# -- commit-path overhead ------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["wal-off", "wal-on"])
+def test_commit_throughput(benchmark, tmp_path_factory, mode):
+    writes = 500
+
+    def run_once():
+        if mode == "wal-off":
+            db = Database(name="bench", durability=False)
+        else:
+            wal_dir = tmp_path_factory.mktemp("walbench")
+            db = Database(
+                name="bench",
+                durability=DurabilityConfig(dir=wal_dir, fsync=False),
+            )
+        _install_base(db)
+        start = time.perf_counter()
+        _write_mix(db, writes)
+        elapsed = time.perf_counter() - start
+        db.close()
+        timings.append(elapsed)
+        return elapsed
+
+    timings: list[float] = []
+    benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    best = min(timings)
+    _THROUGHPUT[mode] = {"seconds": best, "writes_per_s": writes / best}
+
+
+# -- recovery wall-clock vs WAL length ----------------------------------------
+
+
+def _build_crashed_dir(base: Path, writes: int, checkpoint_every: int) -> Path:
+    """Run the write mix on a durable database, then hard-crash it
+    (drop the instance without a clean close), leaving the log dir."""
+    wal_dir = base / "wal"
+    db = Database(
+        name="bench",
+        durability=DurabilityConfig(
+            dir=wal_dir, fsync=False, checkpoint_every=checkpoint_every
+        ),
+    )
+    _install_base(db)
+    _write_mix(db, writes)
+    db.durability.dead = True  # simulated power cut: no final flush
+    return wal_dir
+
+
+@pytest.mark.parametrize(
+    "writes,checkpoint_every",
+    [(w, 0) for w in WRITE_COUNTS] + [(WRITE_COUNTS[-1], CHECKPOINT_EVERY)],
+    ids=[f"w{w}-nockpt" for w in WRITE_COUNTS] + [f"w{WRITE_COUNTS[-1]}-ckpt"],
+)
+def test_recovery_time(benchmark, tmp_path_factory, writes, checkpoint_every):
+    base = tmp_path_factory.mktemp(f"recovery-{writes}-{checkpoint_every}")
+    crashed = _build_crashed_dir(base, writes, checkpoint_every)
+
+    timings: list[float] = []
+    reports = []
+    copies = iter(range(10**6))
+
+    def run_once():
+        # Recovery rotates the log (new checkpoint + prune), so each
+        # round replays a fresh copy of the crashed directory.
+        work = base / f"copy-{next(copies)}"
+        shutil.copytree(crashed, work)
+        start = time.perf_counter()
+        db = Database.open(DurabilityConfig(dir=work, fsync=False))
+        elapsed = time.perf_counter() - start
+        timings.append(elapsed)
+        reports.append(db.recovery_report)
+        rows = db.execute("SELECT COUNT(*) FROM nodetable_0").rows[0][0]
+        db.close()
+        shutil.rmtree(work, ignore_errors=True)
+        return rows
+
+    rows = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    report = reports[-1]
+    _RECOVERY.append(
+        {
+            "writes": writes,
+            "checkpoint_every": checkpoint_every,
+            "seconds": min(timings),
+            "replayed": report.replayed_txns + report.replayed_ddl,
+            "node_rows": rows,
+        }
+    )
+
+
+def test_recovery_report(collector):
+    assert set(_THROUGHPUT) == {"wal-off", "wal-on"}
+    assert len(_RECOVERY) == len(WRITE_COUNTS) + 1
+
+    throughput_rows = [
+        [mode, f"{r['seconds'] * 1e3:.1f}", f"{r['writes_per_s']:.0f}"]
+        for mode, r in _THROUGHPUT.items()
+    ]
+    recovery_rows = [
+        [
+            int(r["writes"]),
+            int(r["checkpoint_every"]) or "-",
+            f"{r['seconds'] * 1e3:.1f}",
+            int(r["replayed"]),
+            int(r["node_rows"]),
+        ]
+        for r in _RECOVERY
+    ]
+    collector.add(
+        "recovery",
+        format_table(
+            ["config", "ms / 500 writes", "writes/s"],
+            throughput_rows,
+            title="Commit-path cost of WAL logging (fsync off, LinkBench-style mix)",
+        ),
+    )
+    collector.add(
+        "recovery",
+        format_table(
+            ["writes", "ckpt every", "recovery ms", "txns replayed", "node rows"],
+            recovery_rows,
+            title="Crash-recovery wall-clock vs WAL length and checkpoint interval",
+        ),
+    )
+
+    # WAL-on commits stay within 5x of pure in-memory commits.
+    assert _THROUGHPUT["wal-on"]["seconds"] < 5 * _THROUGHPUT["wal-off"]["seconds"]
+    # Longer logs replay more transactions...
+    no_ckpt = [r for r in _RECOVERY if r["checkpoint_every"] == 0]
+    assert [r["replayed"] for r in no_ckpt] == sorted(
+        r["replayed"] for r in no_ckpt
+    )
+    # ...and checkpoints truncate the suffix: far fewer txns to replay
+    # than the same workload without checkpoints.
+    with_ckpt = next(r for r in _RECOVERY if r["checkpoint_every"])
+    longest = no_ckpt[-1]
+    assert with_ckpt["replayed"] * 4 <= longest["replayed"]

@@ -86,6 +86,7 @@ class Db2Graph:
         parallelism: int | None = None,
         batch_size: int | None = None,
         cache: CacheConfig | bool | None = None,
+        durability: Any = None,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
 
@@ -128,11 +129,24 @@ class Db2Graph:
         bumped on DML commit, so graph reads stay coherent with
         relational writes; lookups inside an explicit transaction
         bypass the cache for read-your-writes.
+
+        ``durability`` (a directory path or
+        :class:`~repro.durability.DurabilityConfig`) attaches WAL
+        logging to the underlying database if it has none yet; a
+        database that is already durable — from ``Database.open(...)``
+        or the ``REPRO_WAL_DIR`` environment knob consulted at
+        ``Database()`` construction — is left untouched.
         """
         if isinstance(database, Connection):
             connection = database
         else:
             connection = database.connect(user)
+        if durability not in (None, False) and connection.database.durability is None:
+            from ..durability.config import resolve_durability_config
+
+            connection.database.attach_durability(
+                resolve_durability_config(durability, connection.database.name)
+            )
         if isinstance(overlay, (str, Path)):
             config = OverlayConfig.from_file(overlay)
         elif isinstance(overlay, dict):
@@ -303,6 +317,12 @@ class Db2Graph:
             "retry_exhausted": self.registry.counter(M.RETRY_EXHAUSTED).value,
             "budget_exceeded": self.registry.counter(M.BUDGET_EXCEEDED).value,
             "faults_injected": self.registry.counter(M.FAULTS_INJECTED).value,
+            # durability (repro.durability)
+            "wal_appends": self.registry.counter(M.WAL_APPENDS).value,
+            "wal_flushes": self.registry.counter(M.WAL_FLUSHES).value,
+            "checkpoints_written": self.registry.counter(M.CHECKPOINTS_WRITTEN).value,
+            "recovery_replayed": self.registry.counter(M.RECOVERY_REPLAYED).value,
+            "recovery_discarded": self.registry.counter(M.RECOVERY_DISCARDED).value,
         }
 
     def metrics(self) -> dict[str, Any]:

@@ -1,0 +1,29 @@
+"""Durability-layer error types."""
+
+from __future__ import annotations
+
+from ..relational.errors import DatabaseError
+
+
+class DurabilityError(DatabaseError):
+    """Base class for WAL / checkpoint / recovery failures."""
+
+
+class CodecError(DurabilityError):
+    """A value or record cannot be encoded (unsupported type) or a
+    payload cannot be decoded (corruption that passed the checksum,
+    which should never happen for frames the WAL itself wrote)."""
+
+
+class TornLogError(DurabilityError):
+    """A frame header or payload is incomplete or fails its checksum.
+
+    Raised by the strict decode paths; the recovery reader treats the
+    condition as the expected end-of-log (crash mid-append) and
+    truncates instead of raising.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """The on-disk state cannot be recovered (no valid checkpoint where
+    one is required, or a replay step contradicts the checkpoint)."""

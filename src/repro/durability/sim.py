@@ -1,0 +1,97 @@
+"""In-process crash simulation: kill a durable database, reopen it.
+
+The harness owns one log directory across the whole crash/reopen
+cycle::
+
+    sim = SimulatedCrash()
+    db = sim.open()
+    ... run workload ...
+    sim.arm_crash("wal.mid_record", occurrence=3)
+    with pytest.raises(SimulatedCrashError):
+        ... the doomed commit ...
+    recovered = sim.reopen()        # crash-recovers from disk
+
+"Killing" the process is simulated by marking the durability manager
+dead (every later WAL/checkpoint call raises) and dropping the
+database object: nothing that lived only in memory — buffered ops,
+open transactions, lock state, caches — survives into the reopened
+instance, exactly as with a real process death.  ``fsync`` defaults to
+off because an in-process crash cannot lose the OS page cache.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Callable
+
+from ..resilience.faults import FaultInjector, SimulatedCrashError
+from .config import DurabilityConfig
+
+
+class SimulatedCrash:
+    def __init__(
+        self,
+        dir: str | None = None,
+        fsync: bool | Callable[[int], None] = False,
+        checkpoint_every: int = 0,
+        seed: int = 0,
+    ):
+        self.dir = dir or tempfile.mkdtemp(prefix="crash-sim-")
+        self.fsync = fsync
+        self.checkpoint_every = checkpoint_every
+        self.seed = seed
+        self.db: Any = None
+        self.injector: FaultInjector | None = None
+        self.crashes = 0
+
+    def config(self) -> DurabilityConfig:
+        return DurabilityConfig(
+            dir=self.dir, fsync=self.fsync, checkpoint_every=self.checkpoint_every
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self, **db_kwargs: Any) -> Any:
+        """Open (or crash-recover) the database from the log directory.
+
+        A fresh :class:`FaultInjector` installs on every open so crash
+        points armed against a previous incarnation never leak into the
+        recovered one.
+        """
+        from ..relational.database import Database
+
+        if self.db is not None:
+            raise RuntimeError("database already open; call crash() first")
+        self.db = Database.open(self.config(), **db_kwargs)
+        self.injector = FaultInjector(seed=self.seed)
+        self.db.fault_injector = self.injector
+        return self.db
+
+    def arm_crash(self, point: str, occurrence: int = 1) -> None:
+        if self.injector is None:
+            raise RuntimeError("no open database to arm")
+        self.injector.add_crash(point, occurrence=occurrence)
+
+    def crash(self) -> None:
+        """Abandon the in-memory instance (hard kill).
+
+        Idempotent with crash points: if a fired point already marked
+        the manager dead this just drops the reference.
+        """
+        if self.db is not None and self.db.durability is not None:
+            self.db.durability.dead = True
+        self.db = None
+        self.injector = None
+        self.crashes += 1
+
+    def reopen(self, **db_kwargs: Any) -> Any:
+        self.crash()
+        return self.open(**db_kwargs)
+
+    def run_to_crash(self, fn: Callable[[Any], None]) -> bool:
+        """Run ``fn(db)``; returns True if a simulated crash fired."""
+        try:
+            fn(self.db)
+        except SimulatedCrashError:
+            return True
+        return False

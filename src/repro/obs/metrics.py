@@ -199,6 +199,12 @@ CACHE_MISSES = "cache.misses"
 CACHE_EVICTIONS = "cache.evictions"
 CACHE_INVALIDATIONS = "cache.invalidations"
 CACHE_BYPASS_TXN = "cache.bypass_txn"
+# Durability (repro.durability) — each mirrors a 1:1 trace event.
+WAL_APPENDS = "wal.appends"
+WAL_FLUSHES = "wal.flushes"
+CHECKPOINTS_WRITTEN = "checkpoint.written"
+RECOVERY_REPLAYED = "recovery.replayed"
+RECOVERY_DISCARDED = "recovery.discarded"
 
 
 def eliminated_counter_name(rule: str) -> str:

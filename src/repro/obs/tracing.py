@@ -56,6 +56,17 @@ event name             attributes
 ``cache.bypass.txn``   ``segment``, ``table`` — a lookup inside an active
                        explicit transaction skipped the cache
                        (read-your-writes / snapshot isolation)
+``wal.append``         ``kind`` (record kind), ``table`` — one record
+                       buffered for the write-ahead log
+``wal.flush``          ``segment``, ``records`` — buffered frames written
+                       (and fsynced) to the current WAL segment
+``checkpoint.written`` ``segment``, ``bytes`` — a checkpoint was written
+                       and atomically renamed into place
+``recovery.replayed``  ``kind`` (``txn``/``ddl``) plus ``txn``/``csn`` or
+                       ``op`` — one committed WAL unit redone during
+                       crash recovery
+``recovery.discarded`` ``txn``, ``ops`` — an uncommitted transaction tail
+                       (possibly torn) discarded during crash recovery
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -186,3 +197,8 @@ CACHE_MISS = "cache.miss"
 CACHE_EVICT = "cache.evict"
 CACHE_INVALIDATE = "cache.invalidate"
 CACHE_BYPASS_TXN = "cache.bypass.txn"
+WAL_APPEND = "wal.append"
+WAL_FLUSH = "wal.flush"
+CHECKPOINT_WRITTEN = "checkpoint.written"
+RECOVERY_REPLAYED = "recovery.replayed"
+RECOVERY_DISCARDED = "recovery.discarded"

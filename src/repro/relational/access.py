@@ -54,6 +54,14 @@ class AccessControl:
     def privileges_of(self, user: str, table: str) -> set[str]:
         return set(self._grants.get((user.lower(), table.lower()), set()))
 
+    def dump_grants(self) -> list[list]:
+        """``[user, table, [privileges...]]`` rows for checkpointing."""
+        with self._lock:
+            return [
+                [user, table, sorted(privs)]
+                for (user, table), privs in self._grants.items()
+            ]
+
     @staticmethod
     def _expand(privileges: list[str]) -> set[str]:
         expanded: set[str] = set()

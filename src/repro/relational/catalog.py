@@ -120,6 +120,18 @@ class Catalog:
     def tables(self) -> list[Table]:
         return [self._tables[k] for k in sorted(self._tables)]
 
+    def tables_in_creation_order(self) -> list[Table]:
+        """Tables in the order they were created.
+
+        Creation order is foreign-key-consistent by construction (a
+        table can only reference tables that already exist), which is
+        exactly what checkpoint capture/restore needs.
+        """
+        return list(self._tables.values())
+
+    def views_in_creation_order(self) -> list[View]:
+        return list(self._views.values())
+
     # -- views ------------------------------------------------------------
 
     def create_view(self, view: View, or_replace: bool = False) -> None:

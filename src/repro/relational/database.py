@@ -8,11 +8,15 @@ them — exactly the surface the Db2 Graph layer programs against.
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..cache.epochs import EpochRegistry
 from ..common.clock import Clock, SystemClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..durability.config import DurabilityConfig
 from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from ..obs.metrics import MetricsRegistry
@@ -36,6 +40,7 @@ class Database:
         clock: Clock | None = None,
         enforce_foreign_keys: bool = True,
         admin_user: str = "admin",
+        durability: "DurabilityConfig | str | bool | None" = None,
     ):
         self.name = name
         self.clock = clock or SystemClock()
@@ -64,6 +69,20 @@ class Database:
         # trace event per written table.
         self.epochs = EpochRegistry()
         self.txn_manager.commit_hooks.append(self._note_committed_writes)
+        # Durability (WAL + checkpoints).  ``durability=None`` consults
+        # the REPRO_WAL_* environment (each database gets a unique
+        # subdirectory), ``False`` forces pure in-memory operation, a
+        # path/DurabilityConfig enables logging there.  Use
+        # Database.open() to crash-recover an existing directory.
+        self.durability = None
+        self.recovery_report = None
+        if durability is not False:
+            # Lazy import: repro.durability depends on this module.
+            from ..durability.config import resolve_durability_config
+
+            config = resolve_durability_config(durability, name)
+            if config is not None:
+                self.attach_durability(config)
 
     def _note_committed_writes(self, tables: Sequence[str]) -> None:
         for table in self.epochs.bump(tables):
@@ -76,6 +95,85 @@ class Database:
         self.obs_trace = trace
         self.lock_manager.registry = registry
         self.lock_manager.trace = trace
+
+    # -- durability ----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        durability: "DurabilityConfig | str",
+        *,
+        name: str = "db",
+        clock: Clock | None = None,
+        enforce_foreign_keys: bool = True,
+        admin_user: str = "admin",
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> "Database":
+        """Open a durable database, crash-recovering any prior state.
+
+        Loads the newest valid checkpoint from the directory, redoes the
+        committed WAL suffix, discards uncommitted tails, then starts a
+        fresh segment (checkpoint + empty WAL) for this incarnation.
+        ``registry``/``trace`` bind *before* recovery so the
+        ``recovery.replayed`` / ``recovery.discarded`` emissions land in
+        the caller's sinks.  The report is left on
+        ``db.recovery_report``.
+        """
+        from ..durability.config import resolve_durability_config
+        from ..durability.errors import DurabilityError
+        from ..durability.recovery import recover_into
+
+        config = resolve_durability_config(durability, name)
+        if config is None:
+            raise DurabilityError("Database.open requires a durability directory")
+        database = cls(
+            name=name,
+            clock=clock,
+            enforce_foreign_keys=enforce_foreign_keys,
+            admin_user=admin_user,
+            durability=False,
+        )
+        if registry is not None or trace is not None:
+            database.bind_observability(
+                registry if registry is not None else database.obs_registry,
+                trace if trace is not None else database.obs_trace,
+            )
+        report = recover_into(database, config)
+        database.attach_durability(config, start_segment=report.next_segment)
+        database.recovery_report = report
+        return database
+
+    def attach_durability(
+        self, config: DurabilityConfig, start_segment: int = 0
+    ) -> None:
+        """Start WAL logging into ``config.dir`` (retrofittable: any
+        state already in the database is captured by the initial
+        checkpoint)."""
+        from ..durability.errors import DurabilityError
+        from ..durability.manager import DurabilityManager
+
+        if self.durability is not None:
+            raise DurabilityError("durability is already attached")
+        os.makedirs(config.dir, exist_ok=True)
+        manager = DurabilityManager(self, config)
+        manager.start(start_segment)
+        self.durability = manager
+        self.txn_manager.durability = manager
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint now; returns the new WAL segment number."""
+        if self.durability is None:
+            from ..durability.errors import DurabilityError
+
+            raise DurabilityError("database has no durability attached")
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush any buffered WAL frames.  Safe to call repeatedly and
+        on non-durable databases."""
+        if self.durability is not None and not self.durability.dead:
+            self.durability.close()
 
     # -- connections -------------------------------------------------------
 
@@ -96,6 +194,12 @@ class Database:
     def create_table(self, schema: TableSchema, owner: str = "admin") -> None:
         self.catalog.create_table(schema, owner)
         self.bump_ddl_generation()
+        if self.durability is not None:
+            from ..durability.checkpoint import serialize_schema
+
+            self.durability.log_ddl(
+                {"op": "create_table", "schema": serialize_schema(schema), "owner": owner}
+            )
 
     def register_table_function(self, name: str, func) -> None:
         """Register a polymorphic table function, callable in SQL via

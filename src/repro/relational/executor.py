@@ -109,9 +109,25 @@ class Executor:
             return self._drop(stmt, session)
         if isinstance(stmt, A.GrantStmt):
             self.database.access.grant(stmt.privileges, stmt.table, stmt.user)
+            self._log_ddl(
+                {
+                    "op": "grant",
+                    "privs": list(stmt.privileges),
+                    "tb": stmt.table,
+                    "user": stmt.user,
+                }
+            )
             return ResultSet.from_count(0)
         if isinstance(stmt, A.RevokeStmt):
             self.database.access.revoke(stmt.privileges, stmt.table, stmt.user)
+            self._log_ddl(
+                {
+                    "op": "revoke",
+                    "privs": list(stmt.privileges),
+                    "tb": stmt.table,
+                    "user": stmt.user,
+                }
+            )
             return ResultSet.from_count(0)
         raise SqlSyntaxError(f"unsupported statement type {type(stmt).__name__}")
 
@@ -380,6 +396,16 @@ class Executor:
 
     # -- DDL --------------------------------------------------------------
 
+    def _log_ddl(self, record: dict) -> None:
+        """WAL a successful DDL statement (no-op without durability).
+
+        DDL autocommits, so each record flushes immediately; recovery
+        replays them in log order interleaved with the DML groups.
+        """
+        durability = self.database.durability
+        if durability is not None:
+            durability.log_ddl(record)
+
     def _create_table(self, stmt: A.CreateTableStmt, session: Any) -> ResultSet:
         columns = [Column(c.name, c.sql_type, c.nullable) for c in stmt.columns]
         fks = [
@@ -391,15 +417,42 @@ class Executor:
         )
         self.database.catalog.create_table(schema, owner=session.user)
         self.database.bump_ddl_generation()
+        if self.database.durability is not None:
+            from ..durability.checkpoint import serialize_schema
+
+            self._log_ddl(
+                {
+                    "op": "create_table",
+                    "schema": serialize_schema(schema),
+                    "owner": session.user,
+                }
+            )
         return ResultSet.from_count(0)
 
     def _create_view(self, stmt: A.CreateViewStmt, session: Any) -> ResultSet:
         # Validate the view body by planning it once.
         planned = Planner(self.database).plan_select(stmt.select)
-        view = View(stmt.name, stmt.select, owner=session.user)
+        view = View(
+            stmt.name,
+            stmt.select,
+            owner=session.user,
+            sql_text=getattr(stmt, "source_sql", "") or "",
+        )
         view.columns = planned.output_names
         self.database.catalog.create_view(view, or_replace=stmt.or_replace)
         self.database.bump_ddl_generation()
+        if view.sql_text:
+            # Views replay from their original statement text; a view
+            # built from a hand-constructed AST has none and is simply
+            # not durable.
+            self._log_ddl(
+                {
+                    "op": "create_view",
+                    "name": stmt.name,
+                    "sql": view.sql_text,
+                    "owner": session.user,
+                }
+            )
         return ResultSet.from_count(0)
 
     def _create_index(self, stmt: A.CreateIndexStmt, session: Any) -> ResultSet:
@@ -412,6 +465,16 @@ class Executor:
         finally:
             table.lock.release_write()
         self.database.bump_ddl_generation()
+        self._log_ddl(
+            {
+                "op": "create_index",
+                "name": stmt.name,
+                "table": stmt.table,
+                "columns": list(stmt.columns),
+                "kind": stmt.kind,
+                "unique": stmt.unique,
+            }
+        )
         return ResultSet.from_count(0)
 
     def _alter_add_column(self, stmt: A.AlterTableAddColumnStmt, session: Any) -> ResultSet:
@@ -424,6 +487,16 @@ class Executor:
         finally:
             table.lock.release_write()
         self.database.bump_ddl_generation()
+        if self.database.durability is not None:
+            from ..durability.checkpoint import serialize_type
+
+            self._log_ddl(
+                {
+                    "op": "add_column",
+                    "tb": stmt.table,
+                    "column": [column.name, *serialize_type(column.sql_type), True],
+                }
+            )
         return ResultSet.from_count(0)
 
     def _drop(self, stmt: A.DropStmt, session: Any) -> ResultSet:
@@ -436,4 +509,5 @@ class Executor:
         else:
             raise SqlSyntaxError(f"unsupported DROP {stmt.kind}")
         self.database.bump_ddl_generation()
+        self._log_ddl({"op": "drop", "kind": stmt.kind, "name": stmt.name})
         return ResultSet.from_count(0)

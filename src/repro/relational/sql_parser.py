@@ -50,7 +50,10 @@ _RESERVED_STOP_WORDS = {
 def parse_statement(sql: str) -> A.Statement:
     """Parse a single SQL statement (a trailing ``;`` is allowed)."""
     parser = _Parser(tokenize(sql))
+    start = parser.peek().position
     stmt = parser.statement()
+    end = parser.peek().position
+    _attach_source(stmt, sql, start, end)
     parser.skip_semicolons()
     parser.expect_eof()
     return stmt
@@ -62,9 +65,25 @@ def parse_script(sql: str) -> list[A.Statement]:
     statements: list[A.Statement] = []
     parser.skip_semicolons()
     while not parser.at_eof():
-        statements.append(parser.statement())
+        start = parser.peek().position
+        stmt = parser.statement()
+        _attach_source(stmt, sql, start, parser.peek().position)
+        statements.append(stmt)
         parser.skip_semicolons()
     return statements
+
+
+def _attach_source(stmt: A.Statement, sql: str, start: int, end: int) -> None:
+    """Remember each statement's own source text (``stmt.source_sql``).
+
+    The WAL logs DDL that cannot be reconstructed from its AST — views
+    in particular replay by re-executing their original text — so the
+    parser is the one place that can capture it exactly.
+    """
+    try:
+        stmt.source_sql = sql[start:end].strip()
+    except AttributeError:  # pragma: no cover - frozen/slotted statements
+        pass
 
 
 class _Parser:

@@ -171,6 +171,7 @@ class TableStorage:
             version = RowVersion(row, txn.txn_id)
             self._rows[rowid] = [version]
             txn.record_create(self, rowid, version)
+            txn.note_write("insert", self, rowid, row)
             for index in self.indexes.values():
                 index.add(self._index_key(index, row), rowid)
         return rowid
@@ -193,6 +194,7 @@ class TableStorage:
             version = RowVersion(row, txn.txn_id)
             self._rows[rowid].append(version)
             txn.record_create(self, rowid, version)
+            txn.note_write("update", self, rowid, row)
             for index in self.indexes.values():
                 index.add(self._index_key(index, row), rowid)
 
@@ -203,6 +205,7 @@ class TableStorage:
                 raise ConstraintViolationError(f"row {rowid} is not visible for delete")
             current.end_txn = txn.txn_id
             txn.record_end(current)
+            txn.note_write("delete", self, rowid)
 
     def discard_version(self, rowid: int, version: RowVersion) -> None:
         """Remove an uncommitted version (rollback path)."""
@@ -223,6 +226,97 @@ class TableStorage:
                 index.discard(key, rowid)
             if not chain:
                 del self._rows[rowid]
+
+    # -- durability (checkpoint restore / WAL replay) ----------------------
+    #
+    # These paths bypass constraints and transactions on purpose: they
+    # re-apply effects the live engine already validated before they
+    # were logged.  Indexes are not maintained here — recovery rebuilds
+    # them in one pass at the end (rebuild_indexes).
+
+    def restore_version(
+        self,
+        rowid: int,
+        values: Sequence[Any],
+        begin_csn: int,
+        begin_time: float | None,
+        end_csn: int | None,
+        end_time: float | None,
+    ) -> None:
+        """Re-materialize one committed version from a checkpoint.
+
+        Chains are restored in their original order (oldest first), so
+        the newest-last invariant the read paths rely on holds.
+        """
+        version = RowVersion(tuple(values), begin_txn=0)
+        version.begin_csn = begin_csn
+        version.begin_time = begin_time
+        version.end_csn = end_csn
+        version.end_time = end_time
+        with self._mutate_lock:
+            self._rows.setdefault(rowid, []).append(version)
+            if rowid >= self._next_rowid:
+                self._next_rowid = rowid + 1
+
+    def set_next_rowid(self, next_rowid: int) -> None:
+        with self._mutate_lock:
+            self._next_rowid = max(self._next_rowid, next_rowid)
+
+    def replay_insert(
+        self, rowid: int, values: Sequence[Any], csn: int, now: float
+    ) -> None:
+        version = RowVersion(tuple(values), begin_txn=0)
+        version.begin_csn = csn
+        version.begin_time = now
+        with self._mutate_lock:
+            self._rows.setdefault(rowid, []).append(version)
+            if rowid >= self._next_rowid:
+                self._next_rowid = rowid + 1
+
+    def replay_update(
+        self, rowid: int, values: Sequence[Any], csn: int, now: float
+    ) -> None:
+        version = RowVersion(tuple(values), begin_txn=0)
+        version.begin_csn = csn
+        version.begin_time = now
+        with self._mutate_lock:
+            chain = self._rows.setdefault(rowid, [])
+            if chain:
+                current = chain[-1]
+                if current.end_csn is None:
+                    current.end_csn = csn
+                    current.end_time = now
+            chain.append(version)
+            if rowid >= self._next_rowid:
+                self._next_rowid = rowid + 1
+
+    def replay_delete(self, rowid: int, csn: int, now: float) -> None:
+        with self._mutate_lock:
+            chain = self._rows.get(rowid)
+            if not chain:
+                return
+            current = chain[-1]
+            if current.end_csn is None:
+                current.end_csn = csn
+                current.end_time = now
+
+    def rebuild_indexes(self) -> None:
+        """Replace every index with a freshly-built one covering all
+        restored/replayed versions (recovery's final step)."""
+        from .index import make_index
+
+        with self._mutate_lock:
+            for name, index in list(self.indexes.items()):
+                fresh = make_index(
+                    index.kind, index.name, index.table_name, index.columns, index.unique
+                )
+                positions = [self.schema.column_position(c) for c in index.columns]
+                for rowid, chain in self._rows.items():
+                    for version in chain:
+                        fresh.add(
+                            tuple(version.values[p] for p in positions), rowid
+                        )
+                self.indexes[name] = fresh
 
     # -- reads ------------------------------------------------------------
 

@@ -353,6 +353,33 @@ class Transaction:
     def record_end(self, version: "RowVersion") -> None:
         self.ended.append(version)
 
+    def note_write(
+        self,
+        kind: str,
+        storage: "TableStorage",
+        rowid: int,
+        values: tuple | None = None,
+    ) -> None:
+        """Buffer a logical redo record for the WAL (no-op when the
+        database is not durable).
+
+        Called by :class:`TableStorage` while its mutation lock is held;
+        the durability manager's buffer lock is a leaf, so this can
+        never deadlock against a concurrent checkpoint.
+        """
+        durability = self._manager.durability
+        if durability is None:
+            return
+        record: dict = {
+            "k": kind,
+            "t": self.txn_id,
+            "tb": storage.schema.name.lower(),
+            "r": rowid,
+        }
+        if values is not None:
+            record["v"] = tuple(values)
+        durability.note_dml(self.txn_id, record)
+
     def refresh_snapshot(self) -> None:
         """Advance the snapshot to the latest committed CSN.
 
@@ -391,6 +418,11 @@ class TransactionManager:
         # database registers the cache epoch bump here.  Rollback never
         # fires these.
         self.commit_hooks: list = []
+        # Durability manager (repro.durability) or None for a purely
+        # in-memory database.  When set, commit routes version stamping
+        # through it so the WAL group is flushed *before* the versions
+        # become visible (durable-before-visible).
+        self.durability = None
 
     def begin(self) -> Transaction:
         with self._lock:
@@ -411,10 +443,21 @@ class TransactionManager:
             csn = self._csn
             self._commit_times.append(now)
             self._commit_csns.append(csn)
-        for _storage, _rowid, version in txn.created:
-            version.commit_begin(csn, now)
-        for version in txn.ended:
-            version.commit_end(csn, now)
+
+        def stamp() -> None:
+            for _storage, _rowid, version in txn.created:
+                version.commit_begin(csn, now)
+            for version in txn.ended:
+                version.commit_end(csn, now)
+
+        if self.durability is None:
+            stamp()
+        else:
+            # Flush-before-commit: the WAL group reaches disk before any
+            # version is stamped visible (and before the epoch-bump
+            # hooks below).  A crash inside leaves the transaction
+            # either fully durable or fully absent.
+            self.durability.commit_transaction(txn, csn, now, stamp)
         txn.status = Transaction.COMMITTED
         # Epoch bumps must land after the versions above are stamped
         # (committed data visible before its epoch moves — the cache's
@@ -435,8 +478,36 @@ class TransactionManager:
             storage.discard_version(rowid, version)
         for version in txn.ended:
             version.clear_end()
+        if self.durability is not None:
+            self.durability.rollback_transaction(txn)
         txn.status = Transaction.ROLLED_BACK
         self._release_locks(txn)
+
+    # -- durability support --------------------------------------------------
+
+    def peek_next_txn_id(self) -> int:
+        with self._lock:
+            return self._next_txn_id
+
+    def commit_history(self, up_to_csn: int | None = None) -> list[tuple[float, int]]:
+        """``(wallclock, csn)`` pairs of every commit, optionally capped
+        at ``up_to_csn`` (checkpoints cap at the last *logged* CSN so an
+        allocated-but-unflushed commit is never captured twice)."""
+        with self._lock:
+            pairs = list(zip(self._commit_times, self._commit_csns))
+        if up_to_csn is None:
+            return pairs
+        return [(time, csn) for time, csn in pairs if csn <= up_to_csn]
+
+    def restore_state(
+        self, csn: int, next_txn_id: int, history: list[tuple[float, int]]
+    ) -> None:
+        """Reset counters and AS OF history after crash recovery."""
+        with self._lock:
+            self._csn = csn
+            self._next_txn_id = max(next_txn_id, 1)
+            self._commit_times = [time for time, _csn in history]
+            self._commit_csns = [c for _time, c in history]
 
     def csn_as_of(self, timestamp: float) -> int:
         """The CSN visible at wallclock ``timestamp`` (for AS OF)."""

@@ -104,7 +104,8 @@ def sql_like(value: Any, pattern: Any) -> bool | None:
     regex = "".join(
         ".*" if ch == "%" else "." if ch == "_" else re.escape(ch) for ch in pattern
     )
-    return re.fullmatch(regex, value) is not None
+    # DOTALL: SQL wildcards match ANY character, newlines included.
+    return re.fullmatch(regex, value, re.DOTALL) is not None
 
 
 def sql_add(a: Any, b: Any) -> Any:

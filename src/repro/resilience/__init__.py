@@ -28,7 +28,13 @@ from .errors import (
     ResilienceError,
     RetryExhaustedError,
 )
-from .faults import Fault, FaultInjector, InjectedTransientError
+from .faults import (
+    CrashPoint,
+    Fault,
+    FaultInjector,
+    InjectedTransientError,
+    SimulatedCrashError,
+)
 from .retry import NO_RETRY, TRANSIENT_ERRORS, RetryPolicy, is_transient
 
 __all__ = [
@@ -45,5 +51,7 @@ __all__ = [
     "is_transient",
     "FaultInjector",
     "Fault",
+    "CrashPoint",
     "InjectedTransientError",
+    "SimulatedCrashError",
 ]

@@ -38,6 +38,38 @@ class InjectedTransientError(Exception):
     injected = True
 
 
+class SimulatedCrashError(Exception):
+    """The process "died" at a durability crash point.
+
+    Deliberately NOT transient: a crash is not retryable — the retry
+    classifier must let it propagate so the test harness can reopen the
+    database through recovery instead of re-running the statement.
+    """
+
+    transient = False
+    injected = True
+
+
+@dataclass
+class CrashPoint:
+    """Fire a simulated crash at the Nth hit of a named program point.
+
+    Crash points are consulted by the durability layer via
+    :meth:`FaultInjector.on_point` (``wal.before_flush``,
+    ``wal.mid_record``, ``wal.after_flush``, ``checkpoint.mid_write``).
+    ``occurrence`` is 1-based and counted per point name *from the
+    moment the rule is armed*, which is what makes a crash battery
+    enumerable: arm ``occurrence=k`` at open and the run crashes at the
+    k-th flush.
+    """
+
+    point: str
+    occurrence: int = 1
+    fired: bool = field(default=False, init=False)
+    # Hits of this point already seen when the rule was armed.
+    base: int = field(default=0, init=False)
+
+
 @dataclass
 class Fault:
     """One fault rule; ``times=None`` means unlimited fires."""
@@ -83,7 +115,9 @@ class FaultInjector:
         self.rng = random.Random(seed)
         self.sleep = sleep
         self.faults: list[Fault] = []
+        self.crash_points: list[CrashPoint] = []
         self.statements_seen = 0
+        self.point_hits: dict[str, int] = {}
         self.fires = 0
         # Statement numbering, rule fire-counts, and the shared rng must
         # stay exact when fan-out sub-statements arrive from the pool.
@@ -105,11 +139,25 @@ class FaultInjector:
         self.faults.append(fault)
         return fault
 
+    def add_crash(self, point: str, occurrence: int = 1) -> CrashPoint:
+        """Arm a simulated crash at the ``occurrence``-th hit of
+        ``point`` (see :class:`CrashPoint`)."""
+        if occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+        rule = CrashPoint(point, occurrence)
+        with self._lock:
+            rule.base = self.point_hits.get(point, 0)
+            self.crash_points.append(rule)
+        return rule
+
     def reset(self) -> None:
         self.statements_seen = 0
         self.fires = 0
+        self.point_hits.clear()
         for fault in self.faults:
             fault.fired = 0
+        for rule in self.crash_points:
+            rule.fired = False
 
     # -- executor hook -------------------------------------------------------
 
@@ -151,6 +199,45 @@ class FaultInjector:
             self.sleep(delay)
         if error is not None:
             raise error
+
+    # -- durability hook -----------------------------------------------------
+
+    def on_point(
+        self,
+        point: str,
+        registry: MetricsRegistry | None = None,
+        trace: TraceRecorder = NULL_RECORDER,
+    ) -> bool:
+        """Called by the durability layer at each named crash point.
+
+        Returns True when an armed :class:`CrashPoint` fires; the caller
+        then reproduces the on-disk state of a crash at that instant and
+        raises :class:`SimulatedCrashError`.  Every fire is accounted
+        like any other injected fault (``fault.injected`` counter/event)
+        so chaos-run bookkeeping stays 1:1.
+        """
+        with self._lock:
+            hits = self.point_hits.get(point, 0) + 1
+            self.point_hits[point] = hits
+            for rule in self.crash_points:
+                if (
+                    rule.point != point
+                    or rule.fired
+                    or hits - rule.base != rule.occurrence
+                ):
+                    continue
+                rule.fired = True
+                self.fires += 1
+                if registry is not None:
+                    registry.counter(obs_metrics.FAULTS_INJECTED).increment()
+                trace.emit(
+                    tracing.FAULT_INJECTED,
+                    kind=f"crash:{point}",
+                    table=None,
+                    statement=hits,
+                )
+                return True
+        return False
 
     def _build_error(self, fault: Fault, statement_no: int) -> BaseException:
         # Fresh instance per fire: each retry attempt gets its own

@@ -19,7 +19,12 @@ identical workload on every side:
   and the mapping disagree);
 * ``graphQuery`` table-function SQL runs against the real engine and
   against a shadow database whose ``graphQuery`` is backed by the
-  oracle graph, comparing the final (joined/aggregated) row sets.
+  oracle graph, comparing the final (joined/aggregated) row sets;
+* cells with ``durable=True`` run against a WAL-logged replica of the
+  relational state (``repro.durability``) that is crash-killed and
+  reopened mid-workload: the recovered store must map §5-identically
+  to the incrementally maintained oracle, and every later traversal
+  check runs over the *recovered* database.
 
 A :class:`Divergence` is returned for the first mismatch; ``None``
 means the scenario is conformant.  :class:`ScenarioInvalid` is raised
@@ -59,6 +64,9 @@ class Cell:
     parallelism: int
     batch_size: int
     cache_on: bool = False
+    # durable=True: the cell's engine runs over a crash-killed-and-
+    # recovered durability replica instead of the shared in-memory db.
+    durable: bool = False
 
     @property
     def name(self) -> str:
@@ -67,6 +75,7 @@ class Cell:
             f"/{'rt' if self.runtime_on else 'nort'}"
             f"/p{self.parallelism}/b{self.batch_size}"
             f"{'/cache' if self.cache_on else ''}"
+            f"{'/dur' if self.durable else ''}"
         )
 
     def open(self, db: Any, overlay: dict[str, Any]) -> Db2Graph:
@@ -84,14 +93,15 @@ class Cell:
 
 
 #: The full {strategies} x {runtime opts} x {parallelism} x {batch} x
-#: {cache off/on} matrix.
+#: {cache off/on} x {durable off/on} matrix (nightly).
 CELL_FULL_MATRIX: tuple[Cell, ...] = tuple(
-    Cell(optimized, runtime_on, parallelism, batch_size, cache_on)
+    Cell(optimized, runtime_on, parallelism, batch_size, cache_on, durable)
     for optimized in (True, False)
     for runtime_on in (True, False)
     for parallelism in (1, 4)
     for batch_size in (1, 64)
     for cache_on in (False, True)
+    for durable in (False, True)
 )
 
 #: The corners used per-seed in CI: both extremes of the optimization
@@ -107,6 +117,10 @@ CELL_CORNERS: tuple[Cell, ...] = (
     Cell(False, False, 4, 64),
     Cell(True, True, 1, 1, cache_on=True),
     Cell(True, True, 4, 64, cache_on=True),
+    # Durability corners: same two shape extremes over a WAL-logged
+    # replica that is crash-killed and reopened mid-workload.
+    Cell(True, True, 1, 1, durable=True),
+    Cell(False, False, 4, 64, durable=True),
 )
 
 
@@ -115,7 +129,7 @@ class Divergence:
     """The first observed disagreement while replaying a scenario."""
 
     kind: str  # chain | engine-error | graph-sql | sql-monotonicity |
-    #            oracle-inconsistency | open-error
+    #            oracle-inconsistency | open-error | crash-recovery
     seed: int
     op_index: int
     cell: str | None = None
@@ -153,11 +167,18 @@ def run_scenario(
         "graphQuery", make_graph_query_function(_OracleScriptRunner(g_oracle))
     )
 
+    durable: _DurableReplica | None = None
+    if any(cell.durable for cell in cells):
+        try:
+            durable = _DurableReplica(scenario)
+        except Exception as exc:
+            raise ScenarioInvalid(f"cannot build durable replica: {exc}") from exc
+
     engines: list[Db2Graph] = []
     try:
         for cell in cells:
             try:
-                engines.append(cell.open(db, overlay))
+                engines.append(cell.open(durable.db if cell.durable else db, overlay))
             except Exception as exc:
                 return Divergence(
                     kind="open-error",
@@ -172,11 +193,89 @@ def run_scenario(
                 engines[index].enable_tracing()
         return _replay(
             scenario, db, overlay, oracle, g_oracle,
-            shadow_writer, engines, list(cells), monotone,
+            shadow_writer, engines, list(cells), monotone, durable,
         )
     finally:
         for engine in engines:
             engine.close()
+        if durable is not None:
+            durable.cleanup()
+
+
+class _DurableReplica:
+    """The durability-axis replica: the scenario's relational state in a
+    WAL-logged database that can be crash-killed and recovered."""
+
+    def __init__(self, scenario: Scenario):
+        from ..durability.sim import SimulatedCrash
+
+        self.sim = SimulatedCrash(fsync=False)
+        self.db = self.sim.open(enforce_foreign_keys=False)
+        for statement in scenario.ddl_statements():
+            self.db.execute(statement)
+        loader = self.db.connect()
+        for table in scenario.tables:
+            rows = scenario.rows.get(table.name, [])
+            if rows:
+                names = [c.lower() for c in table.column_names()]
+                loader.insert_rows(
+                    table.name, [tuple(r.get(c) for c in names) for r in rows]
+                )
+        self.writer = self.db.connect("admin")
+        self.crashed = False
+
+    def crash_and_recover(
+        self,
+        oracle: InMemoryGraph,
+        overlay: dict[str, Any],
+        engines: list[Db2Graph],
+        cells: Sequence[Cell],
+        seed: int,
+        op_index: int,
+    ) -> Divergence | None:
+        """Hard-kill the replica, crash-recover it, check the recovered
+        store against the oracle, and rebuild the durable engines over
+        the recovered database."""
+        self.crashed = True
+        for index, cell in enumerate(cells):
+            if cell.durable:
+                engines[index].close()
+        self.db = self.sim.reopen(enforce_foreign_keys=False)
+        self.writer = self.db.connect("admin")
+        if not self.db.lock_manager.is_clean():
+            return Divergence(
+                kind="crash-recovery",
+                seed=seed,
+                op_index=op_index,
+                detail="recovered database has a dirty lock table",
+            )
+        try:
+            rebuilt = materialize_oracle(self.db, overlay)
+        except OracleError as exc:
+            return Divergence(
+                kind="crash-recovery",
+                seed=seed,
+                op_index=op_index,
+                detail=f"recovered store unmappable: {exc}",
+            )
+        if not graphs_equal(oracle, rebuilt):
+            return Divergence(
+                kind="crash-recovery",
+                seed=seed,
+                op_index=op_index,
+                detail="recovered graph != oracle after mid-workload crash+reopen",
+            )
+        for index, cell in enumerate(cells):
+            if cell.durable:
+                engines[index] = cell.open(self.db, overlay)
+        return None
+
+    def cleanup(self) -> None:
+        import shutil
+
+        if self.db is not None:
+            self.db.close()
+        shutil.rmtree(self.sim.dir, ignore_errors=True)
 
 
 class _OracleScriptRunner:
@@ -195,11 +294,18 @@ def _monotonicity_pair(cells: Sequence[Cell]) -> tuple[int, int] | None:
 
     Cached cells are excluded: a cache hit legitimately skips the
     ``sql.issued`` event, so statement counts are only comparable
-    between uncached engines.
+    between uncached engines.  Durable cells are excluded too — their
+    engine is torn down and rebuilt at the mid-workload crash, which
+    would silently discard the tracked recorder.
     """
     opt = stripped = None
     for index, cell in enumerate(cells):
-        if cell.parallelism == 1 and cell.batch_size == 1 and not cell.cache_on:
+        if (
+            cell.parallelism == 1
+            and cell.batch_size == 1
+            and not cell.cache_on
+            and not cell.durable
+        ):
             if cell.optimized and cell.runtime_on and opt is None:
                 opt = index
             if not cell.optimized and not cell.runtime_on and stripped is None:
@@ -219,11 +325,23 @@ def _replay(
     engines: list[Db2Graph],
     cells: list[Cell],
     monotone: tuple[int, int] | None,
+    durable: "_DurableReplica | None" = None,
 ) -> Divergence | None:
     seed = scenario.seed
     writer = db.connect("admin")  # DML needs admin (or granted) privileges
     pending_mirrors: list[tuple] = []
     in_txn = False
+    # The durability axis crashes the replica at the first consistent
+    # point past the workload midpoint (and at the end, if the midpoint
+    # fell inside an open transaction).
+    crash_after = len(scenario.workload) // 2
+
+    def crash_checkpoint(op_index: int) -> Divergence | None:
+        if durable is None or durable.crashed or in_txn or op_index < crash_after:
+            return None
+        return durable.crash_and_recover(
+            oracle, overlay, engines, cells, seed, op_index
+        )
 
     def consistency(op_index: int) -> Divergence | None:
         try:
@@ -250,11 +368,15 @@ def _replay(
         elif tag == "begin":
             writer.begin()
             shadow_writer.begin()
+            if durable is not None:
+                durable.writer.begin()
             in_txn = True
             pending_mirrors = []
         elif tag == "commit":
             writer.commit()
             shadow_writer.commit()
+            if durable is not None:
+                durable.writer.commit()
             in_txn = False
             _apply_mirrors(oracle, pending_mirrors)
             pending_mirrors = []
@@ -264,6 +386,8 @@ def _replay(
         elif tag == "rollback":
             writer.rollback()
             shadow_writer.rollback()
+            if durable is not None:
+                durable.writer.rollback()
             in_txn = False
             pending_mirrors = []
         elif tag == "sql":
@@ -271,6 +395,8 @@ def _replay(
             try:
                 writer.execute(sql, params)
                 shadow_writer.execute(sql, params)
+                if durable is not None:
+                    durable.writer.execute(sql, params)
             except Exception as exc:
                 raise ScenarioInvalid(f"workload DML failed: {exc}") from exc
             if in_txn:
@@ -296,6 +422,7 @@ def _replay(
                     detail=f"addV({label!r}): {type(exc).__name__}: {exc}",
                 )
             _shadow_insert(shadow_writer, table, full_row)
+            _mirror_engine_write(writer, durable, cells, table, full_row)
             _apply_mirrors(oracle, mirrors)
             divergence = consistency(op_index)
             if divergence is not None:
@@ -317,6 +444,7 @@ def _replay(
                     f"{type(exc).__name__}: {exc}",
                 )
             _shadow_insert(shadow_writer, table, full_row)
+            _mirror_engine_write(writer, durable, cells, table, full_row)
             _apply_mirrors(oracle, mirrors)
             divergence = consistency(op_index)
             if divergence is not None:
@@ -329,7 +457,35 @@ def _replay(
                 return divergence
         else:
             raise ScenarioInvalid(f"unknown workload op {op!r}")
+        divergence = crash_checkpoint(op_index)
+        if divergence is not None:
+            return divergence
+    if durable is not None and not durable.crashed:
+        # No consistent point fell past the midpoint (or the workload
+        # was empty): still exercise one crash+reopen at the end.
+        divergence = durable.crash_and_recover(
+            oracle, overlay, engines, cells, seed, len(scenario.workload)
+        )
+        if divergence is not None:
+            return divergence
     return None
+
+
+def _mirror_engine_write(
+    writer: Any,
+    durable: "_DurableReplica | None",
+    cells: Sequence[Cell],
+    table: str,
+    full_row: dict[str, Any],
+) -> None:
+    """An ``addV``/``addE`` mutation ran through ``engines[0]`` and so
+    landed in exactly one database; insert the identical row into the
+    other replica so both stay §5-equal."""
+    primary_durable = bool(cells) and cells[0].durable
+    if durable is not None and not primary_durable:
+        _shadow_insert(durable.writer, table, full_row)
+    if primary_durable:
+        _shadow_insert(writer, table, full_row)
 
 
 def _check_chain(

@@ -28,7 +28,9 @@ def traced(paper_graph):
 def assert_counters_match_events(graph, recorder):
     stats = graph.stats()
     assert stats["tables_eliminated"] == recorder.count(tracing.TABLE_ELIMINATED)
-    assert stats["sql_queries"] == recorder.count(tracing.SQL_ISSUED, kind="select")
+    # sql_queries counts every issued statement — selects AND the
+    # inserts that addV/addE translate to — so match all kinds.
+    assert stats["sql_queries"] == recorder.count(tracing.SQL_ISSUED)
     assert stats["vertex_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="vertex")
     assert stats["edge_table_queries"] == recorder.count(tracing.TABLE_QUERIED, kind="edge")
     assert stats["vertices_from_edges"] == recorder.count(tracing.VERTEX_FROM_EDGE)
@@ -36,6 +38,7 @@ def assert_counters_match_events(graph, recorder):
     assert_parallel_counters_match_events(graph, recorder)
     assert_resilience_counters_match_events(graph, recorder)
     assert_cache_counters_match_events(graph, recorder)
+    assert_durability_counters_match_events(graph, recorder)
 
 
 def assert_parallel_counters_match_events(graph, recorder):
@@ -72,6 +75,18 @@ def assert_cache_counters_match_events(graph, recorder):
     assert stats["cache_evictions"] == recorder.count(tracing.CACHE_EVICT)
     assert stats["cache_invalidations"] == recorder.count(tracing.CACHE_INVALIDATE)
     assert stats["cache_bypass_txn"] == recorder.count(tracing.CACHE_BYPASS_TXN)
+
+
+def assert_durability_counters_match_events(graph, recorder):
+    """The WAL and recovery counters keep the 1:1 invariant — with no
+    durability attached every pair is identically zero, so the same
+    assertions pin both configurations."""
+    stats = graph.stats()
+    assert stats["wal_appends"] == recorder.count(tracing.WAL_APPEND)
+    assert stats["wal_flushes"] == recorder.count(tracing.WAL_FLUSH)
+    assert stats["checkpoints_written"] == recorder.count(tracing.CHECKPOINT_WRITTEN)
+    assert stats["recovery_replayed"] == recorder.count(tracing.RECOVERY_REPLAYED)
+    assert stats["recovery_discarded"] == recorder.count(tracing.RECOVERY_DISCARDED)
 
 
 def test_fixed_label_elimination_counters_match_events(traced):
@@ -243,6 +258,55 @@ def test_cache_counters_match_events(paper_db):
     finally:
         graph.disable_tracing()
         graph.close()
+
+
+def test_durability_counters_match_events(tmp_path):
+    """A WAL-backed graph keeps the 1:1 invariant across DML commits
+    (appends + flushes) and an explicit checkpoint.  Recovery counters
+    are exercised at the Database level in tests/durability — Db2Graph
+    binds a fresh registry at open, after recovery already ran."""
+    from repro.core import Db2Graph
+    from repro.durability import SimulatedCrash
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    database = sim.open()
+    database.execute(
+        "CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR, "
+        "address VARCHAR, subscriptionID BIGINT)"
+    )
+    database.execute(
+        "CREATE TABLE Disease (diseaseID BIGINT PRIMARY KEY, conceptCode VARCHAR, "
+        "conceptName VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE HasDisease (patientID BIGINT, diseaseID BIGINT, description VARCHAR)"
+    )
+    database.execute(
+        "CREATE TABLE DiseaseOntology (sourceID BIGINT, targetID BIGINT, type VARCHAR)"
+    )
+    graph = Db2Graph.open(database, HEALTHCARE_TINY_OVERLAY)
+    graph.reset_stats()
+    recorder = graph.enable_tracing()
+    try:
+        g = graph.traversal()
+        g.addV("patient").property("patientID", 1).property("name", "ada").property(
+            "address", "x"
+        ).property("subscriptionID", 100).toList()
+        database.execute("INSERT INTO Disease VALUES (1, 'A00', 'cholera')")
+        database.execute("INSERT INTO HasDisease VALUES (1, 1, 'acute')")
+        database.checkpoint()
+        database.execute("DELETE FROM HasDisease WHERE diseaseID = 1")
+
+        stats = graph.stats()
+        assert stats["wal_appends"] > 0
+        assert stats["wal_flushes"] > 0
+        assert stats["checkpoints_written"] == 1
+        assert_counters_match_events(graph, recorder)
+    finally:
+        graph.disable_tracing()
+        graph.close()
+        database.close()
 
 
 def test_reset_stats_zeroes_everything(paper_graph):

@@ -87,6 +87,88 @@ class TestSortedIndex:
         assert set(index.range((low,), (high,))) == expected
 
 
+class TestAddDiscardSequences:
+    """Lifecycle properties: after an arbitrary interleaving of adds and
+    discards, every index answers exactly for the live (key, rowid) set
+    — the recovery path leans on this when it rebuilds secondary indexes
+    from replayed rows."""
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(-10, 10), st.integers(0, 20)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sorted_range_equals_live_set(self, ops):
+        index = SortedIndex("s", "t", ["a"])
+        live: set[tuple[int, int]] = set()
+        for is_add, value, rowid in ops:
+            if is_add:
+                index.add((value,), rowid)
+                live.add((value, rowid))
+            else:
+                index.discard((value,), rowid)
+                live.discard((value, rowid))
+        assert sorted(index.range()) == sorted(r for _v, r in live)
+        for value in {v for v, _r in live}:
+            assert set(index.lookup((value,))) == {r for v, r in live if v == value}
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(-10, 10), st.integers(0, 20)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hash_and_sorted_point_lookups_agree(self, ops):
+        hashed = HashIndex("h", "t", ["a"])
+        sorted_ = SortedIndex("s", "t", ["a"])
+        for is_add, value, rowid in ops:
+            for index in (hashed, sorted_):
+                if is_add:
+                    index.add((value,), rowid)
+                else:
+                    index.discard((value,), rowid)
+        assert len(hashed) == len(sorted_)
+        for value in range(-10, 11):
+            assert sorted(hashed.lookup((value,))) == sorted(sorted_.lookup((value,)))
+
+
+class TestCompositeRanges:
+    def build(self):
+        index = SortedIndex("s", "t", ["a", "b"])
+        for key, rowid in [
+            ((1, "a"), 1),
+            ((1, "b"), 2),
+            ((2, "a"), 3),
+            ((2, "c"), 4),
+            ((3, "a"), 5),
+        ]:
+            index.add(key, rowid)
+        return index
+
+    def test_composite_range_is_lexicographic(self):
+        index = self.build()
+        assert sorted(index.range((1, "b"), (2, "c"))) == [2, 3, 4]
+
+    def test_composite_point_lookup(self):
+        index = self.build()
+        assert list(index.lookup((2, "a"))) == [3]
+        assert list(index.lookup((2, "b"))) == []
+
+    def test_composite_null_component_not_indexed(self):
+        index = SortedIndex("s", "t", ["a", "b"])
+        index.add((1, None), 1)
+        assert len(index) == 0
+
+    def test_range_probes_counted(self):
+        index = self.build()
+        before = index.probes
+        list(index.range((1, "a"), (3, "a")))
+        assert index.probes == before + 1
+
+
 class TestFactory:
     def test_make_index_kinds(self):
         assert make_index("hash", "i", "t", ["a"]).kind == "hash"
@@ -100,3 +182,8 @@ class TestFactory:
     def test_empty_columns_rejected(self):
         with pytest.raises(CatalogError):
             HashIndex("i", "t", [])
+
+    def test_unique_flag_propagates(self):
+        assert make_index("hash", "i", "t", ["a"], unique=True).unique is True
+        assert make_index("btree", "i", "t", ["a"], unique=True).unique is True
+        assert make_index("sorted", "i", "t", ["a"]).unique is False

@@ -63,6 +63,24 @@ class TestBooleanLogic:
     def test_property_de_morgan(self, a, b):
         assert V.sql_not(V.sql_and(a, b)) == V.sql_or(V.sql_not(a), V.sql_not(b))
 
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    def test_property_commutativity(self, a, b):
+        assert V.sql_and(a, b) == V.sql_and(b, a)
+        assert V.sql_or(a, b) == V.sql_or(b, a)
+
+    @given(
+        st.sampled_from([True, False, None]),
+        st.sampled_from([True, False, None]),
+        st.sampled_from([True, False, None]),
+    )
+    def test_property_associativity(self, a, b, c):
+        assert V.sql_and(V.sql_and(a, b), c) == V.sql_and(a, V.sql_and(b, c))
+        assert V.sql_or(V.sql_or(a, b), c) == V.sql_or(a, V.sql_or(b, c))
+
+    @given(st.sampled_from([True, False, None]))
+    def test_property_double_negation(self, a):
+        assert V.sql_not(V.sql_not(a)) == a
+
 
 class TestLike:
     def test_percent_wildcard(self):
@@ -86,6 +104,29 @@ class TestLike:
     def test_non_string_raises(self):
         with pytest.raises(ExecutionError):
             V.sql_like(1, "%")
+
+    # Alphabet excludes the LIKE metacharacters so prefixes are literal.
+    _literal = st.text(
+        alphabet=st.characters(blacklist_characters="%_", blacklist_categories=("Cs",)),
+        max_size=10,
+    )
+
+    @given(_literal, _literal)
+    def test_property_literal_prefix(self, prefix, rest):
+        value = prefix + rest
+        assert V.sql_like(value, prefix + "%") is True
+        assert V.sql_like(value, value) is True
+
+    @given(_literal, _literal)
+    def test_property_literal_suffix(self, rest, suffix):
+        assert V.sql_like(rest + suffix, "%" + suffix) is True
+
+    @given(_literal)
+    def test_property_underscore_matches_exactly_one(self, value):
+        # '_' per character matches the string itself; one extra '_'
+        # (wrong length) never does.
+        assert V.sql_like(value, "_" * len(value)) is True
+        assert V.sql_like(value, "_" * (len(value) + 1)) is False
 
 
 class TestArithmetic:
@@ -128,3 +169,41 @@ class TestArithmetic:
         assert abs(r) < b
         # truncation toward zero: remainder has the dividend's sign
         assert r == 0 or (r > 0) == (a > 0)
+
+
+_numbers = st.one_of(
+    st.integers(-10**6, 10**6), st.floats(-1e6, 1e6, allow_nan=False)
+)
+
+
+class TestComparisonProperties:
+    @given(_numbers, _numbers)
+    def test_trichotomy(self, a, b):
+        # Exactly one of <, =, > holds for comparable non-NULL values.
+        assert [V.sql_lt(a, b), V.sql_eq(a, b), V.sql_gt(a, b)].count(True) == 1
+
+    @given(_numbers, _numbers, _numbers)
+    def test_transitivity(self, a, b, c):
+        if V.sql_le(a, b) is True and V.sql_le(b, c) is True:
+            assert V.sql_le(a, c) is True
+
+    @given(_numbers, _numbers)
+    def test_duality(self, a, b):
+        assert V.sql_lt(a, b) == V.sql_gt(b, a)
+        assert V.sql_le(a, b) == V.sql_ge(b, a)
+        assert V.sql_ne(a, b) == V.sql_not(V.sql_eq(a, b))
+
+
+class TestNullPropagationProperties:
+    @given(st.one_of(st.none(), _numbers))
+    def test_every_operator_is_strict_in_null(self, x):
+        # NULL on either side makes every comparison and arithmetic
+        # operator yield NULL (UNKNOWN), whatever the other operand.
+        for func in (
+            V.sql_eq, V.sql_ne, V.sql_lt, V.sql_le, V.sql_gt, V.sql_ge,
+            V.sql_add, V.sql_sub, V.sql_mul, V.sql_div,
+        ):
+            assert func(None, x) is None
+            assert func(x, None) is None
+        assert V.sql_concat(None, x) is None
+        assert V.sql_concat(x, None) is None

@@ -15,7 +15,7 @@ from repro.testing import (
 
 
 def test_corner_cells_cover_the_matrix():
-    assert len(CELL_FULL_MATRIX) == 32
+    assert len(CELL_FULL_MATRIX) == 64
     assert {(c.optimized, c.runtime_on) for c in CELL_CORNERS} == {
         (True, True),
         (False, False),
@@ -27,6 +27,13 @@ def test_corner_cells_cover_the_matrix():
         (4, 64),
     }
     assert {c.cache_on for c in CELL_FULL_MATRIX} == {False, True}
+    # The durability axis spans both matrices: crash+reopen corners on
+    # PR, every cell durable and not in the nightly full matrix.
+    assert {(c.parallelism, c.batch_size) for c in CELL_CORNERS if c.durable} == {
+        (1, 1),
+        (4, 64),
+    }
+    assert {c.durable for c in CELL_FULL_MATRIX} == {False, True}
 
 
 def test_seed_sweep_is_divergence_free():
@@ -49,6 +56,8 @@ def test_cell_names_are_stable():
     assert Cell(True, True, 1, 1).name == "opt/rt/p1/b1"
     assert Cell(False, False, 4, 64).name == "noopt/nort/p4/b64"
     assert Cell(True, True, 4, 64, cache_on=True).name == "opt/rt/p4/b64/cache"
+    assert Cell(True, True, 1, 1, durable=True).name == "opt/rt/p1/b1/dur"
+    assert Cell(True, True, 4, 64, True, True).name == "opt/rt/p4/b64/cache/dur"
 
 
 def test_cached_cells_replay_dml_interleaved_workloads():
@@ -73,6 +82,51 @@ def test_cached_cells_replay_dml_interleaved_workloads():
         assert divergence is None, divergence.summary()
         checked += 1
     assert checked >= 10
+
+
+def test_durable_cells_survive_midworkload_crash():
+    """The durability axis: a WAL-logged replica is crash-killed and
+    recovered mid-workload; the recovered store must stay §5-identical
+    to the oracle and every later chain runs over the recovered
+    database.  Replayed side-by-side with an in-memory reference cell
+    so a recovery bug shrinks like any other divergence."""
+    cells = (
+        Cell(True, True, 1, 1),
+        Cell(True, True, 1, 1, durable=True),
+        Cell(False, False, 4, 64, durable=True),
+    )
+    checked = 0
+    for seed in range(15):
+        try:
+            divergence = run_scenario(
+                generate_scenario(seed), cells=cells, check_sql_counts=False
+            )
+        except ScenarioInvalid:
+            continue
+        assert divergence is None, divergence.summary()
+        checked += 1
+    assert checked >= 10
+
+
+def test_durable_primary_cell_keeps_addv_visible_everywhere():
+    """addV/addE run through engines[0]; when that engine is the durable
+    one, the mutation must still reach the in-memory database so both
+    replicas (and the oracle) stay equal."""
+    cells = (
+        Cell(True, True, 1, 1, durable=True),
+        Cell(True, True, 1, 1),
+    )
+    checked = 0
+    for seed in range(10):
+        try:
+            divergence = run_scenario(
+                generate_scenario(seed), cells=cells, check_sql_counts=False
+            )
+        except ScenarioInvalid:
+            continue
+        assert divergence is None, divergence.summary()
+        checked += 1
+    assert checked >= 6
 
 
 def test_sql_monotonicity_is_checked():
