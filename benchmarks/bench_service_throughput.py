@@ -1,0 +1,190 @@
+"""Service-layer scaling: throughput and tail latency vs. session count.
+
+Closed-loop clients (one per logical session, ~4 ms think time between
+requests) drive a mixed 80/20 read/DML workload through one
+:class:`~repro.service.GraphService` over a shared database.  With one
+session the service is think-time-bound and its workers idle; as
+sessions multiply, requests overlap on the shared worker pool and
+aggregate throughput climbs until the pool (and the interpreter)
+saturates.  Acceptance: >= 2x throughput going from 1 to 8 sessions.
+
+A second, open-loop run offers load above the service's capacity into
+a deliberately tiny admission queue to show backpressure doing its
+job: a healthy rejection count, zero failed requests, and every
+admitted request completing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.load import LoadResult, run_closed_loop, run_open_loop
+from repro.bench.reporting import format_table
+from repro.relational import Database
+from repro.service import GraphService, ServiceConfig
+
+SESSION_COUNTS = [1, 2, 4, 8]
+N_ITEMS = 64
+THINK_SECONDS = 0.004
+DURATION_SECONDS = 1.5
+
+OVERLAY = {
+    "v_tables": [
+        {"table_name": "Item", "id": "itemID", "fix_label": True,
+         "label": "'item'", "properties": ["itemID", "name", "score"]},
+    ],
+    "e_tables": [
+        {"table_name": "Link", "src_v_table": "Item", "src_v": "srcID",
+         "dst_v_table": "Item", "dst_v": "dstID",
+         "implicit_edge_id": True, "fix_label": True, "label": "'link'"},
+    ],
+}
+
+_RESULTS: dict[int, LoadResult] = {}
+_OPEN_RESULT: list[LoadResult] = []
+
+
+def build_item_db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE Item (itemID BIGINT PRIMARY KEY, name VARCHAR, score BIGINT)"
+    )
+    db.execute("CREATE TABLE Link (srcID BIGINT, dstID BIGINT)")
+    items = ", ".join(f"({i}, 'item{i}', {i % 7})" for i in range(1, N_ITEMS + 1))
+    db.execute(f"INSERT INTO Item VALUES {items}")
+    links = ", ".join(
+        f"({i}, {i % N_ITEMS + 1})" for i in range(1, N_ITEMS + 1)
+    )
+    db.execute(f"INSERT INTO Link VALUES {links}")
+    return db
+
+
+def mixed_work(session):
+    """One request of the 80/20 read/DML mix.
+
+    Per-session request counter picks the key and the operation, so the
+    mix is deterministic and sessions touch disjoint-ish keys (less
+    write-write conflict noise in a throughput measurement).
+    """
+    n = session._bench_counter = getattr(session, "_bench_counter", -1) + 1
+    key = (n * 7 + session.session_id) % N_ITEMS + 1
+    if n % 5 == 4:
+        session.connection.execute(
+            "UPDATE Item SET score = score + 1 WHERE itemID = ?", (key,)
+        )
+        return None
+    return (
+        session.g.V()
+        .has("item", "itemID", key)
+        .out("link")
+        .values("score")
+        .toList()
+    )
+
+
+@pytest.mark.parametrize("n_sessions", SESSION_COUNTS)
+def test_service_scaling(n_sessions):
+    db = build_item_db()
+    service = GraphService(db, OVERLAY, ServiceConfig(workers=4, queue_depth=256))
+    try:
+        result = run_closed_loop(
+            service,
+            mixed_work,
+            n_sessions=n_sessions,
+            duration_seconds=DURATION_SECONDS,
+            think_seconds=THINK_SECONDS,
+        )
+    finally:
+        service.shutdown(timeout=10)
+    _RESULTS[n_sessions] = result
+
+    assert result.failed == 0, f"{result.failed} requests failed"
+    assert result.shed == 0  # no deadlines in this workload
+    assert result.completed > 0
+    # every admitted request completed; nothing leaked in the service
+    stats = service.stats()
+    assert stats["failed"] == 0
+
+
+def test_service_backpressure_open_loop():
+    """Offered load above capacity into a queue of 8: admission control
+    rejects the overflow instead of letting latency grow without bound,
+    and every admitted request still completes."""
+    db = build_item_db()
+    service = GraphService(db, OVERLAY, ServiceConfig(workers=2, queue_depth=8))
+    try:
+        result = run_open_loop(
+            service,
+            mixed_work,
+            n_sessions=4,
+            arrival_rate_qps=4000.0,
+            duration_seconds=1.0,
+        )
+    finally:
+        service.shutdown(timeout=10)
+    _OPEN_RESULT.append(result)
+
+    assert result.rejected > 0, "overload never hit the queue bound"
+    assert result.failed == 0
+    assert result.completed > 0
+
+
+def test_service_throughput_report(collector):
+    if len(_RESULTS) < len(SESSION_COUNTS):
+        pytest.skip("service scaling benchmarks did not run")
+
+    base = _RESULTS[SESSION_COUNTS[0]]
+    rows = []
+    for n in SESSION_COUNTS:
+        r = _RESULTS[n]
+        rows.append(
+            [
+                n,
+                f"{r.throughput_qps:,.0f}",
+                f"{r.throughput_qps / base.throughput_qps:.2f}x"
+                if base.throughput_qps
+                else "n/a",
+                f"{r.p50_ms:.2f}",
+                f"{r.p95_ms:.2f}",
+                f"{r.p99_ms:.2f}",
+                r.completed,
+                r.rejected,
+            ]
+        )
+    collector.add(
+        "service_throughput",
+        format_table(
+            ["sessions", "qps", "scaling", "p50 ms", "p95 ms", "p99 ms",
+             "completed", "rejected"],
+            rows,
+            title=(
+                "Service-layer throughput vs. session count (closed loop, "
+                f"4 workers, {THINK_SECONDS * 1e3:.0f}ms think time, "
+                "mixed 80/20 read/DML)"
+            ),
+        ),
+    )
+
+    if _OPEN_RESULT:
+        r = _OPEN_RESULT[0]
+        collector.add(
+            "service_throughput",
+            format_table(
+                ["mode", "offered qps", "qps", "completed", "rejected",
+                 "failed", "p95 ms"],
+                [[
+                    "open loop (queue=8, workers=2)", "4,000",
+                    f"{r.throughput_qps:,.0f}", r.completed, r.rejected,
+                    r.failed, f"{r.p95_ms:.2f}",
+                ]],
+                title="Admission control under overload",
+            ),
+        )
+
+    # -- acceptance: multiplexing sessions onto the shared pool scales
+    one = _RESULTS[1].throughput_qps
+    eight = _RESULTS[8].throughput_qps
+    assert eight >= 2.0 * one, (
+        f"8 sessions should at least double 1-session throughput "
+        f"({eight:,.0f} vs {one:,.0f} qps)"
+    )

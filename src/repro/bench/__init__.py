@@ -5,6 +5,7 @@ table/series reporting."""
 
 from .harness import EngineUnderTest, LatencyResult, measure_latency, build_engines
 from .concurrency import ThroughputResult, measure_throughput, modelled_throughput
+from .load import LoadResult, percentile, run_closed_loop, run_open_loop
 from .reporting import format_table, format_bytes, format_seconds, format_phase_breakdown
 
 __all__ = [
@@ -15,6 +16,10 @@ __all__ = [
     "ThroughputResult",
     "measure_throughput",
     "modelled_throughput",
+    "LoadResult",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
     "format_table",
     "format_bytes",
     "format_seconds",

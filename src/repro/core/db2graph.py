@@ -64,8 +64,11 @@ class Db2Graph:
         # open(budget=...) or per-source via g.with_budget(...).
         self.budget = None
         # FanoutPool shared by every traversal on this graph; set by
-        # open(parallelism=...).  None = serial.
+        # open(parallelism=...).  None = serial.  A pool handed in by
+        # open(pool=...) belongs to its creator (the service layer) and
+        # is not shut down by close().
         self.pool: FanoutPool | None = None
+        self._owns_pool = True
         # Transactional read cache (repro.cache); set by open(cache=...).
         # None = every read goes to the relational engine.
         self.cache: GraphCache | None = None
@@ -85,8 +88,11 @@ class Db2Graph:
         retry_policy: Any = None,
         parallelism: int | None = None,
         batch_size: int | None = None,
-        cache: CacheConfig | bool | None = None,
+        cache: CacheConfig | bool | GraphCache | None = None,
         durability: Any = None,
+        registry: MetricsRegistry | None = None,
+        recorder: TraceRecorder | None = None,
+        pool: FanoutPool | None = None,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
 
@@ -128,7 +134,17 @@ class Db2Graph:
         Cached entries are invalidated by per-table epoch counters
         bumped on DML commit, so graph reads stay coherent with
         relational writes; lookups inside an explicit transaction
-        bypass the cache for read-your-writes.
+        bypass the cache for read-your-writes.  A prebuilt
+        :class:`~repro.cache.GraphCache` instance may also be passed —
+        the service layer shares one cache across every session's
+        handle so an invalidation from any session covers all of them.
+
+        ``registry``/``recorder``/``pool`` share an existing metrics
+        registry, trace recorder, and fan-out worker pool instead of
+        creating fresh ones — the service layer passes its own so one
+        observability snapshot (and one bounded worker pool) spans
+        every session multiplexed over the database.  A shared pool is
+        not shut down by :meth:`close`; its owner does that.
 
         ``durability`` (a directory path or
         :class:`~repro.durability.DurabilityConfig`) attaches WAL
@@ -154,19 +170,22 @@ class Db2Graph:
         else:
             config = overlay
         topology = Topology(connection.database, config)
-        registry = MetricsRegistry()
-        recorder = TraceRecorder()
-        cache_config = resolve_cache_config(cache)
-        graph_cache = (
-            GraphCache(
-                connection.database,
-                cache_config,
-                registry=registry,
-                recorder=recorder,
+        registry = registry if registry is not None else MetricsRegistry()
+        recorder = recorder if recorder is not None else TraceRecorder()
+        if isinstance(cache, GraphCache):
+            graph_cache: GraphCache | None = cache
+        else:
+            cache_config = resolve_cache_config(cache)
+            graph_cache = (
+                GraphCache(
+                    connection.database,
+                    cache_config,
+                    registry=registry,
+                    recorder=recorder,
+                )
+                if cache_config is not None
+                else None
             )
-            if cache_config is not None
-            else None
-        )
         dialect = SqlDialect(
             connection,
             track_patterns=track_patterns,
@@ -179,8 +198,10 @@ class Db2Graph:
         # engine underneath it (lock waits, deadlocks, sql errors), so
         # stats()/traces reconcile across layers.
         connection.database.bind_observability(registry, recorder)
-        workers = resolve_parallelism(parallelism)
-        pool = FanoutPool(workers, registry=registry, trace=recorder)
+        owns_pool = pool is None
+        if pool is None:
+            workers = resolve_parallelism(parallelism)
+            pool = FanoutPool(workers, registry=registry, trace=recorder)
         provider = OverlayGraph(
             topology,
             dialect,
@@ -194,6 +215,7 @@ class Db2Graph:
         )
         graph.budget = budget
         graph.pool = pool
+        graph._owns_pool = owns_pool
         graph.cache = graph_cache
         return graph
 
@@ -317,6 +339,13 @@ class Db2Graph:
             "retry_exhausted": self.registry.counter(M.RETRY_EXHAUSTED).value,
             "budget_exceeded": self.registry.counter(M.BUDGET_EXCEEDED).value,
             "faults_injected": self.registry.counter(M.FAULTS_INJECTED).value,
+            # service layer (repro.service) — zero unless this handle's
+            # registry is shared with a GraphService
+            "service_admitted": self.registry.counter(M.SERVICE_ADMITTED).value,
+            "service_rejected": self.registry.counter(M.SERVICE_REJECTED).value,
+            "service_shed": self.registry.counter(M.SERVICE_SHED).value,
+            "service_sessions_opened": self.registry.counter(M.SERVICE_SESSIONS_OPENED).value,
+            "service_sessions_closed": self.registry.counter(M.SERVICE_SESSIONS_CLOSED).value,
             # durability (repro.durability)
             "wal_appends": self.registry.counter(M.WAL_APPENDS).value,
             "wal_flushes": self.registry.counter(M.WAL_FLUSHES).value,
@@ -371,8 +400,9 @@ class Db2Graph:
 
     def close(self) -> None:
         """Release the graph (the relational data stays untouched —
-        there never was a copy).  Shuts down the fan-out worker pool."""
-        if self.pool is not None:
+        there never was a copy).  Shuts down the fan-out worker pool,
+        unless the pool is shared (owned by the service layer)."""
+        if self.pool is not None and self._owns_pool:
             self.pool.shutdown()
 
     @property

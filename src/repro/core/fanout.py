@@ -121,6 +121,31 @@ class FanoutPool:
 
     # -- dispatch ------------------------------------------------------------
 
+    def submit(
+        self,
+        task: Callable[[], Any],
+        scope: Callable[[Callable[[], Any]], Any] | None = None,
+    ):
+        """Run one task asynchronously on a pool worker; returns its
+        :class:`~concurrent.futures.Future`.
+
+        This is the service layer's dispatch primitive: admitted
+        requests execute on the same workers that fan-out statements
+        would use.  The worker is marked active for its duration, so a
+        traversal's nested fan-outs run inline on that worker instead
+        of re-entering a possibly-saturated pool and deadlocking.
+        ``scope`` wraps the task exactly as in :meth:`run`.
+        """
+
+        def run_in_worker() -> Any:
+            _worker_state.active = True
+            try:
+                return scope(task) if scope is not None else task()
+            finally:
+                _worker_state.active = False
+
+        return self._ensure_executor().submit(run_in_worker)
+
     def run(
         self,
         tasks: Sequence[Callable[[], Any]],

@@ -205,6 +205,15 @@ WAL_FLUSHES = "wal.flushes"
 CHECKPOINTS_WRITTEN = "checkpoint.written"
 RECOVERY_REPLAYED = "recovery.replayed"
 RECOVERY_DISCARDED = "recovery.discarded"
+# Service layer (repro.service) — each mirrors a 1:1 trace event; the
+# queue-depth histogram is sampled once per admission (its count equals
+# the number of ``service.queued`` events).
+SERVICE_ADMITTED = "service.admitted"
+SERVICE_REJECTED = "service.rejected"
+SERVICE_SHED = "service.shed"
+SERVICE_QUEUE_DEPTH = "service.queue_depth"
+SERVICE_SESSIONS_OPENED = "service.session.open"
+SERVICE_SESSIONS_CLOSED = "service.session.close"
 
 
 def eliminated_counter_name(rule: str) -> str:

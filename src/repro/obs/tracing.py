@@ -67,6 +67,21 @@ event name             attributes
                        crash recovery
 ``recovery.discarded`` ``txn``, ``ops`` — an uncommitted transaction tail
                        (possibly torn) discarded during crash recovery
+``service.admitted``   ``session``, ``depth`` — a request passed admission
+                       control and joined the dispatch queue at ``depth``
+``service.rejected``   ``depth``, ``retry_after`` — the admission queue was
+                       full; the caller got backpressure with a retry hint
+``service.shed``       ``session``, ``queued_seconds`` — a queued request's
+                       budget deadline expired before a worker picked it
+                       up; it was dropped without executing
+``service.queued``     ``depth`` — queue-depth sample taken at admission
+                       (mirrors one ``service.queue_depth`` histogram
+                       observation)
+``service.session.open``  ``session``, ``user`` — a logical session opened
+                       its per-session graph handle on the shared database
+``service.session.close`` ``session``, ``rolled_back`` — a session closed;
+                       ``rolled_back`` marks an abandoned open transaction
+                       the service rolled back on the session's behalf
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -202,3 +217,9 @@ WAL_FLUSH = "wal.flush"
 CHECKPOINT_WRITTEN = "checkpoint.written"
 RECOVERY_REPLAYED = "recovery.replayed"
 RECOVERY_DISCARDED = "recovery.discarded"
+SERVICE_ADMITTED = "service.admitted"
+SERVICE_REJECTED = "service.rejected"
+SERVICE_SHED = "service.shed"
+SERVICE_QUEUED = "service.queued"
+SERVICE_SESSION_OPEN = "service.session.open"
+SERVICE_SESSION_CLOSE = "service.session.close"

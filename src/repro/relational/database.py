@@ -254,17 +254,26 @@ class Connection:
 
     # -- transactions -------------------------------------------------------
 
-    def begin(self) -> Transaction:
+    def begin(self, isolation: str = Transaction.READ_COMMITTED) -> Transaction:
+        """Open an explicit transaction.  ``isolation`` is
+        :data:`Transaction.READ_COMMITTED` (default: the snapshot
+        advances at every statement) or :data:`Transaction.SNAPSHOT`
+        (the BEGIN-time snapshot holds until COMMIT/ROLLBACK — true
+        snapshot isolation, since writes already use
+        first-committer-wins conflict detection)."""
         if self.current_txn is not None and self.current_txn.is_active:
             raise TransactionError("transaction already open on this connection")
-        self.current_txn = self.database.txn_manager.begin()
+        self.current_txn = self.database.txn_manager.begin(isolation)
         return self.current_txn
 
-    def commit(self) -> None:
+    def commit(self) -> int:
+        """Commit the open transaction; returns its commit CSN (used by
+        the isolation-history recorder to order commits)."""
         if self.current_txn is None or not self.current_txn.is_active:
             raise TransactionError("no open transaction")
-        self.current_txn.commit()
+        csn = self.current_txn.commit()
         self.current_txn = None
+        return csn
 
     def rollback(self) -> None:
         if self.current_txn is None or not self.current_txn.is_active:

@@ -327,15 +327,40 @@ class RWLock:
 
 
 class Transaction:
-    """An open transaction: snapshot, undo information, and locks."""
+    """An open transaction: snapshot, undo information, and locks.
+
+    ``isolation`` picks the read rule between statements:
+
+    * :data:`READ_COMMITTED` (default, the engine's historical
+      behavior) — :meth:`refresh_snapshot` advances the snapshot at
+      every statement boundary, so later statements see concurrent
+      commits immediately.
+    * :data:`SNAPSHOT` — the snapshot taken at BEGIN is kept for the
+      whole transaction; every statement reads the same committed
+      state (plus own writes).  Combined with the storage layer's
+      first-committer-wins write-write conflict check this is snapshot
+      isolation: no read skew is observable within one transaction.
+    """
 
     ACTIVE = "active"
     COMMITTED = "committed"
     ROLLED_BACK = "rolled_back"
 
-    def __init__(self, txn_id: int, snapshot_csn: int, manager: "TransactionManager"):
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+
+    def __init__(
+        self,
+        txn_id: int,
+        snapshot_csn: int,
+        manager: "TransactionManager",
+        isolation: str = READ_COMMITTED,
+    ):
+        if isolation not in (Transaction.READ_COMMITTED, Transaction.SNAPSHOT):
+            raise TransactionError(f"unknown isolation level {isolation!r}")
         self.txn_id = txn_id
         self.snapshot_csn = snapshot_csn
+        self.isolation = isolation
         self.status = Transaction.ACTIVE
         self._manager = manager
         # Versions this transaction created / logically deleted, paired
@@ -386,8 +411,12 @@ class Transaction:
         Called between statements for READ COMMITTED-style visibility,
         which matches what the graph layer needs: "any update to the
         relational tables from the transactional side is immediately
-        available to the graph queries".
+        available to the graph queries".  Under :data:`SNAPSHOT`
+        isolation this is a no-op — the BEGIN-time snapshot holds for
+        the transaction's lifetime.
         """
+        if self.isolation == Transaction.SNAPSHOT:
+            return
         self.snapshot_csn = self._manager.current_csn()
 
     def commit(self) -> int:
@@ -424,9 +453,9 @@ class TransactionManager:
         # become visible (durable-before-visible).
         self.durability = None
 
-    def begin(self) -> Transaction:
+    def begin(self, isolation: str = Transaction.READ_COMMITTED) -> Transaction:
         with self._lock:
-            txn = Transaction(self._next_txn_id, self._csn, self)
+            txn = Transaction(self._next_txn_id, self._csn, self, isolation)
             self._next_txn_id += 1
             return txn
 

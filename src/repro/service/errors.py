@@ -1,0 +1,62 @@
+"""Service-layer errors.
+
+Admission-control rejections are *transient by design*: the caller is
+expected to back off ``retry_after`` seconds and resubmit, exactly like
+a client of an overloaded database gateway.  They carry
+``transient = True`` so the resilience classifier
+(:func:`repro.resilience.retry.is_transient`) treats them as retryable
+without the service importing the retry module.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for every service-layer failure."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The bounded admission queue is full — backpressure.
+
+    ``retry_after`` is the service's estimate (seconds) of when a slot
+    will free up: queued work divided by worker drain rate, from a
+    moving average of recent request service times.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, retry_after: float = 0.0, depth: int = 0):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.depth = depth
+
+
+class ServiceDrainingError(AdmissionRejectedError):
+    """The service is draining/shut down and admits no new work.
+
+    Still an admission rejection (callers can treat both uniformly),
+    but ``retry_after`` is meaningless — the queue is not coming back.
+    """
+
+    transient = False
+
+
+class RequestShedError(ServiceError):
+    """A queued request's budget deadline expired before dispatch.
+
+    Deadline-aware scheduling: running a query whose caller already
+    gave up wastes a worker, so the dispatcher drops it and delivers
+    this error (with the time it sat queued) instead.
+    """
+
+    def __init__(self, message: str, queued_seconds: float = 0.0):
+        super().__init__(message)
+        self.queued_seconds = queued_seconds
+
+
+class SessionClosedError(ServiceError):
+    """An operation was submitted on a closed (or never-opened) session."""
+
+
+class SessionLimitError(ServiceError):
+    """open_session() was called with ``max_sessions`` already open."""

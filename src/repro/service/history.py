@@ -1,0 +1,365 @@
+"""Isolation histories: a concurrent-op recorder and an Elle-style
+snapshot-isolation checker.
+
+The workload model is deliberately chosen so that isolation anomalies
+are *decidable from the history alone* (the trick behind Elle's
+append/counter models): the database holds a set of integer **counter
+registers** (rows ``reg(id, val)`` starting at 0) mutated only by
+atomic increments (``UPDATE reg SET val = val + 1 WHERE id = ?``), plus
+an **append-only** table of inserted markers.  Because increments
+commute and are injectively countable, any read of the registers is a
+vector ``key -> observed count``, and the set of snapshots that could
+legally produce that vector is a contiguous CSN interval computable
+from the commit history.  No tracking of which txn read which version
+is needed — infeasibility *is* the anomaly.
+
+:class:`HistoryRecorder` logs every session's operations (reads — SQL
+or Gremlin —, increments, inserts, begins, commits with their CSN,
+rollbacks) with wall-clock-free monotonic start/end stamps.
+
+:func:`check_history` then verifies, over the full history:
+
+* **No lost updates** — every register's final value equals the number
+  of committed increments on it (aborted increments must not count).
+* **No aborted or intermediate reads (G1a/G1b)** — a read vector that
+  no committed-prefix snapshot can produce is flagged; reads only ever
+  observe whole committed transactions (all of a txn's increments on a
+  key land at one CSN) plus the reading transaction's own writes.
+* **No read skew** — every read is snapshot-consistent, and *all reads
+  of one SNAPSHOT-isolation transaction must share a single feasible
+  snapshot CSN* (the "no read skew within a txn" guarantee; for
+  READ COMMITTED transactions the guarantee is per statement, plus
+  monotonicity below).
+* **Monotonic snapshots per session** — successive reads of one
+  session never travel backwards in commit order.
+* **Monotonic commit order (real time)** — commit CSNs are unique and
+  consistent with real-time order: if commit A returned before commit
+  B was invoked, then ``csn(A) < csn(B)``; likewise a read that starts
+  after a commit returned must observe it, and can never observe a
+  commit that had not started when the read finished.
+* **Append integrity** — every committed insert is present exactly
+  once in the final state; no aborted insert survives.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+# Op kinds.
+READ = "read"
+INCREMENT = "increment"
+INSERT = "insert"
+BEGIN = "begin"
+COMMIT = "commit"
+ROLLBACK = "rollback"
+
+
+@dataclass
+class HistoryOp:
+    """One recorded operation of one logical session."""
+
+    session: int
+    txn: int | None  # recorder-global txn number; None = single-statement
+    kind: str
+    index: int = -1  # global record order (assigned by the recorder)
+    key: int | None = None  # register id (increment) / marker id (insert)
+    value: Any = None  # read: {key: count}; commit: csn
+    start: float = 0.0
+    end: float = 0.0
+    ok: bool = True
+    error: str | None = None
+    isolation: str | None = None  # begin: "snapshot" / "read_committed"
+    source: str = "sql"  # read: "sql" or "gremlin"
+
+
+class HistoryRecorder:
+    """Thread-safe append-only log of :class:`HistoryOp` records."""
+
+    def __init__(self) -> None:
+        self.ops: list[HistoryOp] = []
+        self._lock = threading.Lock()
+        self._txn_counter = 0
+
+    @staticmethod
+    def now() -> float:
+        return time.monotonic()
+
+    def next_txn(self) -> int:
+        with self._lock:
+            self._txn_counter += 1
+            return self._txn_counter
+
+    def record(self, op: HistoryOp) -> HistoryOp:
+        with self._lock:
+            op.index = len(self.ops)
+            self.ops.append(op)
+        return op
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"HistoryRecorder({len(self)} ops)"
+
+
+@dataclass
+class HistoryCheckResult:
+    violations: list[str] = field(default_factory=list)
+    reads_checked: int = 0
+    commits: int = 0
+    committed_increments: int = 0
+    aborted_txns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violations"
+        return (
+            f"HistoryCheckResult({state}: {self.reads_checked} reads, "
+            f"{self.commits} commits, {self.committed_increments} increments)"
+        )
+
+
+_INF = float("inf")
+
+
+class _CommitIndex:
+    """Per-key committed-increment prefix counts, ordered by CSN."""
+
+    def __init__(self, ops: Sequence[HistoryOp]):
+        commit_by_txn: dict[int, HistoryOp] = {}
+        self.commit_ops: list[HistoryOp] = []
+        for op in ops:
+            if op.kind == COMMIT and op.ok:
+                self.commit_ops.append(op)
+                if op.txn is not None:
+                    commit_by_txn[op.txn] = op
+        self.csns = sorted(op.value for op in self.commit_ops)
+        # key -> sorted list of (csn repeated once per increment).
+        self.increment_csns: dict[int, list[int]] = {}
+        self.total_increments = 0
+        for op in ops:
+            if op.kind != INCREMENT or not op.ok or op.txn is None:
+                continue
+            commit = commit_by_txn.get(op.txn)
+            if commit is None:
+                continue  # aborted or never-committed: must not count
+            self.increment_csns.setdefault(op.key, []).append(commit.value)
+            self.total_increments += 1
+        for csns in self.increment_csns.values():
+            csns.sort()
+
+    def committed_count(self, key: int) -> int:
+        return len(self.increment_csns.get(key, ()))
+
+    def feasible_interval(self, key: int, observed: int) -> tuple[float, float]:
+        """CSN interval ``[lo, hi]`` such that a snapshot at ``s`` in it
+        shows exactly ``observed`` committed increments on ``key``."""
+        csns = self.increment_csns.get(key, [])
+        if observed < 0 or observed > len(csns):
+            return (_INF, -_INF)  # empty: impossible count
+        lo = csns[observed - 1] if observed > 0 else 0
+        hi = csns[observed] - 1 if observed < len(csns) else _INF
+        return (float(lo), float(hi))
+
+
+def _own_increments_before(
+    ops: Sequence[HistoryOp], read: HistoryOp
+) -> dict[int, int]:
+    """The reading txn's own committed-or-pending increments that
+    happened before the read (visible via read-your-writes)."""
+    own: dict[int, int] = {}
+    if read.txn is None:
+        return own
+    for op in ops:
+        if (
+            op.kind == INCREMENT
+            and op.ok
+            and op.txn == read.txn
+            and op.index < read.index
+        ):
+            own[op.key] = own.get(op.key, 0) + 1
+    return own
+
+
+def check_history(
+    ops: Sequence[HistoryOp],
+    final_state: dict[int, int],
+    final_inserts: Iterable[int] = (),
+    max_violations: int = 25,
+) -> HistoryCheckResult:
+    """Check a recorded history against snapshot-isolation semantics.
+
+    ``final_state`` maps register key -> final value read after all
+    sessions finished; ``final_inserts`` is the set of marker ids
+    present in the append-only table at the end.
+    """
+    result = HistoryCheckResult()
+    index = _CommitIndex(ops)
+    result.commits = len(index.commit_ops)
+    result.committed_increments = index.total_increments
+    violations = result.violations
+
+    def violate(message: str) -> None:
+        if len(violations) < max_violations:
+            violations.append(message)
+
+    # -- commit order: unique CSNs, consistent with real time ---------------
+    seen_csns: dict[int, HistoryOp] = {}
+    for op in index.commit_ops:
+        if op.value in seen_csns:
+            violate(f"duplicate commit CSN {op.value} (txns {seen_csns[op.value].txn} and {op.txn})")
+        seen_csns[op.value] = op
+    by_end = sorted(index.commit_ops, key=lambda o: o.end)
+    max_csn_so_far = -1
+    for op in by_end:
+        # every commit that *returned* before this one was *invoked*
+        # must have a smaller CSN
+        for other in by_end:
+            if other.end < op.start and other.value > op.value:
+                violate(
+                    f"commit order violates real time: txn {other.txn} "
+                    f"(csn {other.value}) returned before txn {op.txn} "
+                    f"(csn {op.value}) started"
+                )
+                break
+        max_csn_so_far = max(max_csn_so_far, op.value)
+
+    # -- lost updates -------------------------------------------------------
+    keys = set(final_state) | set(index.increment_csns)
+    for key in sorted(keys):
+        expected = index.committed_count(key)
+        actual = final_state.get(key, 0)
+        if actual != expected:
+            violate(
+                f"lost/phantom update on key {key}: final value {actual}, "
+                f"but {expected} committed increments"
+            )
+
+    # -- aborted-txn accounting --------------------------------------------
+    committed_txns = {op.txn for op in index.commit_ops}
+    begun_txns = {op.txn for op in ops if op.kind == BEGIN}
+    result.aborted_txns = len(begun_txns - committed_txns)
+
+    # -- read consistency ---------------------------------------------------
+    # Pre-sort commit times for the real-time recency bounds.
+    commits_by_end = sorted((op.end, op.value) for op in index.commit_ops)
+    commit_end_times = [t for t, _ in commits_by_end]
+    commits_by_start = sorted((op.start, op.value) for op in index.commit_ops)
+    commit_start_times = [t for t, _ in commits_by_start]
+
+    def realtime_bounds(anchor_start: float, anchor_end: float) -> tuple[float, float]:
+        """Snapshot bounds implied by real time: the snapshot (taken
+        in the ``[anchor_start, anchor_end]`` window) must include
+        every commit that returned before the window opened, and must
+        exclude any commit that started after the window closed."""
+        pos = bisect.bisect_left(commit_end_times, anchor_start)
+        rt_lo = max((csn for _t, csn in commits_by_end[:pos]), default=0)
+        pos = bisect.bisect_right(commit_start_times, anchor_end)
+        later = [csn for _t, csn in commits_by_start[pos:]]
+        rt_hi = min(later) - 1 if later else _INF
+        return (float(rt_lo), float(rt_hi))
+
+    # isolation level and begin window per txn (from its begin op)
+    txn_isolation: dict[int, str] = {}
+    txn_begin: dict[int, HistoryOp] = {}
+    for op in ops:
+        if op.kind == BEGIN and op.txn is not None:
+            txn_isolation[op.txn] = op.isolation or "read_committed"
+            txn_begin[op.txn] = op
+
+    # per-session greedy monotonic snapshot assignment, and per-snapshot-txn
+    # interval intersection
+    session_snapshot: dict[int, float] = {}
+    txn_interval: dict[int, tuple[float, float]] = {}
+
+    for op in sorted((o for o in ops if o.kind == READ and o.ok), key=lambda o: o.index):
+        vector: dict[int, int] = op.value or {}
+        result.reads_checked += 1
+        own = _own_increments_before(ops, op)
+        lo, hi = 0.0, _INF
+        broken = None
+        for key, observed in vector.items():
+            adjusted = observed - own.get(key, 0)
+            if adjusted < 0:
+                broken = (
+                    f"read at index {op.index} (session {op.session}) observed "
+                    f"{observed} on key {key} — fewer than its own writes"
+                )
+                break
+            k_lo, k_hi = index.feasible_interval(key, adjusted)
+            lo, hi = max(lo, k_lo), min(hi, k_hi)
+        if broken:
+            violate(broken)
+            continue
+        if lo > hi:
+            violate(
+                f"read skew: read at index {op.index} (session {op.session}, "
+                f"txn {op.txn}, {op.source}) vector {vector} matches no "
+                f"committed snapshot"
+            )
+            continue
+        # A SNAPSHOT txn's reads all observe the BEGIN-time snapshot,
+        # so real-time recency anchors at BEGIN; READ COMMITTED (and
+        # single-statement) reads take a fresh snapshot per statement.
+        snapshot_txn = op.txn is not None and txn_isolation.get(op.txn) == "snapshot"
+        if snapshot_txn and op.txn in txn_begin:
+            begin = txn_begin[op.txn]
+            rt_lo, rt_hi = realtime_bounds(begin.start, begin.end)
+        else:
+            rt_lo, rt_hi = realtime_bounds(op.start, op.end)
+        lo, hi = max(lo, rt_lo), min(hi, rt_hi)
+        if lo > hi:
+            violate(
+                f"stale/future read at index {op.index} (session {op.session}): "
+                f"vector {vector} is inconsistent with real-time commit order"
+            )
+            continue
+        # snapshot txns: one snapshot for the whole transaction
+        if snapshot_txn:
+            t_lo, t_hi = txn_interval.get(op.txn, (0.0, _INF))
+            t_lo, t_hi = max(t_lo, lo), min(t_hi, hi)
+            if t_lo > t_hi:
+                violate(
+                    f"read skew within snapshot txn {op.txn}: reads do not "
+                    f"share a single feasible snapshot (read index {op.index})"
+                )
+                continue
+            txn_interval[op.txn] = (t_lo, t_hi)
+        # session monotonicity: greedy non-decreasing snapshot choice
+        prev = session_snapshot.get(op.session, 0.0)
+        chosen = max(lo, prev)
+        if chosen > hi:
+            violate(
+                f"non-monotonic reads in session {op.session}: read at index "
+                f"{op.index} travels backwards in commit order"
+            )
+            continue
+        session_snapshot[op.session] = chosen
+
+    # -- append-only integrity ---------------------------------------------
+    final_markers = set(final_inserts)
+    commit_by_txn = {op.txn: op for op in index.commit_ops if op.txn is not None}
+    seen_markers: set[int] = set()
+    for op in ops:
+        if op.kind != INSERT or not op.ok:
+            continue
+        if op.key in seen_markers:
+            violate(f"marker {op.key} inserted twice (successfully)")
+        seen_markers.add(op.key)
+        committed = op.txn in commit_by_txn
+        if committed and op.key not in final_markers:
+            violate(f"committed insert of marker {op.key} missing from final state")
+        if not committed and op.key in final_markers:
+            violate(f"aborted insert of marker {op.key} present in final state")
+    for marker in final_markers - seen_markers:
+        violate(f"marker {marker} present in final state but never inserted")
+
+    return result

@@ -1,0 +1,377 @@
+"""The multi-session graph service (admission control + dispatch).
+
+Db2 Graph runs *inside* the DBMS process, where many SQL and Gremlin
+sessions hit the graph layer at once.  :class:`GraphService` is that
+shape: one shared :class:`~repro.relational.database.Database`, many
+logical :class:`~repro.service.session.GraphSession` handles, and a
+single bounded admission queue feeding a shared
+:class:`~repro.core.fanout.FanoutPool` of workers.
+
+Request lifecycle::
+
+    submit ──► AdmissionQueue (bounded; full ⇒ reject + retry_after)
+                  │  round-robin across sessions (fair dispatch)
+                  ▼
+            dispatcher thread ──► deadline expired while queued?
+                  │                     yes ⇒ shed (never executes)
+                  ▼ no
+            FanoutPool worker runs fn(session) ──► Future resolves
+
+Guarantees:
+
+* **Backpressure** — a full queue rejects *immediately* with an
+  :class:`~repro.service.errors.AdmissionRejectedError` carrying a
+  drain-rate-based ``retry_after`` hint; queued latency stays bounded.
+* **Deadline shedding** — a request whose ``QueryBudget`` deadline
+  elapsed while it sat queued is dropped at dispatch time (a worker is
+  never spent on a query its caller already abandoned).
+* **Fairness** — one FIFO per session, popped round-robin; a flooding
+  session cannot starve the rest.
+* **Graceful drain** — ``drain()`` stops admission and finishes every
+  queued and in-flight request; ``shutdown()`` additionally closes all
+  sessions, rolling back any abandoned open transaction so no lock or
+  transaction outlives the service.
+
+One metrics registry and trace recorder span the service, every
+session's graph handle, and the relational engine underneath, so
+``service.*`` counters reconcile 1:1 with their trace events alongside
+every existing pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, Callable
+
+from ..cache import CacheConfig, GraphCache, resolve_cache_config
+from ..core.db2graph import Db2Graph
+from ..core.fanout import FanoutPool
+from ..core.overlay import OverlayConfig
+from ..obs import metrics as M
+from ..obs import tracing
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import TraceRecorder
+from ..relational.database import Database
+from .admission import AdmissionQueue, Request
+from .config import ServiceConfig
+from .errors import (
+    RequestShedError,
+    ServiceDrainingError,
+    ServiceError,
+    SessionClosedError,
+    SessionLimitError,
+)
+from .session import GraphSession
+
+
+class GraphService:
+    """Multiplexes logical graph sessions over one shared database."""
+
+    def __init__(
+        self,
+        database: Database,
+        overlay: OverlayConfig | dict | str | Path,
+        config: ServiceConfig | None = None,
+        *,
+        cache: CacheConfig | bool | None = None,
+        optimized: bool = True,
+    ):
+        self.database = database
+        if isinstance(overlay, (str, Path)):
+            overlay = OverlayConfig.from_file(overlay)
+        elif isinstance(overlay, dict):
+            overlay = OverlayConfig.from_dict(overlay)
+        self.overlay = overlay
+        self.config = config or ServiceConfig()
+        self.optimized = optimized
+        self.clock = self.config.clock
+        self.max_sessions = self.config.resolved_max_sessions()
+
+        self.registry = MetricsRegistry()
+        self.trace = TraceRecorder()
+        database.bind_observability(self.registry, self.trace)
+
+        # One worker pool serves every session: requests dispatch onto
+        # it, and a request's traversal fan-outs run inline on their
+        # worker (the pool marks workers active), so the pool can never
+        # deadlock against itself.
+        self.pool = FanoutPool(
+            self.config.workers, registry=self.registry, trace=self.trace
+        )
+        self.queue = AdmissionQueue(
+            self.config.resolved_queue_depth(),
+            self.config.workers,
+            registry=self.registry,
+            trace=self.trace,
+            default_retry_after=self.config.default_retry_after,
+        )
+        # Shared read cache: one GraphCache for all sessions, so a DML
+        # commit in any session invalidates every session's cached
+        # reads (the epoch registry lives on the shared database).
+        cache_config = resolve_cache_config(cache)
+        self.cache: GraphCache | None = (
+            GraphCache(
+                database, cache_config, registry=self.registry, recorder=self.trace
+            )
+            if cache_config is not None
+            else None
+        )
+
+        self.sessions: dict[int, GraphSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self._accounting_lock = threading.Lock()
+
+        self._permits = threading.Semaphore(self.config.workers)
+        self._stopping = False
+        self._drained = threading.Event()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- observability -------------------------------------------------------
+
+    def enable_tracing(self, max_events: int | None = None) -> TraceRecorder:
+        if max_events is not None:
+            self.trace.max_events = max_events
+        self.trace.clear()
+        self.trace.enabled = True
+        return self.trace
+
+    def disable_tracing(self) -> None:
+        self.trace.enabled = False
+
+    def stats(self) -> dict[str, Any]:
+        depth_hist = self.registry.histogram(M.SERVICE_QUEUE_DEPTH)
+        return {
+            "sessions_open": len(self.sessions),
+            "admitted": self.registry.counter(M.SERVICE_ADMITTED).value,
+            "rejected": self.registry.counter(M.SERVICE_REJECTED).value,
+            "shed": self.registry.counter(M.SERVICE_SHED).value,
+            "sessions_opened": self.registry.counter(M.SERVICE_SESSIONS_OPENED).value,
+            "sessions_closed": self.registry.counter(M.SERVICE_SESSIONS_CLOSED).value,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_depth": self.queue.depth(),
+            "queue_depth_max": depth_hist.max if depth_hist.count else 0,
+            "queue_depth_samples": depth_hist.count,
+        }
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def open_session(
+        self,
+        user: str = "admin",
+        budget: Any = None,
+        retry_policy: Any = None,
+        batch_size: int | None = None,
+    ) -> GraphSession:
+        """Open a logical session: its own connection and graph handle
+        (independent transaction/budget/retry scopes) over the shared
+        database, registry, cache, and worker pool."""
+        with self._sessions_lock:
+            if self._stopping:
+                raise ServiceError("service is shut down")
+            if self.queue.closed:
+                raise ServiceDrainingError(
+                    "service is draining; no new sessions"
+                )
+            if len(self.sessions) >= self.max_sessions:
+                raise SessionLimitError(
+                    f"session limit reached ({self.max_sessions})"
+                )
+            session_id = next(self._session_ids)
+            connection = self.database.connect(user)
+            graph = Db2Graph.open(
+                connection,
+                self.overlay,
+                optimized=self.optimized,
+                budget=budget,
+                retry_policy=retry_policy,
+                batch_size=batch_size,
+                cache=self.cache if self.cache is not None else False,
+                registry=self.registry,
+                recorder=self.trace,
+                pool=self.pool,
+            )
+            session = GraphSession(
+                self, session_id, user, connection, graph, budget=budget
+            )
+            self.sessions[session_id] = session
+        self.registry.counter(M.SERVICE_SESSIONS_OPENED).increment()
+        self.trace.emit(tracing.SERVICE_SESSION_OPEN, session=session_id, user=user)
+        return session
+
+    def close_session(self, session: GraphSession, timeout: float | None = None) -> None:
+        """Close one session: fail its queued requests, let the
+        in-flight one finish, roll back an abandoned transaction."""
+        with self._sessions_lock:
+            if session.closed:
+                return
+            session.closed = True
+            self.sessions.pop(session.session_id, None)
+        for request in self.queue.remove_session(session.session_id):
+            request.future.set_exception(
+                SessionClosedError(
+                    f"session {session.session_id} closed before dispatch"
+                )
+            )
+        session._wait_idle(timeout)
+        rolled_back = False
+        txn = session.connection.current_txn
+        if txn is not None and txn.is_active:
+            # Abandoned explicit transaction: roll it back so its write
+            # locks and undo state don't outlive the session.
+            session.connection.rollback()
+            rolled_back = True
+        session.rolled_back_on_close = rolled_back
+        self.registry.counter(M.SERVICE_SESSIONS_CLOSED).increment()
+        self.trace.emit(
+            tracing.SERVICE_SESSION_CLOSE,
+            session=session.session_id,
+            rolled_back=rolled_back,
+        )
+
+    # -- submission ----------------------------------------------------------
+
+    def _submit(
+        self,
+        session: GraphSession,
+        fn: Callable[[GraphSession], Any],
+        budget: Any = None,
+        label: str = "",
+    ) -> Future:
+        effective_budget = budget if budget is not None else session.budget
+        future: Future = Future()
+        enqueued_at = self.clock()
+        deadline = getattr(effective_budget, "deadline_seconds", None)
+
+        def shed_check(now: float) -> float | None:
+            """Queue seconds if the deadline expired while queued."""
+            if deadline is None:
+                return None
+            queued = now - enqueued_at
+            return queued if queued > deadline else None
+
+        request = Request(
+            session_id=session.session_id,
+            fn=lambda: fn(session),
+            future=future,
+            budget=effective_budget,
+            enqueued_at=enqueued_at,
+            label=label,
+            shed_check=shed_check,
+            session=session,
+        )
+        self.queue.push(request)
+        return future
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            # Take a worker permit first: the shed decision below is
+            # made at the moment a worker is genuinely available, so
+            # queue time — not dispatch bookkeeping — is what's judged.
+            if not self._permits.acquire(timeout=0.05):
+                continue
+            request = self.queue.pop(timeout=0.05)
+            if request is None:
+                self._permits.release()
+                if self._stopping and self.queue.closed and self.queue.depth() == 0:
+                    return
+                continue
+            queued_seconds = request.shed_check(self.clock())
+            if queued_seconds is not None:
+                self._permits.release()
+                self._shed(request, queued_seconds)
+                continue
+            session: GraphSession = request.session
+            session._begin_request()
+            self.pool.submit(self._make_runner(request, session))
+
+    def _shed(self, request: Request, queued_seconds: float) -> None:
+        with self._accounting_lock:
+            self.shed += 1
+        self.registry.counter(M.SERVICE_SHED).increment()
+        self.trace.emit(
+            tracing.SERVICE_SHED,
+            session=request.session_id,
+            queued_seconds=queued_seconds,
+        )
+        request.future.set_exception(
+            RequestShedError(
+                f"request shed: deadline expired after {queued_seconds:.3f}s "
+                "in the admission queue",
+                queued_seconds=queued_seconds,
+            )
+        )
+
+    def _make_runner(self, request: Request, session: GraphSession) -> Callable[[], None]:
+        def run() -> None:
+            started = self.clock()
+            try:
+                result = request.fn()
+            except BaseException as exc:  # noqa: BLE001 — delivered via future
+                with self._accounting_lock:
+                    self.failed += 1
+                request.future.set_exception(exc)
+            else:
+                with self._accounting_lock:
+                    self.completed += 1
+                request.future.set_result(result)
+            finally:
+                self.queue.note_service_time(max(0.0, self.clock() - started))
+                session._end_request()
+                self._permits.release()
+
+        return run
+
+    # -- drain / shutdown ----------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, finish every queued and in-flight request.
+
+        Returns True when fully drained within ``timeout``.
+        """
+        self.queue.close()
+        if not self.queue.wait_empty(timeout):
+            return False
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        return all(session._wait_idle(timeout) for session in sessions)
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Drain, stop the dispatcher, close every session (rolling
+        back abandoned transactions), and release the worker pool."""
+        drained = self.drain(timeout)
+        self._stopping = True
+        self.queue.close()
+        self._dispatcher.join(timeout)
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
+            self.close_session(session, timeout=timeout)
+        self.pool.shutdown()
+        return drained and not self._dispatcher.is_alive()
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphService(sessions={len(self.sessions)}/{self.max_sessions}, "
+            f"queue={self.queue.depth()}/{self.queue.capacity}, "
+            f"workers={self.config.workers})"
+        )

@@ -1,0 +1,142 @@
+"""Per-session graph handles over the shared database.
+
+A :class:`GraphSession` is one logical client of a
+:class:`~repro.service.service.GraphService`: its own
+:class:`~repro.relational.database.Connection` (so explicit
+transactions, fault injectors, and access control are scoped to it),
+its own :class:`~repro.core.db2graph.Db2Graph` handle (so budgets and
+retry policies are per-session), all over the service's single shared
+``Database``, metrics registry, trace recorder, read cache, and fan-out
+worker pool.
+
+Sessions submit work through the service's admission queue; they never
+execute on the caller's thread.  ``submit`` returns a
+:class:`concurrent.futures.Future`, ``run`` blocks for the result, and
+``execute`` is the Gremlin-string convenience.  Closing a session
+fails its queued requests, waits out any in-flight one, and rolls back
+an abandoned open transaction so no lock outlives the session.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+    from ..core.db2graph import Db2Graph
+    from ..graph.traversal import GraphTraversalSource
+    from ..relational.database import Connection
+    from .service import GraphService
+
+from .errors import SessionClosedError
+
+
+class GraphSession:
+    """One logical session multiplexed onto the shared database."""
+
+    def __init__(
+        self,
+        service: "GraphService",
+        session_id: int,
+        user: str,
+        connection: "Connection",
+        graph: "Db2Graph",
+        budget: Any = None,
+    ):
+        self.service = service
+        self.session_id = session_id
+        self.user = user
+        self.connection = connection
+        self.graph = graph
+        self.budget = budget
+        self.closed = False
+        # In-flight request count; close() waits for it to reach zero
+        # (graceful: a running query finishes, then the session dies).
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        # Set by close() to roll back an abandoned explicit transaction.
+        self.rolled_back_on_close = False
+
+    # -- submitting work -----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[["GraphSession"], Any],
+        budget: Any = None,
+        label: str = "",
+    ) -> "Future":
+        """Queue ``fn(session)`` through admission control.
+
+        ``budget`` overrides the session budget for this request; its
+        deadline also governs queue-time shedding.  Raises
+        :class:`~repro.service.errors.AdmissionRejectedError` when the
+        queue is full and :class:`SessionClosedError` after close().
+        """
+        if self.closed:
+            raise SessionClosedError(f"session {self.session_id} is closed")
+        return self.service._submit(self, fn, budget=budget, label=label)
+
+    def run(
+        self,
+        fn: Callable[["GraphSession"], Any],
+        budget: Any = None,
+        timeout: float | None = None,
+    ) -> Any:
+        """Submit and wait: the synchronous convenience."""
+        return self.submit(fn, budget=budget).result(timeout)
+
+    def execute(self, gremlin: str, timeout: float | None = None) -> Any:
+        """Run a Gremlin query string through this session."""
+        return self.run(lambda s: s.graph.execute(gremlin), timeout=timeout)
+
+    @property
+    def g(self) -> "GraphTraversalSource":
+        """A traversal source bound to this session's budget/handle.
+
+        Only valid inside a request callable (it executes on a service
+        worker); using it from an arbitrary thread bypasses admission
+        control.
+        """
+        return self.graph.traversal()
+
+    # -- in-flight accounting (called by the service dispatcher) -------------
+
+    def _begin_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cond.notify_all()
+
+    def _wait_idle(self, timeout: float | None = None) -> bool:
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight == 0, timeout
+            )
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, timeout: float | None = None) -> None:
+        """Close via the service: queued requests fail, the in-flight
+        one finishes, an abandoned open transaction rolls back."""
+        self.service.close_session(self, timeout=timeout)
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"open, inflight={self.inflight}"
+        return f"GraphSession(id={self.session_id}, user={self.user!r}, {state})"

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import threading
 
+import pytest
+
 from repro.cache import EpochRegistry
 
 
@@ -66,6 +68,7 @@ def test_snapshot_is_a_copy():
     assert reg.epoch("t") == 1
 
 
+@pytest.mark.stress
 def test_concurrent_bumps_lose_nothing():
     reg = EpochRegistry()
     n_threads, rounds = 8, 200

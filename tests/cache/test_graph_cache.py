@@ -359,6 +359,7 @@ def test_parallel_fanout_with_cache_matches_serial(db):
         serial.close()
 
 
+@pytest.mark.stress
 @pytest.mark.timeout(60)
 def test_concurrent_readers_and_writers_stay_coherent(db):
     """Readers on a shared cached graph race committed writers; every

@@ -106,6 +106,7 @@ def test_lock_hold_time_accumulates():
     assert cache.lock_held_seconds == 0.0
 
 
+@pytest.mark.stress
 def test_thread_safety_under_contention():
     cache = LruCache(capacity=64)
     errors = []

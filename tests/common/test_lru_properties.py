@@ -12,6 +12,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.lru import LruCache
@@ -123,6 +124,7 @@ def test_property_get_or_load_loads_each_resident_key_once(keys):
     assert cache.misses == len(set(keys))
 
 
+@pytest.mark.stress
 @settings(deadline=None, max_examples=10)
 @given(st.integers(0, 2**32 - 1))
 def test_property_get_or_load_stampede_loads_once_per_key(seed):

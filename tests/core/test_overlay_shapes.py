@@ -175,6 +175,7 @@ class TestConcurrentAccess:
         assert results == [0]
         writer.rollback()
 
+    @pytest.mark.stress
     def test_many_concurrent_readers_with_writer(self, live):
         db, graph = live
         errors = []

@@ -39,6 +39,7 @@ def assert_counters_match_events(graph, recorder):
     assert_resilience_counters_match_events(graph, recorder)
     assert_cache_counters_match_events(graph, recorder)
     assert_durability_counters_match_events(graph, recorder)
+    assert_service_counters_match_events(graph, recorder)
 
 
 def assert_parallel_counters_match_events(graph, recorder):
@@ -87,6 +88,28 @@ def assert_durability_counters_match_events(graph, recorder):
     assert stats["checkpoints_written"] == recorder.count(tracing.CHECKPOINT_WRITTEN)
     assert stats["recovery_replayed"] == recorder.count(tracing.RECOVERY_REPLAYED)
     assert stats["recovery_discarded"] == recorder.count(tracing.RECOVERY_DISCARDED)
+
+
+def assert_service_counters_match_events(graph, recorder):
+    """The service-layer admission counters keep the 1:1 invariant —
+    outside a GraphService every pair is identically zero, so the same
+    assertions pin standalone graphs and multiplexed sessions alike.
+    ``service.queue_depth`` is a histogram whose every observation is
+    mirrored by one ``service.queued`` event."""
+    stats = graph.stats()
+    assert stats["service_admitted"] == recorder.count(tracing.SERVICE_ADMITTED)
+    assert stats["service_rejected"] == recorder.count(tracing.SERVICE_REJECTED)
+    assert stats["service_shed"] == recorder.count(tracing.SERVICE_SHED)
+    assert stats["service_sessions_opened"] == recorder.count(
+        tracing.SERVICE_SESSION_OPEN
+    )
+    assert stats["service_sessions_closed"] == recorder.count(
+        tracing.SERVICE_SESSION_CLOSE
+    )
+    from repro.obs import metrics as M
+
+    depth = graph.registry.histogram(M.SERVICE_QUEUE_DEPTH)
+    assert depth.count == recorder.count(tracing.SERVICE_QUEUED)
 
 
 def test_fixed_label_elimination_counters_match_events(traced):
@@ -511,3 +534,67 @@ def test_prepared_cache_counters_exact_under_hammer(paper_db):
     finally:
         graph.disable_tracing()
         graph.close()
+
+
+@pytest.mark.service
+@pytest.mark.stress
+@pytest.mark.timeout(120)
+def test_service_counters_reconcile_under_multiplexing(paper_db):
+    """The service.* counters keep the 1:1 invariant under real
+    multiplexing: several sessions submitting concurrently, forced
+    rejections (tiny queue), and deliberate failures, all reconciled
+    through a session's graph handle (the registry and recorder are
+    shared service-wide, so any handle sees the service totals)."""
+    import threading
+
+    from repro.service import (
+        AdmissionRejectedError,
+        GraphService,
+        ServiceConfig,
+    )
+    from tests.conftest import HEALTHCARE_TINY_OVERLAY
+
+    service = GraphService(
+        paper_db, HEALTHCARE_TINY_OVERLAY, ServiceConfig(workers=2, queue_depth=4)
+    )
+    try:
+        recorder = service.enable_tracing()
+        sessions = [service.open_session() for _ in range(4)]
+        errors: list[BaseException] = []
+        rejections = [0]
+        lock = threading.Lock()
+
+        def client(session, rounds=25):
+            try:
+                for i in range(rounds):
+                    try:
+                        assert session.run(
+                            lambda s: s.g.V().hasLabel("patient").count().next(),
+                            timeout=30,
+                        ) >= 3
+                    except AdmissionRejectedError:
+                        with lock:
+                            rejections[0] += 1
+            except BaseException as exc:  # noqa: BLE001 — surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(s,)) for s in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive(), "client thread wedged"
+        assert not errors, errors[:3]
+        for session in sessions[:2]:
+            session.close(timeout=10)
+        graph = sessions[2].graph
+        stats = graph.stats()
+        assert stats["service_sessions_opened"] == 4
+        assert stats["service_sessions_closed"] == 2
+        assert stats["service_admitted"] + rejections[0] == 4 * 25
+        assert stats["service_rejected"] == rejections[0]
+        assert_counters_match_events(graph, recorder)
+    finally:
+        service.shutdown(timeout=15)

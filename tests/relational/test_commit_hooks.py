@@ -1,0 +1,165 @@
+"""Unit backfill for commit-hook ordering and the isolation-level
+plumbing in :mod:`repro.relational.transactions`.
+
+The cache layer's coherence proof leans on three ordering facts the
+integration suites only exercise indirectly:
+
+1. hooks fire *after* version stamping (committed data is visible
+   before its epoch moves),
+2. hooks fire *before* the transaction's write locks release (a waiter
+   acquiring the lock observes the bumped epoch),
+3. rollback never fires hooks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Database
+from repro.relational.errors import TransactionError
+from repro.relational.transactions import Transaction
+
+
+@pytest.fixture
+def reg_db(db):
+    db.execute("CREATE TABLE reg (id INT PRIMARY KEY, val INT)")
+    db.execute("INSERT INTO reg VALUES (1, 0)")
+    return db
+
+
+def test_hook_receives_written_tables_once_per_commit(reg_db):
+    calls: list[list[str]] = []
+    reg_db.txn_manager.commit_hooks.append(lambda tables: calls.append(tables))
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 1 WHERE id = 1")
+    assert calls == []  # nothing fires before commit
+    conn.commit()
+    assert calls == [["reg"]]
+
+
+def test_hook_fires_after_stamping(reg_db):
+    """At hook time the committed row must already be visible to a new
+    snapshot — the cache's capture-before-SQL rule depends on it."""
+    seen: list[int] = []
+
+    def hook(_tables):
+        other = reg_db.connect()
+        seen.append(other.execute("SELECT val FROM reg WHERE id = 1").scalar())
+
+    reg_db.txn_manager.commit_hooks.append(hook)
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 7 WHERE id = 1")
+    conn.commit()
+    assert seen == [7]
+
+
+def test_hook_fires_before_write_locks_release(reg_db):
+    """A waiter that acquires the released write lock must find the
+    hooks already run; the lock is still exclusively held at hook
+    time."""
+    states: list[tuple[object, bool]] = []
+
+    def hook(_tables):
+        lock = reg_db.catalog.get_table("reg").lock
+        states.append((lock.writer_owner, lock.is_idle))
+
+    reg_db.txn_manager.commit_hooks.append(hook)
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 2 WHERE id = 1")
+    txn_id = conn.current_txn.txn_id
+    conn.commit()
+    assert states == [(txn_id, False)]
+    assert reg_db.catalog.get_table("reg").lock.is_idle
+
+
+def test_hooks_fire_in_registration_order(reg_db):
+    order: list[str] = []
+    reg_db.txn_manager.commit_hooks.append(lambda _t: order.append("first"))
+    reg_db.txn_manager.commit_hooks.append(lambda _t: order.append("second"))
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 3 WHERE id = 1")
+    conn.commit()
+    assert order == ["first", "second"]
+
+
+def test_read_only_commit_skips_hooks(reg_db):
+    calls: list[list[str]] = []
+    reg_db.txn_manager.commit_hooks.append(lambda tables: calls.append(tables))
+    conn = reg_db.connect()
+    conn.begin()
+    assert conn.execute("SELECT val FROM reg").rows == [(0,)]
+    conn.commit()
+    assert calls == []  # no written tables, nothing to invalidate
+
+
+def test_rollback_never_fires_hooks(reg_db):
+    calls: list[list[str]] = []
+    reg_db.txn_manager.commit_hooks.append(lambda tables: calls.append(tables))
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 9 WHERE id = 1")
+    conn.rollback()
+    assert calls == []
+    assert reg_db.execute("SELECT val FROM reg WHERE id = 1").scalar() == 0
+    assert reg_db.catalog.get_table("reg").lock.is_idle
+
+
+def test_multi_table_commit_reports_every_written_table(reg_db):
+    reg_db.execute("CREATE TABLE other (id INT PRIMARY KEY)")
+    calls: list[list[str]] = []
+    reg_db.txn_manager.commit_hooks.append(lambda tables: calls.append(sorted(tables)))
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 4 WHERE id = 1")
+    conn.execute("INSERT INTO other VALUES (1)")
+    conn.commit()
+    assert calls == [["other", "reg"]]
+
+
+# -- isolation-level plumbing -------------------------------------------------
+
+
+def test_commit_returns_monotonic_csns(reg_db):
+    conn = reg_db.connect()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 1 WHERE id = 1")
+    first = conn.commit()
+    conn.begin()
+    conn.execute("UPDATE reg SET val = 2 WHERE id = 1")
+    second = conn.commit()
+    assert isinstance(first, int) and isinstance(second, int)
+    assert second > first
+
+
+def test_read_committed_refreshes_snapshot_per_statement(reg_db):
+    reader = reg_db.connect()
+    writer = reg_db.connect()
+    reader.begin(isolation=Transaction.READ_COMMITTED)
+    assert reader.execute("SELECT val FROM reg WHERE id = 1").scalar() == 0
+    writer.execute("UPDATE reg SET val = 5 WHERE id = 1")  # autocommit
+    # the next statement's refreshed snapshot sees the new commit
+    assert reader.execute("SELECT val FROM reg WHERE id = 1").scalar() == 5
+    reader.commit()
+
+
+def test_snapshot_isolation_pins_begin_snapshot(reg_db):
+    reader = reg_db.connect()
+    writer = reg_db.connect()
+    reader.begin(isolation=Transaction.SNAPSHOT)
+    assert reader.execute("SELECT val FROM reg WHERE id = 1").scalar() == 0
+    writer.execute("UPDATE reg SET val = 5 WHERE id = 1")
+    # the BEGIN-time snapshot holds: no read skew within the txn
+    assert reader.execute("SELECT val FROM reg WHERE id = 1").scalar() == 0
+    reader.commit()
+    # a fresh statement afterwards sees the committed value
+    assert reader.execute("SELECT val FROM reg WHERE id = 1").scalar() == 5
+
+
+def test_unknown_isolation_level_rejected(reg_db):
+    conn = reg_db.connect()
+    with pytest.raises(TransactionError):
+        conn.begin(isolation="chaos")

@@ -170,6 +170,7 @@ class TestAtomicity:
         # the first insert survives; the failed statement does not
         assert txn_db.execute("SELECT COUNT(*) FROM acct").scalar() == 3
 
+    @pytest.mark.stress
     def test_concurrent_inserts_from_many_threads(self, txn_db):
         errors = []
 

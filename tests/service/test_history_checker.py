@@ -1,0 +1,252 @@
+"""Self-tests for the Elle-style history checker: a checker battery is
+only as good as its ability to catch the anomalies it claims to — each
+test injects one synthetic anomaly into an otherwise-clean history and
+asserts the checker flags it (and nothing else on the clean variant).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.history import (
+    BEGIN,
+    COMMIT,
+    INCREMENT,
+    INSERT,
+    READ,
+    ROLLBACK,
+    HistoryOp,
+    HistoryRecorder,
+    check_history,
+)
+
+
+def _ops(*specs) -> list[HistoryOp]:
+    """Build a history from (session, txn, kind, kwargs) tuples with
+    auto-assigned, strictly increasing [start, end] windows."""
+    recorder = HistoryRecorder()
+    t = 0.0
+    for session, txn, kind, kw in specs:
+        t += 1.0
+        op = HistoryOp(
+            session=session, txn=txn, kind=kind,
+            start=kw.pop("start", t), end=kw.pop("end", t + 0.5), **kw,
+        )
+        recorder.record(op)
+    return recorder.ops
+
+
+def _clean_history() -> list[HistoryOp]:
+    return _ops(
+        (1, 1, BEGIN, {"isolation": "snapshot"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, INCREMENT, {"key": 1}),
+        (1, 1, READ, {"value": {0: 1, 1: 1}}),  # own writes visible
+        (1, 1, COMMIT, {"value": 10}),
+        (2, 2, BEGIN, {"isolation": "snapshot"}),
+        (2, 2, READ, {"value": {0: 1, 1: 1}}),
+        (2, 2, READ, {"value": {0: 1, 1: 1}}),
+        (2, 2, COMMIT, {"value": 11}),
+        (1, 3, BEGIN, {"isolation": "read_committed"}),
+        (1, 3, INCREMENT, {"key": 0}),
+        (1, 3, ROLLBACK, {}),  # aborted: must not count
+        (2, 4, BEGIN, {"isolation": "read_committed"}),
+        (2, 4, INSERT, {"key": 100}),
+        (2, 4, COMMIT, {"value": 12}),
+        (1, 5, BEGIN, {"isolation": "read_committed"}),
+        (1, 5, INSERT, {"key": 101}),
+        (1, 5, ROLLBACK, {}),
+        (2, None, READ, {"value": {0: 1, 1: 1}, "source": "gremlin"}),
+    )
+
+
+FINAL = {0: 1, 1: 1}
+MARKERS = [100]
+
+
+def test_clean_history_passes():
+    result = check_history(_clean_history(), FINAL, MARKERS)
+    assert result.ok, result.violations
+    assert result.reads_checked == 4
+    assert result.commits == 3
+    assert result.committed_increments == 2
+    assert result.aborted_txns == 2
+
+
+def test_lost_update_detected():
+    result = check_history(_clean_history(), {0: 0, 1: 1}, MARKERS)
+    assert any("lost/phantom update on key 0" in v for v in result.violations)
+
+
+def test_phantom_update_detected():
+    result = check_history(_clean_history(), {0: 1, 1: 3}, MARKERS)
+    assert any("lost/phantom update on key 1" in v for v in result.violations)
+
+
+def test_aborted_read_detected():
+    # txn 3's increment on key 0 rolled back; a read seeing val 2 on
+    # key 0 observed that aborted write (G1a): no committed snapshot
+    # shows 2.
+    ops = _clean_history()
+    ops[-1].value = {0: 2, 1: 1}
+    result = check_history(ops, FINAL, MARKERS)
+    assert any("matches no committed snapshot" in v for v in result.violations)
+
+
+def test_intermediate_read_detected():
+    # A txn increments key 0 twice at one commit; observing only one of
+    # them (G1b) matches no committed prefix.
+    ops = _ops(
+        (1, 1, BEGIN, {"isolation": "snapshot"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, COMMIT, {"value": 10}),
+        (2, None, READ, {"value": {0: 1}}),
+    )
+    result = check_history(ops, {0: 2})
+    assert any("matches no committed snapshot" in v for v in result.violations)
+
+
+def test_read_skew_within_snapshot_txn_detected():
+    # A commit concurrent with a snapshot txn's whole lifetime, so real
+    # time allows either view — but the two reads take different views,
+    # which no single BEGIN-time snapshot can produce.
+    ops = [
+        HistoryOp(session=1, txn=1, kind=BEGIN, isolation="snapshot",
+                  start=0.0, end=0.1),
+        HistoryOp(session=1, txn=1, kind=INCREMENT, key=0, start=0.2, end=0.3),
+        HistoryOp(session=1, txn=1, kind=COMMIT, value=10, start=0.0, end=9.9),
+        HistoryOp(session=2, txn=2, kind=BEGIN, isolation="snapshot",
+                  start=0.5, end=0.6),
+        HistoryOp(session=2, txn=2, kind=READ, value={0: 0}, start=1.0, end=1.1),
+        HistoryOp(session=2, txn=2, kind=READ, value={0: 1}, start=2.0, end=2.1),
+        HistoryOp(session=2, txn=2, kind=COMMIT, value=11, start=3.0, end=3.1),
+    ]
+    recorder = HistoryRecorder()
+    for op in ops:
+        recorder.record(op)
+    result = check_history(recorder.ops, {0: 1})
+    assert any("read skew within snapshot txn 2" in v for v in result.violations)
+
+
+def test_non_monotonic_session_reads_detected():
+    # Session 2's second (autocommit) read travels backwards: it
+    # forgets an increment its first read already observed, while the
+    # committing transaction is still concurrent (so real time alone
+    # cannot rule either view out).
+    ops = [
+        HistoryOp(session=1, txn=1, kind=BEGIN, isolation="snapshot",
+                  start=0.0, end=0.1),
+        HistoryOp(session=1, txn=1, kind=INCREMENT, key=0, start=0.2, end=0.3),
+        HistoryOp(session=1, txn=1, kind=COMMIT, value=10, start=0.4, end=9.9),
+        HistoryOp(session=2, txn=None, kind=READ, value={0: 1}, start=1.0, end=1.1),
+        HistoryOp(session=2, txn=None, kind=READ, value={0: 0}, start=2.0, end=2.1),
+    ]
+    recorder = HistoryRecorder()
+    for op in ops:
+        recorder.record(op)
+    result = check_history(recorder.ops, {0: 1})
+    assert any("non-monotonic reads in session 2" in v for v in result.violations)
+
+
+def test_duplicate_csn_detected():
+    ops = _clean_history()
+    for op in ops:
+        if op.kind == COMMIT and op.value == 11:
+            op.value = 10
+    result = check_history(ops, FINAL, MARKERS)
+    assert any("duplicate commit CSN" in v for v in result.violations)
+
+
+def test_realtime_commit_order_violation_detected():
+    # txn 1 committed (returned) long before txn 2 started committing,
+    # yet got the larger CSN.
+    ops = _ops(
+        (1, 1, BEGIN, {"isolation": "read_committed"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, COMMIT, {"value": 20}),
+        (2, 2, BEGIN, {"isolation": "read_committed"}),
+        (2, 2, INCREMENT, {"key": 1}),
+        (2, 2, COMMIT, {"value": 10}),
+    )
+    result = check_history(ops, {0: 1, 1: 1})
+    assert any("violates real time" in v for v in result.violations)
+
+
+def test_stale_read_detected():
+    # The read starts after the commit returned, yet misses it.
+    ops = _ops(
+        (1, 1, BEGIN, {"isolation": "read_committed"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, COMMIT, {"value": 10}),
+        (2, None, READ, {"value": {0: 0}}),
+    )
+    result = check_history(ops, {0: 1})
+    assert any("inconsistent with real-time" in v for v in result.violations)
+
+
+def test_future_read_detected():
+    # The read finished before the commit was even invoked, yet saw it.
+    ops = _ops(
+        (2, None, READ, {"value": {0: 1}}),
+        (1, 1, BEGIN, {"isolation": "read_committed"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, COMMIT, {"value": 10}),
+    )
+    result = check_history(ops, {0: 1})
+    assert any("inconsistent with real-time" in v for v in result.violations)
+
+
+def test_snapshot_txn_may_miss_later_commits():
+    # The legal counterpart of the stale read: a SNAPSHOT txn's read
+    # misses a commit that landed after its BEGIN — that is correct SI
+    # behavior and must NOT be flagged.
+    ops = _ops(
+        (2, 2, BEGIN, {"isolation": "snapshot"}),
+        (1, 1, BEGIN, {"isolation": "read_committed"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, COMMIT, {"value": 10}),
+        (2, 2, READ, {"value": {0: 0}}),  # BEGIN-time view: legal
+        (2, 2, COMMIT, {"value": 11}),
+    )
+    result = check_history(ops, {0: 1})
+    assert result.ok, result.violations
+
+
+def test_own_writes_subtracted():
+    # Observing fewer than your own writes is impossible.
+    ops = _ops(
+        (1, 1, BEGIN, {"isolation": "snapshot"}),
+        (1, 1, INCREMENT, {"key": 0}),
+        (1, 1, READ, {"value": {0: 0}}),
+        (1, 1, COMMIT, {"value": 10}),
+    )
+    result = check_history(ops, {0: 1})
+    assert any("fewer than its own writes" in v for v in result.violations)
+
+
+def test_committed_insert_missing_detected():
+    result = check_history(_clean_history(), FINAL, [])
+    assert any(
+        "committed insert of marker 100 missing" in v for v in result.violations
+    )
+
+
+def test_aborted_insert_present_detected():
+    result = check_history(_clean_history(), FINAL, [100, 101])
+    assert any(
+        "aborted insert of marker 101 present" in v for v in result.violations
+    )
+
+
+def test_phantom_marker_detected():
+    result = check_history(_clean_history(), FINAL, [100, 999])
+    assert any("never inserted" in v for v in result.violations)
+
+
+def test_violation_cap():
+    ops = _clean_history()
+    result = check_history(ops, {k: 50 for k in range(100)}, MARKERS,
+                           max_violations=5)
+    assert len(result.violations) == 5
+    assert not result.ok

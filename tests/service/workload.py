@@ -1,0 +1,270 @@
+"""Seeded mixed DML+traversal workload over a GraphService, recorded
+as an isolation history.
+
+The database holds counter registers ``reg(id, val)`` (mutated only by
+atomic ``val = val + 1`` increments) and an append-only ``marker``
+table, the decidable model :mod:`repro.service.history` checks.  Every
+session runs a seeded mix of:
+
+* increment transactions (SNAPSHOT or READ COMMITTED, 1–3 keys, an
+  optional in-transaction vector read, occasional deliberate rollback),
+* SNAPSHOT read transactions (two vector reads that must agree),
+* single-statement SQL vector reads (autocommit),
+* Gremlin vector reads (``g.V().hasLabel('reg').valueMap(...)`` — one
+  SQL statement, so one snapshot),
+* marker-insert transactions,
+
+all submitted through the service's admission queue (one transaction
+per request).  Write-write conflicts (first-committer-wins aborts),
+deadlock victims, and lock timeouts roll the transaction back and are
+recorded as aborted — the checker verifies their effects never became
+visible.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from repro.relational import Database
+from repro.relational.errors import (
+    ConstraintViolationError,
+    DeadlockError,
+    LockTimeoutError,
+)
+from repro.relational.transactions import Transaction
+from repro.service import AdmissionRejectedError, GraphService, ServiceConfig
+from repro.service.history import (
+    BEGIN,
+    COMMIT,
+    INCREMENT,
+    INSERT,
+    READ,
+    ROLLBACK,
+    HistoryOp,
+    HistoryRecorder,
+)
+
+REG_OVERLAY = {
+    "v_tables": [
+        {
+            "table_name": "reg",
+            "id": "id",
+            "fix_label": True,
+            "label": "'reg'",
+            "properties": ["id", "val"],
+        }
+    ],
+    "e_tables": [],
+}
+
+ABORT_ERRORS = (ConstraintViolationError, DeadlockError, LockTimeoutError)
+
+
+def build_counter_db(n_keys: int) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE reg (id INT PRIMARY KEY, val INT)")
+    db.execute("CREATE TABLE marker (id INT PRIMARY KEY, session INT)")
+    db.execute(
+        "INSERT INTO reg VALUES " + ", ".join(f"({k}, 0)" for k in range(n_keys))
+    )
+    return db
+
+
+class _SessionDriver:
+    """One logical client: a session plus its seeded op mix."""
+
+    def __init__(self, session, recorder, rng, n_keys, iterations):
+        self.session = session
+        self.recorder = recorder
+        self.rng = rng
+        self.n_keys = n_keys
+        self.iterations = iterations
+        self.marker_counter = 0
+        self.errors: list[BaseException] = []
+
+    # -- recorded primitives (these run on a service worker) ---------------
+
+    def _record(self, txn, kind, **kw) -> HistoryOp:
+        op = HistoryOp(
+            session=self.session.session_id, txn=txn, kind=kind, **kw
+        )
+        return self.recorder.record(op)
+
+    def _begin(self, conn, txn, isolation) -> None:
+        t0 = self.recorder.now()
+        conn.begin(isolation=isolation)
+        self._record(
+            txn, BEGIN, start=t0, end=self.recorder.now(), isolation=isolation
+        )
+
+    def _commit(self, conn, txn) -> None:
+        t0 = self.recorder.now()
+        csn = conn.commit()
+        self._record(txn, COMMIT, value=csn, start=t0, end=self.recorder.now())
+
+    def _rollback(self, conn, txn, error=None) -> None:
+        t0 = self.recorder.now()
+        conn.rollback()
+        self._record(
+            txn, ROLLBACK, start=t0, end=self.recorder.now(), error=error
+        )
+
+    def _increment(self, conn, txn, key) -> None:
+        t0 = self.recorder.now()
+        try:
+            conn.execute("UPDATE reg SET val = val + 1 WHERE id = ?", (key,))
+        except ABORT_ERRORS as exc:
+            self._record(
+                txn, INCREMENT, key=key, start=t0, end=self.recorder.now(),
+                ok=False, error=type(exc).__name__,
+            )
+            raise
+        self._record(txn, INCREMENT, key=key, start=t0, end=self.recorder.now())
+
+    def _read_vector(self, conn, txn, source="sql") -> dict[int, int]:
+        t0 = self.recorder.now()
+        rows = conn.execute("SELECT id, val FROM reg").rows
+        vector = {int(k): int(v) for k, v in rows}
+        self._record(
+            txn, READ, value=vector, start=t0, end=self.recorder.now(),
+            source=source,
+        )
+        return vector
+
+    # -- transaction shapes -------------------------------------------------
+
+    def txn_increment(self, s) -> None:
+        conn = s.connection
+        txn = self.recorder.next_txn()
+        isolation = self.rng.choice(
+            [Transaction.SNAPSHOT, Transaction.READ_COMMITTED]
+        )
+        keys = self.rng.sample(range(self.n_keys), self.rng.randint(1, 3))
+        self._begin(conn, txn, isolation)
+        try:
+            for key in keys:
+                self._increment(conn, txn, key)
+            if self.rng.random() < 0.3:
+                self._read_vector(conn, txn)
+            if self.rng.random() < 0.1:
+                self._rollback(conn, txn, error="deliberate")
+            else:
+                self._commit(conn, txn)
+        except ABORT_ERRORS as exc:
+            # First-committer-wins abort: roll back, never retry inside
+            # the same transaction (the checker counts only commits).
+            self._rollback(conn, txn, error=type(exc).__name__)
+
+    def txn_snapshot_read(self, s) -> None:
+        conn = s.connection
+        txn = self.recorder.next_txn()
+        self._begin(conn, txn, Transaction.SNAPSHOT)
+        self._read_vector(conn, txn)
+        self._read_vector(conn, txn)
+        self._commit(conn, txn)
+
+    def autocommit_read(self, s) -> None:
+        self._read_vector(s.connection, None)
+
+    def gremlin_read(self, s) -> None:
+        t0 = self.recorder.now()
+        rows = s.g.V().hasLabel("reg").valueMap("id", "val").toList()
+        vector = {int(row["id"]): int(row["val"]) for row in rows}
+        self._record(
+            None, READ, value=vector, start=t0, end=self.recorder.now(),
+            source="gremlin",
+        )
+
+    def txn_insert_marker(self, s) -> None:
+        conn = s.connection
+        txn = self.recorder.next_txn()
+        self.marker_counter += 1
+        marker = self.session.session_id * 1_000_000 + self.marker_counter
+        self._begin(conn, txn, Transaction.READ_COMMITTED)
+        t0 = self.recorder.now()
+        try:
+            conn.execute(
+                "INSERT INTO marker VALUES (?, ?)",
+                (marker, self.session.session_id),
+            )
+        except ABORT_ERRORS as exc:
+            self._record(
+                txn, INSERT, key=marker, start=t0, end=self.recorder.now(),
+                ok=False, error=type(exc).__name__,
+            )
+            self._rollback(conn, txn, error=type(exc).__name__)
+            return
+        self._record(txn, INSERT, key=marker, start=t0, end=self.recorder.now())
+        if self.rng.random() < 0.15:
+            self._rollback(conn, txn, error="deliberate")
+        else:
+            self._commit(conn, txn)
+
+    # -- the closed loop ----------------------------------------------------
+
+    def run(self) -> None:
+        actions = (
+            [self.txn_increment] * 45
+            + [self.txn_snapshot_read] * 20
+            + [self.autocommit_read] * 10
+            + [self.gremlin_read] * 15
+            + [self.txn_insert_marker] * 10
+        )
+        try:
+            for _ in range(self.iterations):
+                action = self.rng.choice(actions)
+                while True:
+                    try:
+                        self.session.run(action, timeout=60)
+                        break
+                    except AdmissionRejectedError as exc:
+                        time.sleep(min(exc.retry_after, 0.05))
+        except BaseException as exc:  # noqa: BLE001 — surfaced by the test
+            self.errors.append(exc)
+
+
+def run_counter_workload(
+    n_sessions: int = 4,
+    n_keys: int = 8,
+    iterations: int = 150,
+    seed: int = 0,
+    workers: int = 4,
+    queue_depth: int = 64,
+):
+    """Run the seeded workload; returns (recorder, final_state,
+    final_markers, service stats, per-driver errors)."""
+    db = build_counter_db(n_keys)
+    recorder = HistoryRecorder()
+    service = GraphService(
+        db, REG_OVERLAY, ServiceConfig(workers=workers, queue_depth=queue_depth)
+    )
+    try:
+        drivers = [
+            _SessionDriver(
+                service.open_session(),
+                recorder,
+                random.Random(seed * 7919 + i),
+                n_keys,
+                iterations,
+            )
+            for i in range(n_sessions)
+        ]
+        threads = [
+            threading.Thread(target=driver.run, name=f"driver-{i}")
+            for i, driver in enumerate(drivers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        errors = [e for d in drivers for e in d.errors]
+        stats = service.stats()
+    finally:
+        service.shutdown(timeout=30)
+    final_state = {
+        int(k): int(v) for k, v in db.execute("SELECT id, val FROM reg").rows
+    }
+    final_markers = [int(r[0]) for r in db.execute("SELECT id FROM marker").rows]
+    return recorder, final_state, final_markers, stats, errors
