@@ -1,0 +1,206 @@
+"""Bulk analytics vs per-traverser ``repeat()`` (DESIGN.md §14).
+
+A 10k-vertex graph: a dense 250-vertex community (out-degree 10,
+closed under ``out()``) beside a shallow 10-ary tree holding the other
+9750 vertices.  From a community seed,
+``repeat(out()).times(4)`` spawns ~10^4 per-traverser probes whose
+unique frontier never exceeds the community size — exactly the shape
+where GTM bulking pays: the bulk evaluator dedups the frontier before
+SQL, so each level costs O(edge tables) batched statements instead of
+O(traversers / batch_size).
+
+Recorded per mode: wall-clock and exact SQL statements issued (from
+``stats()``, deterministic; cache off, so every probe reaches SQL).
+Acceptance bar: bulk issues >=5x fewer statements than per-traverser
+and returns the identical result multiset.  A second table profiles
+the four analytics algorithms on the same graph — statements, steps,
+frontier sizes, convergence (batch_size=1024: whole-graph frontiers
+earn bigger IN-lists).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.db2graph import Db2Graph
+from repro.graph import __
+from repro.relational.database import Database
+
+COMMUNITY = 250
+OUT_DEGREE = 10
+N_VERTICES = 10_000
+HOPS = 5
+
+OVERLAY = {
+    "v_tables": [
+        {"table_name": "node", "id": "id", "fix_label": True,
+         "label": "'node'", "properties": ["id"]},
+    ],
+    "e_tables": [
+        {"table_name": "link", "src_v_table": "node", "src_v": "src",
+         "dst_v_table": "node", "dst_v": "dst",
+         "implicit_edge_id": True, "fix_label": True, "label": "'link'",
+         "properties": ["w"]},
+    ],
+}
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def build_database() -> Database:
+    rng = random.Random(42)
+    db = Database(enforce_foreign_keys=False)
+    db.execute("CREATE TABLE node (id INT PRIMARY KEY)")
+    db.execute("CREATE TABLE link (src INT, dst INT, w DOUBLE)")
+    for start in range(1, N_VERTICES + 1, 500):
+        values = ", ".join(
+            f"({i})" for i in range(start, min(start + 500, N_VERTICES + 1))
+        )
+        db.execute(f"INSERT INTO node VALUES {values}")
+    edges: list[str] = []
+    for src in range(1, COMMUNITY + 1):
+        for dst in rng.sample(range(1, COMMUNITY + 1), OUT_DEGREE):
+            edges.append(f"({src}, {dst}, {rng.randint(1, 9)}.0)")
+    # the bulk of the graph: a shallow 10-ary tree rooted just past the
+    # community (small diameter keeps whole-graph algorithms
+    # level-bounded; disjoint from the community so the repeat()
+    # benchmark's frontier stays community-sized)
+    for dst in range(COMMUNITY + 2, N_VERTICES + 1):
+        edges.append(f"({max(COMMUNITY + 1, dst // 10)}, {dst}, 1.0)")
+    for start in range(0, len(edges), 500):
+        db.execute(
+            "INSERT INTO link VALUES " + ", ".join(edges[start:start + 500])
+        )
+    return db
+
+
+@pytest.fixture(scope="module")
+def analytics_setup():
+    db = build_database()
+    graphs = {
+        "per-traverser": Db2Graph.open(db, OVERLAY, bulk=False, cache=False),
+        "bulk": Db2Graph.open(db, OVERLAY, bulk=True, cache=False),
+        "profile": Db2Graph.open(db, OVERLAY, cache=False, batch_size=1024),
+    }
+    yield db, graphs
+    for graph in graphs.values():
+        graph.close()
+
+
+def _run_repeat(graph) -> tuple[float, int, Counter]:
+    before = graph.stats()["sql_queries"]
+    start = time.perf_counter()
+    result = (
+        graph.traversal().V(1).repeat(__.out()).times(HOPS).id_().toList()
+    )
+    elapsed = time.perf_counter() - start
+    issued = graph.stats()["sql_queries"] - before
+    return elapsed, issued, Counter(result)
+
+
+@pytest.mark.parametrize("mode", ["per-traverser", "bulk"])
+def test_repeat_chain(benchmark, analytics_setup, mode):
+    _db, graphs = analytics_setup
+    graph = graphs[mode]
+    _run_repeat(graph)  # warmup (prepared-statement caches)
+
+    timings: list[float] = []
+    counters: list[Counter] = []
+
+    def run_once():
+        elapsed, issued, result = _run_repeat(graph)
+        timings.append(elapsed)
+        counters.append(result)
+        return issued
+
+    statements = benchmark.pedantic(run_once, rounds=2, iterations=1)
+    _RESULTS[mode] = {
+        "seconds": min(timings),
+        "statements": float(statements),
+        "traversers": float(sum(counters[-1].values())),
+    }
+    _RESULTS.setdefault("multisets", {})[mode] = counters[-1]  # type: ignore[arg-type]
+
+
+_PROFILE_ROWS: list[list] = []
+
+
+@pytest.mark.parametrize(
+    "name", ["bfs", "sssp", "wcc", "pagerank"]
+)
+def test_algorithm_profile(analytics_setup, name):
+    """Statement/step/frontier profile, one algorithm per test so the
+    CI per-test timeout applies to each whole-graph run separately."""
+    _db, graphs = analytics_setup
+    an = graphs["profile"].analytics()
+    graph = graphs["profile"]
+    runs = {
+        "bfs": lambda: an.bfs(COMMUNITY + 1),
+        "sssp": lambda: an.sssp(COMMUNITY + 1, weight="w"),
+        "wcc": lambda: an.wcc(),
+        "pagerank": lambda: an.pagerank(max_iterations=10),
+    }
+    before = graph.stats()["sql_queries"]
+    start = time.perf_counter()
+    result = runs[name]()
+    elapsed = time.perf_counter() - start
+    issued = graph.stats()["sql_queries"] - before
+    if name == "pagerank":
+        steps, frontier_max = result.iterations, N_VERTICES
+    else:
+        steps = result.steps
+        frontier_max = max(result.frontier_sizes, default=0)
+    _PROFILE_ROWS.append(
+        [name, f"{elapsed * 1e3:.0f}", issued, steps, frontier_max,
+         result.converged]
+    )
+
+
+def test_analytics_report(analytics_setup, collector):
+    collector.add(
+        "analytics",
+        format_table(
+            ["algorithm", "ms", "sql stmts", "steps", "max frontier", "converged"],
+            _PROFILE_ROWS,
+            title=(
+                f"Bulk analytics on {N_VERTICES} vertices "
+                f"(community={COMMUNITY}, degree={OUT_DEGREE}, 10-ary tree "
+                f"tail, batch_size=1024)"
+            ),
+        ),
+    )
+    assert set(_RESULTS) >= {"per-traverser", "bulk"}
+    rows = []
+    for mode in ("per-traverser", "bulk"):
+        result = _RESULTS[mode]
+        rows.append(
+            [
+                mode,
+                f"{result['seconds'] * 1e3:.1f}",
+                int(result["statements"]),
+                int(result["traversers"]),
+            ]
+        )
+    ratio = _RESULTS["per-traverser"]["statements"] / _RESULTS["bulk"]["statements"]
+    collector.add(
+        "analytics",
+        format_table(
+            ["mode", "best ms", "sql stmts", "result traversers"],
+            rows,
+            title=(
+                f"repeat(out()).times({HOPS}) from a community seed — "
+                f"statement reduction {ratio:.1f}x"
+            ),
+        ),
+    )
+
+    # The acceptance bar: bulking cuts SQL statements >=5x and the
+    # result multisets are identical.
+    assert ratio >= 5.0, f"bulk statement reduction only {ratio:.1f}x"
+    multisets = _RESULTS["multisets"]
+    assert multisets["bulk"] == multisets["per-traverser"]

@@ -1,0 +1,293 @@
+"""Bulk (set-at-a-time) evaluation of ``repeat()`` Gremlin chains.
+
+The Gremlin Traversal Machine's *bulking* optimization: traversers
+sitting at the same graph element are coalesced into one traverser
+with a multiplicity count.  :class:`BulkRepeatStep` applies it to
+``repeat(out(...)).times(n)/until(...)`` — each loop iteration expands
+the set of *unique* frontier elements through one batched
+``provider.adjacent`` call and multiplies counts, instead of
+re-probing the same vertex once per traverser.  On a graph where paths
+converge (any graph with fan-in), this turns an exponential number of
+per-traverser SQL probes into O(unique frontier) per level.
+
+:class:`BulkRepeatStrategy` (selected via ``Db2Graph.open(bulk=True)``)
+rewrites eligible ``RepeatStep``\\ s at compile time.  Eligibility is
+conservative: the surrounding plan must not observe paths or labeled
+steps (bulked traversers share one provenance), the body must be
+vertex-to-vertex hops plus simple filters, and ``until``/``emit``
+conditions must depend only on the current element — exactly the
+conditions under which the result *multiset* provably equals the
+per-traverser semantics (order is not preserved).
+
+Every loop iteration emits the same ``analytics.step`` /
+``frontier.size`` counter+event pairs as the frontier executor, so
+``repeat()`` chains running in bulk mode show up in the analytics
+observability surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..graph.model import Direction, Element, Vertex
+from ..graph.steps import (
+    AsStep,
+    EdgeVertexStep,
+    HasNotStep,
+    HasStep,
+    IsStep,
+    PathStep,
+    PropertiesStep,
+    RepeatStep,
+    SelectStep,
+    SimplePathStep,
+    Step,
+    TraversalContext,
+    Traverser,
+    run_steps,
+)
+from ..graph.steps import _MAX_LOOPS  # same loop guard as RepeatStep
+from ..graph.strategy import TraversalStrategy
+from ..obs.tracing import NULL_RECORDER
+from .frontier import note_converged, note_step
+
+#: Steps allowed inside a bulked repeat body besides the vertex hop.
+_BODY_FILTERS = (HasStep, HasNotStep, IsStep)
+
+#: Steps allowed inside an until()/emit() condition: they depend only
+#: on the current element, so evaluating once per unique element is
+#: equivalent to evaluating once per traverser.
+_CONDITION_STEPS = (
+    HasStep,
+    HasNotStep,
+    IsStep,
+    PropertiesStep,
+)
+
+
+def _condition_allows_bulk(condition: Any) -> bool:
+    if condition is None or condition is True or condition is False:
+        return True
+    steps = getattr(condition, "steps", None)
+    if steps is None:
+        return False
+    from ..graph.steps import VertexStep
+
+    allowed = _CONDITION_STEPS + (VertexStep,)
+    return all(isinstance(step, allowed) for step in steps)
+
+
+def _plan_observes_provenance(steps: list[Step]) -> bool:
+    """True when any step in the plan (sub-traversals included) needs
+    per-traverser paths or labels — bulking would corrupt those."""
+    stack = list(steps)
+    while stack:
+        step = stack.pop()
+        if isinstance(step, (PathStep, SimplePathStep, AsStep, SelectStep)):
+            return True
+        if isinstance(step, EdgeVertexStep) and step.direction is Direction.OTHER:
+            return True
+        for _label, sub in step.sub_traversals():
+            stack.extend(sub.steps)
+    return False
+
+
+class BulkRepeatStep(RepeatStep):
+    """``RepeatStep`` with GTM traverser bulking.
+
+    Mirrors :meth:`RepeatStep.process` exactly — same until/times/emit
+    release points, same do-while vs while-do handling, same loop guard
+    — but carries the working set as an ``{element: multiplicity}``
+    dict and expands unique elements once per level.
+    """
+
+    def process(
+        self, incoming: Iterator[Traverser], ctx: TraversalContext
+    ) -> Iterator[Traverser]:
+        from ..graph.errors import TraversalError
+
+        if self.times is None and self.until is None:
+            raise TraversalError("repeat() requires times() or until()")
+        registry = getattr(ctx.provider, "registry", None)
+        trace = getattr(ctx.provider, "trace", NULL_RECORDER)
+        current: dict[Any, int] = {}
+        for traverser in incoming:
+            current[traverser.obj] = current.get(traverser.obj, 0) + 1
+        loop = 0
+        step_index = 0
+        while current:
+            if self.until is not None and (loop > 0 or self.until_first):
+                continuing: dict[Any, int] = {}
+                for obj, count in current.items():
+                    if self._matches_obj(self.until, obj, loop, ctx):
+                        yield from self._release(obj, count, loop)
+                    else:
+                        continuing[obj] = count
+                current = continuing
+                if not current:
+                    note_converged(
+                        registry, trace, algorithm="repeat", steps=step_index
+                    )
+                    return
+            if self.times is not None and loop >= self.times:
+                for obj, count in current.items():
+                    yield from self._release(obj, count, loop)
+                return
+            if loop >= _MAX_LOOPS:
+                raise TraversalError(f"repeat() exceeded {_MAX_LOOPS} iterations")
+            note_step(
+                registry,
+                trace,
+                algorithm="repeat",
+                step=step_index,
+                size=len(current),
+            )
+            step_index += 1
+            produced = self._expand_body(current, ctx)
+            loop += 1
+            if self.emit:
+                final_release = (
+                    self.until is None and self.times is not None and loop >= self.times
+                )
+                if not final_release:
+                    for obj, count in produced.items():
+                        if self.until is not None and self._matches_obj(
+                            self.until, obj, loop, ctx
+                        ):
+                            continue  # the until check will release it
+                        if self.emit is True or self._matches_obj(
+                            self.emit, obj, loop, ctx
+                        ):
+                            yield from self._release(obj, count, loop)
+            current = produced
+
+    # -- bulked body execution -----------------------------------------------
+
+    def _expand_body(
+        self, current: dict[Any, int], ctx: TraversalContext
+    ) -> dict[Any, int]:
+        from ..graph.errors import TraversalError
+        from ..graph.steps import VertexStep
+
+        budget = ctx.budget
+        stage: dict[Any, int] = current
+        for step in self.body.steps:
+            if isinstance(step, VertexStep):
+                vertices: list[Vertex] = []
+                for obj in stage:
+                    if not isinstance(obj, Vertex):
+                        raise TraversalError(
+                            f"{step.name()} requires vertices, "
+                            f"got {type(obj).__name__}"
+                        )
+                    vertices.append(obj)
+                # one call for the whole unique frontier — the overlay
+                # provider chunks ids into batched IN-lists internally
+                adjacency = ctx.provider.adjacent(
+                    vertices,
+                    step.direction,
+                    step.edge_labels,
+                    step.return_type,
+                    step.pushdown,
+                )
+                produced: dict[Any, int] = {}
+                spawned = 0
+                for vertex in vertices:
+                    count = stage[vertex]
+                    for element in adjacency.get(vertex.id, ()):
+                        produced[element] = produced.get(element, 0) + count
+                        spawned += 1
+                if budget is not None:
+                    for _ in range(spawned):
+                        budget.note_traverser()
+                stage = produced
+            elif isinstance(step, _BODY_FILTERS):
+                self._materialize(stage, ctx)
+                if isinstance(step, HasStep):
+                    stage = {o: n for o, n in stage.items() if step.matches(o)}
+                elif isinstance(step, HasNotStep):
+                    stage = {
+                        o: n
+                        for o, n in stage.items()
+                        if isinstance(o, Element) and not o.has_property(step.key)
+                    }
+                else:  # IsStep
+                    stage = {
+                        o: n for o, n in stage.items() if step.predicate.test(o)
+                    }
+            else:  # pragma: no cover - the strategy never admits these
+                raise TraversalError(
+                    f"bulk repeat cannot evaluate body step {step.name()}"
+                )
+        return stage
+
+    @staticmethod
+    def _materialize(stage: dict[Any, int], ctx: TraversalContext) -> None:
+        pending = [
+            obj
+            for obj in stage
+            if isinstance(obj, Element) and not obj.is_materialized
+        ]
+        if pending:
+            ctx.provider.bulk_materialize(pending)
+
+    def _matches_obj(
+        self, condition: Any, obj: Any, loops: int, ctx: TraversalContext
+    ) -> bool:
+        probe = Traverser(obj, None, None, loops)
+        return next(iter(run_steps(condition.steps, [probe], ctx)), None) is not None
+
+    @staticmethod
+    def _release(obj: Any, count: int, loops: int) -> Iterator[Traverser]:
+        for _ in range(count):
+            yield Traverser(obj, None, None, loops)
+
+    def name(self) -> str:
+        return (
+            f"BulkRepeat(times={self.times}, until={self.until is not None}, "
+            f"emit={bool(self.emit)})"
+        )
+
+
+class BulkRepeatStrategy(TraversalStrategy):
+    """Rewrites eligible ``RepeatStep``\\ s into :class:`BulkRepeatStep`.
+
+    Runs after the pushdown strategies (priority 90) so it sees the
+    final top-level plan shape."""
+
+    priority = 90
+    name = "BulkRepeatEvaluation"
+
+    def apply(self, traversal: Any) -> None:
+        steps = traversal.steps
+        if _plan_observes_provenance(steps):
+            return
+        for i, step in enumerate(steps):
+            if (
+                isinstance(step, RepeatStep)
+                and not isinstance(step, BulkRepeatStep)
+                and self._eligible(step)
+            ):
+                steps[i] = BulkRepeatStep(
+                    step.body,
+                    times=step.times,
+                    until=step.until,
+                    emit=step.emit,
+                    until_first=step.until_first,
+                )
+
+    @staticmethod
+    def _eligible(step: RepeatStep) -> bool:
+        from ..graph.steps import VertexStep
+
+        body = step.body.steps
+        if not body:
+            return False
+        hops = [s for s in body if isinstance(s, VertexStep)]
+        if not hops or any(hop.return_type != "vertex" for hop in hops):
+            return False
+        if any(not isinstance(s, (VertexStep,) + _BODY_FILTERS) for s in body):
+            return False
+        return _condition_allows_bulk(step.until) and _condition_allows_bulk(
+            step.emit
+        )

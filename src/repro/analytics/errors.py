@@ -1,0 +1,10 @@
+"""Errors raised by the bulk analytics engine."""
+
+from __future__ import annotations
+
+from ..graph.errors import GraphError
+
+
+class AnalyticsError(GraphError):
+    """Invalid analytics request (unknown source vertex, negative edge
+    weight, malformed table-function spec, ...)."""

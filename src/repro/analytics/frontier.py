@@ -1,0 +1,183 @@
+"""The level-synchronous frontier executor (set-at-a-time traversal).
+
+GRAPHITE-style bulk execution over the relational overlay: instead of
+expanding one traverser at a time, :class:`FrontierExecutor` hands a
+whole vertex frontier to ``provider.adjacent(...)`` in one call.  The
+overlay provider chunks the ids into batched ``WHERE id IN (...)``
+statements per edge table and dispatches them on the shared fan-out
+pool, so one analytics step costs O(edge tables) statements instead of
+O(frontier vertices).
+
+Every expansion emits the 1:1 counter/event pair ``analytics.step`` and
+one ``frontier.size`` histogram observation mirrored by a
+``frontier.size`` trace event — the same invariant every other
+subsystem's counters obey (see :mod:`repro.obs.tracing`).  Budget
+checkpoints run per frontier vertex (``note_traverser``) plus a
+deadline check per level, so runaway expansions trip the same
+first-wins :class:`~repro.resilience.budget.BudgetTracker` machinery
+as Gremlin traversals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..graph.model import Direction, GraphProvider, Pushdown, Vertex
+from ..obs import metrics as M
+from ..obs import tracing
+from ..obs.tracing import NULL_RECORDER
+
+_EMPTY_PUSHDOWN = Pushdown()
+
+
+def sort_key(vertex_id: Any) -> tuple[str, str]:
+    """Total order over heterogeneous vertex ids (ints and strings mix
+    freely across tables): compare by string form, tie-break by repr so
+    ``1`` and ``'1'`` stay distinct and deterministic."""
+    return (str(vertex_id), repr(vertex_id))
+
+
+def resolve_direction(direction: "Direction | str") -> Direction:
+    if isinstance(direction, Direction):
+        return direction
+    try:
+        return Direction(str(direction).lower())
+    except ValueError:
+        raise ValueError(
+            f"invalid direction {direction!r}; expected 'out', 'in', or 'both'"
+        ) from None
+
+
+def note_step(
+    registry: Any,
+    trace: Any,
+    *,
+    algorithm: str,
+    step: int,
+    size: int,
+) -> None:
+    """Emit one analytics step: counter + event, histogram + event.
+
+    Shared by :class:`FrontierExecutor` and the bulk ``repeat()`` step
+    so both tiers feed the same ``analytics.*`` observability surface.
+    """
+    if registry is not None:
+        registry.counter(M.ANALYTICS_STEPS).increment()
+        registry.histogram(M.FRONTIER_SIZE).observe(size)
+    if trace is not None:
+        trace.emit(tracing.ANALYTICS_STEP, algorithm=algorithm, step=step, size=size)
+        trace.emit(tracing.FRONTIER_SIZE, algorithm=algorithm, step=step, size=size)
+
+
+def note_converged(registry: Any, trace: Any, *, algorithm: str, steps: int) -> None:
+    """Emit natural convergence (never emitted on depth/iteration cutoffs)."""
+    if registry is not None:
+        registry.counter(M.ANALYTICS_CONVERGED).increment()
+    if trace is not None:
+        trace.emit(tracing.ANALYTICS_CONVERGED, algorithm=algorithm, steps=steps)
+
+
+class FrontierExecutor:
+    """Expands whole vertex frontiers through a :class:`GraphProvider`.
+
+    Works against any provider (``OverlayGraph`` for SQL execution,
+    ``InMemoryGraph`` for tests); the observability hooks are picked up
+    from the provider when it has them and skipped otherwise.
+    """
+
+    def __init__(
+        self,
+        provider: GraphProvider,
+        *,
+        tracker: Any = None,
+    ):
+        self.provider = provider
+        self.registry = getattr(provider, "registry", None)
+        self.trace = getattr(provider, "trace", NULL_RECORDER)
+        # BudgetTracker (or None): per-vertex/deadline checkpoints.
+        self.tracker = tracker
+        self.steps_taken = 0
+
+    # -- vertex enumeration --------------------------------------------------
+
+    def all_vertex_ids(self) -> list[Any]:
+        """Every vertex id in the graph, in canonical sort order."""
+        ids = [
+            v.id
+            for v in self.provider.graph_step("vertex", None, _EMPTY_PUSHDOWN)
+        ]
+        ids.sort(key=sort_key)
+        return ids
+
+    # -- frontier expansion --------------------------------------------------
+
+    def expand(
+        self,
+        frontier: Iterable[Any],
+        direction: Direction,
+        edge_labels: tuple[str, ...] | None = None,
+        return_type: str = "vertex",
+        *,
+        algorithm: str = "frontier",
+    ) -> tuple[list[Any], dict[Any, list[Any]]]:
+        """Expand one frontier level set-at-a-time.
+
+        Returns ``(ordered_frontier, adjacency)`` where
+        ``ordered_frontier`` is the frontier in canonical sort order
+        (the iteration order every algorithm uses, so engine and oracle
+        perform identical operation sequences) and ``adjacency`` maps
+        each frontier vertex id to its neighboring elements.
+        """
+        ordered = sorted(set(frontier), key=sort_key)
+        tracker = self.tracker
+        if tracker is not None:
+            tracker.check_deadline()
+            for _ in ordered:
+                tracker.note_traverser()
+        note_step(
+            self.registry,
+            self.trace,
+            algorithm=algorithm,
+            step=self.steps_taken,
+            size=len(ordered),
+        )
+        self.steps_taken += 1
+        vertices = [self._as_vertex(v) for v in ordered]
+        adjacency = self.provider.adjacent(
+            vertices, direction, edge_labels or None, return_type, _EMPTY_PUSHDOWN
+        )
+        return ordered, adjacency
+
+    def note_iteration(self, algorithm: str, size: int) -> None:
+        """Record an in-memory iteration (e.g. one PageRank power step)
+        as an analytics step without expanding a frontier through SQL."""
+        note_step(
+            self.registry,
+            self.trace,
+            algorithm=algorithm,
+            step=self.steps_taken,
+            size=size,
+        )
+        self.steps_taken += 1
+
+    def converged(self, algorithm: str) -> None:
+        note_converged(
+            self.registry, self.trace, algorithm=algorithm, steps=self.steps_taken
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _as_vertex(self, vertex_id: Any) -> Vertex:
+        if isinstance(vertex_id, Vertex):
+            return vertex_id
+        return Vertex(vertex_id, provider=self.provider)
+
+
+def neighbor_id(edge: Any, vertex_id: Any, direction: Direction) -> Any:
+    """The id of the endpoint reached from ``vertex_id`` over ``edge``
+    expanded in ``direction`` (handles BOTH and self-loops)."""
+    if direction is Direction.OUT:
+        return edge.in_v_id
+    if direction is Direction.IN:
+        return edge.out_v_id
+    return edge.in_v_id if edge.out_v_id == vertex_id else edge.out_v_id

@@ -72,6 +72,8 @@ class Db2Graph:
         # Transactional read cache (repro.cache); set by open(cache=...).
         # None = every read goes to the relational engine.
         self.cache: GraphCache | None = None
+        # Bulk repeat() evaluation (repro.analytics); set by open(bulk=...).
+        self.bulk = False
 
     @classmethod
     def open(
@@ -93,6 +95,7 @@ class Db2Graph:
         registry: MetricsRegistry | None = None,
         recorder: TraceRecorder | None = None,
         pool: FanoutPool | None = None,
+        bulk: bool = False,
     ) -> "Db2Graph":
         """Open a property graph over relational data.
 
@@ -145,6 +148,12 @@ class Db2Graph:
         observability snapshot (and one bounded worker pool) spans
         every session multiplexed over the database.  A shared pool is
         not shut down by :meth:`close`; its owner does that.
+
+        ``bulk=True`` adds the :class:`BulkRepeatStrategy` runtime
+        strategy: eligible ``repeat(out(...))`` chains evaluate
+        set-at-a-time (whole unique frontiers per level, GTM traverser
+        bulking) instead of one traverser at a time.  Result multisets
+        are identical; result order is not guaranteed.
 
         ``durability`` (a directory path or
         :class:`~repro.durability.DurabilityConfig`) attaches WAL
@@ -217,6 +226,7 @@ class Db2Graph:
         graph.pool = pool
         graph._owns_pool = owns_pool
         graph.cache = graph_cache
+        graph.bulk = bulk
         return graph
 
     @classmethod
@@ -277,9 +287,29 @@ class Db2Graph:
 
     def traversal(self) -> GraphTraversalSource:
         self._maybe_refresh()
-        registry = StrategyRegistry(optimized_strategies() if self.optimized else [])
+        strategies = list(optimized_strategies()) if self.optimized else []
+        if self.bulk:
+            from ..analytics.bulk import BulkRepeatStrategy
+
+            strategies.append(BulkRepeatStrategy())
+        registry = StrategyRegistry(strategies)
         return GraphTraversalSource(
             self.provider, registry, recorder=self.trace, budget=self.budget
+        )
+
+    def analytics(self, budget: Any = None) -> "Any":
+        """Bulk whole-graph analytics over this handle
+        (:mod:`repro.analytics`): ``g.analytics().bfs(source)``,
+        ``.sssp(source, weight=...)``, ``.wcc()``, ``.pagerank()``.
+
+        ``budget`` overrides the handle's default
+        :class:`~repro.resilience.budget.QueryBudget` for the
+        algorithms run through the returned facade."""
+        from ..analytics.algorithms import GraphAnalytics
+
+        self._maybe_refresh()
+        return GraphAnalytics(
+            self.provider, budget=budget if budget is not None else self.budget
         )
 
     def execute(self, gremlin: str, variables: dict[str, Any] | None = None) -> Any:
@@ -346,6 +376,15 @@ class Db2Graph:
             "service_shed": self.registry.counter(M.SERVICE_SHED).value,
             "service_sessions_opened": self.registry.counter(M.SERVICE_SESSIONS_OPENED).value,
             "service_sessions_closed": self.registry.counter(M.SERVICE_SESSIONS_CLOSED).value,
+            # bulk analytics engine (repro.analytics)
+            "analytics_steps": self.registry.counter(M.ANALYTICS_STEPS).value,
+            "analytics_converged": self.registry.counter(M.ANALYTICS_CONVERGED).value,
+            "frontier_samples": self.registry.histogram(M.FRONTIER_SIZE).count,
+            "frontier_max": (
+                self.registry.histogram(M.FRONTIER_SIZE).max
+                if self.registry.histogram(M.FRONTIER_SIZE).count
+                else 0
+            ),
             # durability (repro.durability)
             "wal_appends": self.registry.counter(M.WAL_APPENDS).value,
             "wal_flushes": self.registry.counter(M.WAL_FLUSHES).value,

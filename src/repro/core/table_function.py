@@ -14,6 +14,11 @@ Only Gremlin results convertible to rows are supported (the paper's
 footnote 1): scalars become one-column rows, tuples/lists multi-column
 rows, dicts rows of their values, and vertices/edges ``(id, label)``
 pairs.
+
+A second language, ``'analytics'``, runs a bulk whole-graph algorithm
+(:mod:`repro.analytics`) and returns its result rows — e.g.
+``graphQuery('analytics', 'wcc')`` yields ``(vertex_id, component)``
+pairs that join back against base tables.
 """
 
 from __future__ import annotations
@@ -28,12 +33,20 @@ def make_graph_query_function(graph: Any) -> Callable[..., Iterable[tuple]]:
     """Build the table function closure for one opened Db2Graph."""
 
     def graph_query(session: Any, language: str, script: str) -> Iterator[tuple]:
-        if str(language).lower() != "gremlin":
-            raise GraphError(
-                f"graphQuery supports language 'gremlin', got {language!r}"
-            )
-        result = graph.execute(script)
-        yield from rows_from_result(result)
+        lang = str(language).lower()
+        if lang == "gremlin":
+            result = graph.execute(script)
+            yield from rows_from_result(result)
+            return
+        if lang == "analytics":
+            from ..analytics.sqlbridge import evaluate_spec
+
+            yield from evaluate_spec(graph.analytics(), script)
+            return
+        raise GraphError(
+            f"graphQuery supports languages 'gremlin' and 'analytics', "
+            f"got {language!r}"
+        )
 
     return graph_query
 

@@ -214,6 +214,13 @@ SERVICE_SHED = "service.shed"
 SERVICE_QUEUE_DEPTH = "service.queue_depth"
 SERVICE_SESSIONS_OPENED = "service.session.open"
 SERVICE_SESSIONS_CLOSED = "service.session.close"
+# Bulk analytics engine (repro.analytics) — the step counter and the
+# frontier-size histogram each mirror a 1:1 trace event (the histogram
+# follows the service.queue_depth pattern: its observation count equals
+# the number of ``frontier.size`` events).
+ANALYTICS_STEPS = "analytics.step"
+ANALYTICS_CONVERGED = "analytics.converged"
+FRONTIER_SIZE = "frontier.size"
 
 
 def eliminated_counter_name(rule: str) -> str:

@@ -82,6 +82,16 @@ event name             attributes
 ``service.session.close`` ``session``, ``rolled_back`` — a session closed;
                        ``rolled_back`` marks an abandoned open transaction
                        the service rolled back on the session's behalf
+``analytics.step``     ``algorithm``, ``step``, ``size`` — the bulk
+                       analytics engine expanded (or iterated) one whole
+                       frontier level
+``frontier.size``      ``algorithm``, ``step``, ``size`` — frontier-size
+                       sample taken at each analytics step (mirrors one
+                       ``frontier.size`` histogram observation)
+``analytics.converged`` ``algorithm``, ``steps`` — an algorithm reached
+                       natural convergence (frontier drained / fixpoint /
+                       tolerance met), as opposed to a depth or iteration
+                       cutoff
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -223,3 +233,6 @@ SERVICE_SHED = "service.shed"
 SERVICE_QUEUED = "service.queued"
 SERVICE_SESSION_OPEN = "service.session.open"
 SERVICE_SESSION_CLOSE = "service.session.close"
+ANALYTICS_STEP = "analytics.step"
+FRONTIER_SIZE = "frontier.size"
+ANALYTICS_CONVERGED = "analytics.converged"

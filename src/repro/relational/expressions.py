@@ -225,6 +225,56 @@ class InList(Expression):
         item_fns = [item.compile(scope) for item in self.items]
         negated = self.negated
 
+        if all(not item.references() for item in self.items):
+            # Row-independent items (literals, parameters, pure function
+            # calls) evaluate to the same values for every row of one
+            # execution.  Materialize them once per ExecContext into a
+            # hash set so the batched ``id IN (?, ?, ...)`` probes the
+            # graph layer emits cost O(1) per scanned row instead of
+            # O(items).  Python ``==``/``hash`` agree with sql_eq for
+            # every storable scalar (bool==int, int==float included);
+            # unhashable values fall back to the sql_eq scan.
+            memo_key = id(self)
+
+            def run(row: tuple, ctx: Any) -> bool | None:
+                value = ef(row, ctx)
+                if value is None:
+                    return None
+                memo = getattr(ctx, "inlist_memo", None)
+                if memo is None:
+                    memo = {}
+                    ctx.inlist_memo = memo
+                entry = memo.get(memo_key)
+                if entry is None:
+                    hashable: set = set()
+                    unhashable: list = []
+                    seen_null = False
+                    for fn in item_fns:
+                        candidate = fn(row, ctx)
+                        if candidate is None:
+                            seen_null = True
+                        else:
+                            try:
+                                hashable.add(candidate)
+                            except TypeError:
+                                unhashable.append(candidate)
+                    entry = (hashable, unhashable, seen_null)
+                    memo[memo_key] = entry
+                hashable, unhashable, seen_null = entry
+                try:
+                    hit = value in hashable
+                except TypeError:
+                    hit = any(V.sql_eq(value, c) for c in hashable)
+                if not hit:
+                    hit = any(V.sql_eq(value, c) for c in unhashable)
+                if hit:
+                    return not negated
+                if seen_null:
+                    return None
+                return negated
+
+            return run
+
         def run(row: tuple, ctx: Any) -> bool | None:
             value = ef(row, ctx)
             if value is None:

@@ -101,6 +101,17 @@ class GraphSession:
         """
         return self.graph.traversal()
 
+    def analytics(self, budget: Any = None) -> Any:
+        """Bulk analytics bound to this session's graph handle.
+
+        Like :attr:`g`, only valid inside a request callable — submit
+        the algorithm through ``run``/``submit`` so frontier expansion
+        executes on a service worker under admission control::
+
+            session.run(lambda s: s.analytics().wcc())
+        """
+        return self.graph.analytics(budget=budget)
+
     # -- in-flight accounting (called by the service dispatcher) -------------
 
     def _begin_request(self) -> None:

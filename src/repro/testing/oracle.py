@@ -243,3 +243,179 @@ def scenario_vocab(graph: InMemoryGraph) -> Vocab:
         str_values=str_values or ["w"],
         int_values=int_values or [0],
     )
+
+
+# ---------------------------------------------------------------------------
+# reference analytics (the differential battery's ground truth)
+# ---------------------------------------------------------------------------
+#
+# Pure-Python reference implementations of the four bulk algorithms,
+# walking the InMemoryGraph adjacency lists directly.  Like the overlay
+# oracle above, these are an independent reading of the spec: they do
+# NOT import repro.analytics.  Determinism contract shared with the
+# engine (so BFS/SSSP/WCC compare exactly): per-level iteration in
+# (str(id), repr(id)) order, strict-improvement-only updates, ties to
+# the sorted-first candidate.  PageRank accumulation order differs from
+# the engine's SQL row order, so callers compare within an L1 tolerance.
+
+
+def _a_key(vertex_id: Any) -> tuple[str, str]:
+    return (str(vertex_id), repr(vertex_id))
+
+
+def _a_incident(
+    graph: InMemoryGraph,
+    vertex_id: Any,
+    direction: str,
+    edge_labels: "tuple[str, ...] | None",
+):
+    """(edge, neighbor_id) pairs from ``vertex_id`` in ``direction``."""
+    directions = ("out", "in") if direction == "both" else (direction,)
+    for d in directions:
+        adjacency = graph._out if d == "out" else graph._in
+        for edge_id in adjacency.get(vertex_id, ()):
+            edge = graph._edges[edge_id]
+            if edge_labels and edge.label not in edge_labels:
+                continue
+            yield edge, (edge.in_v_id if d == "out" else edge.out_v_id)
+
+
+def _a_weight(value: Any, default: float) -> float:
+    """Independent statement of the weight-coercion rule: real numbers
+    (bools excluded) pass through, everything else takes the default."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return default
+    if value < 0:
+        raise OracleError(f"negative edge weight {value!r}")
+    return float(value)
+
+
+def reference_bfs(
+    graph: InMemoryGraph,
+    source: Any,
+    *,
+    direction: str = "out",
+    edge_labels: "tuple[str, ...] | None" = None,
+    max_depth: "int | None" = None,
+) -> dict[str, dict]:
+    """Level-synchronous BFS; returns ``{"depth": ..., "parent": ...}``."""
+    if source not in graph._vertices:
+        raise OracleError(f"source vertex {source!r} not found")
+    depth: dict[Any, int] = {source: 0}
+    parent: dict[Any, Any] = {source: None}
+    frontier = [source]
+    level = 0
+    while frontier:
+        if max_depth is not None and level >= max_depth:
+            break
+        next_frontier: list[Any] = []
+        for u in sorted(set(frontier), key=_a_key):
+            for _edge, v in _a_incident(graph, u, direction, edge_labels):
+                if v not in depth:
+                    depth[v] = level + 1
+                    parent[v] = u
+                    next_frontier.append(v)
+        frontier = next_frontier
+        level += 1
+    return {"depth": depth, "parent": parent}
+
+
+def reference_sssp(
+    graph: InMemoryGraph,
+    source: Any,
+    *,
+    weight: str,
+    direction: str = "out",
+    edge_labels: "tuple[str, ...] | None" = None,
+    default_weight: float = 1.0,
+) -> dict[str, dict]:
+    """Level-synchronous Bellman-Ford relaxation; returns
+    ``{"distance": ..., "parent": ...}``."""
+    if source not in graph._vertices:
+        raise OracleError(f"source vertex {source!r} not found")
+    distance: dict[Any, float] = {source: 0.0}
+    parent: dict[Any, Any] = {source: None}
+    frontier: set[Any] = {source}
+    while frontier:
+        improved: set[Any] = set()
+        for u in sorted(frontier, key=_a_key):
+            base = distance[u]
+            for edge, v in _a_incident(graph, u, direction, edge_labels):
+                w = _a_weight(edge.properties.get(weight), default_weight)
+                candidate = base + w
+                if v not in distance or candidate < distance[v]:
+                    distance[v] = candidate
+                    parent[v] = u
+                    improved.add(v)
+        frontier = improved
+    return {"distance": distance, "parent": parent}
+
+
+def reference_wcc(
+    graph: InMemoryGraph,
+    *,
+    edge_labels: "tuple[str, ...] | None" = None,
+) -> dict[Any, Any]:
+    """Weakly-connected components by union-find (a deliberately
+    different algorithm than the engine's label propagation — the
+    fixpoint is unique, so any correct implementation agrees).  Each
+    vertex maps to the sorted-min member id of its component."""
+    root: dict[Any, Any] = {v: v for v in graph._vertices}
+
+    def find(x: Any) -> Any:
+        while root[x] != x:
+            root[x] = root[root[x]]
+            x = root[x]
+        return x
+
+    for edge in graph._edges.values():
+        if edge_labels and edge.label not in edge_labels:
+            continue
+        a, b = find(edge.out_v_id), find(edge.in_v_id)
+        if a != b:
+            root[b] = a
+    minima: dict[Any, Any] = {}
+    for v in graph._vertices:
+        r = find(v)
+        if r not in minima or _a_key(v) < _a_key(minima[r]):
+            minima[r] = v
+    return {v: minima[find(v)] for v in graph._vertices}
+
+
+def reference_pagerank(
+    graph: InMemoryGraph,
+    *,
+    damping: float = 0.85,
+    max_iterations: int = 20,
+    tolerance: "float | None" = None,
+    edge_labels: "tuple[str, ...] | None" = None,
+) -> dict[Any, float]:
+    """PageRank by power iteration with uniform dangling redistribution."""
+    vertices = sorted(graph._vertices, key=_a_key)
+    if not vertices:
+        return {}
+    successors: dict[Any, list[Any]] = {}
+    for u in vertices:
+        successors[u] = [
+            v for _edge, v in _a_incident(graph, u, "out", edge_labels)
+        ]
+    n = len(vertices)
+    base = (1.0 - damping) / n
+    rank = {v: 1.0 / n for v in vertices}
+    for _ in range(max_iterations):
+        dangling = sum(rank[u] for u in vertices if not successors[u])
+        contribution = {v: 0.0 for v in vertices}
+        for u in vertices:
+            succ = successors[u]
+            if not succ:
+                continue
+            share = rank[u] / len(succ)
+            for v in succ:
+                contribution[v] += share
+        spread = damping * dangling / n
+        new_rank = {v: base + spread + damping * contribution[v] for v in vertices}
+        delta = sum(abs(new_rank[v] - rank[v]) for v in vertices)
+        rank = new_rank
+        if tolerance is not None and delta < tolerance:
+            break
+    return rank

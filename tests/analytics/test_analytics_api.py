@@ -1,0 +1,347 @@
+"""API tests for the bulk analytics engine: the ``g.analytics()``
+facade, the ``bulk=True`` repeat strategy, the ``graphQuery('analytics',
+...)`` table-function bridge, the session/service path, budget
+partial-progress semantics, and the analytics observability surface.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analytics import (
+    AnalyticsError,
+    BfsResult,
+    BulkRepeatStep,
+    GraphAnalytics,
+    WccResult,
+    coerce_weight,
+)
+from repro.core import Db2Graph
+from repro.graph import __
+from repro.graph.steps import RepeatStep
+from repro.obs import metrics as M
+from repro.relational import Database
+from repro.resilience import BudgetExceededError, QueryBudget
+from repro.service import GraphService, ServiceConfig
+
+OVERLAY = {
+    "v_tables": [
+        {"table_name": "item", "id": "id", "fix_label": True,
+         "label": "'item'", "properties": ["id", "name"]},
+    ],
+    "e_tables": [
+        {"table_name": "link", "src_v_table": "item", "src_v": "src",
+         "dst_v_table": "item", "dst_v": "dst",
+         "implicit_edge_id": True, "fix_label": True, "label": "'link'",
+         "properties": ["w"]},
+    ],
+}
+
+
+def make_db() -> Database:
+    """Two weakly-connected components::
+
+        1 -(2.0)-> 2 -(1.0)-> 3 -(4.0)-> 4      1 -(10.0)-> 3
+        5 -> 6   (w NULL: takes default_weight)
+    """
+    db = Database()
+    db.execute("CREATE TABLE item (id INT PRIMARY KEY, name VARCHAR)")
+    db.execute("CREATE TABLE link (src INT, dst INT, w DOUBLE)")
+    db.execute(
+        "INSERT INTO item VALUES (1, 'a'), (2, 'b'), (3, 'c'), "
+        "(4, 'd'), (5, 'e'), (6, 'f')"
+    )
+    db.execute(
+        "INSERT INTO link VALUES (1, 2, 2.0), (2, 3, 1.0), "
+        "(3, 4, 4.0), (1, 3, 10.0), (5, 6, NULL)"
+    )
+    return db
+
+
+@pytest.fixture
+def graph():
+    g = Db2Graph.open(make_db(), OVERLAY)
+    yield g
+    g.close()
+
+
+class TestBfs:
+    def test_depths_and_parents(self, graph):
+        got = graph.analytics().bfs(1)
+        assert got.depth == {1: 0, 2: 1, 3: 1, 4: 2}
+        # 3 is discovered at depth 1 directly from 1, not through 2
+        assert got.parent == {1: None, 2: 1, 3: 1, 4: 3}
+        assert got.converged
+        assert got.frontier_sizes == [1, 2, 1]
+
+    def test_direction_in_and_both(self, graph):
+        assert graph.analytics().bfs(4, direction="in").depth == {
+            4: 0, 3: 1, 1: 2, 2: 2
+        }
+        both = graph.analytics().bfs(4, direction="both")
+        assert set(both.depth) == {1, 2, 3, 4}
+
+    def test_max_depth_cutoff_is_not_convergence(self, graph):
+        got = graph.analytics().bfs(1, max_depth=1)
+        assert got.depth == {1: 0, 2: 1, 3: 1}
+        assert not got.converged
+        assert graph.stats()["analytics_converged"] == 0
+
+    def test_missing_source_raises(self, graph):
+        with pytest.raises(AnalyticsError):
+            graph.analytics().bfs(99)
+
+    def test_rows_are_sorted(self, graph):
+        rows = graph.analytics().bfs(1).rows()
+        assert rows == [(1, 0, None), (2, 1, 1), (3, 1, 1), (4, 2, 3)]
+
+
+class TestSssp:
+    def test_weighted_distances(self, graph):
+        got = graph.analytics().sssp(1, weight="w")
+        # 1->2->3 (3.0) beats the direct 1->3 (10.0)
+        assert got.distance == {1: 0.0, 2: 2.0, 3: 3.0, 4: 7.0}
+        assert got.parent == {1: None, 2: 1, 3: 2, 4: 3}
+        assert got.converged
+
+    def test_null_weight_takes_default(self, graph):
+        got = graph.analytics().sssp(5, weight="w", default_weight=2.5)
+        assert got.distance == {5: 0.0, 6: 2.5}
+
+    def test_negative_weight_raises(self):
+        db = make_db()
+        db.execute("INSERT INTO link VALUES (4, 1, -1.0)")
+        g = Db2Graph.open(db, OVERLAY)
+        with pytest.raises(AnalyticsError):
+            g.analytics().sssp(1, weight="w")
+
+    def test_coerce_weight_rule(self):
+        assert coerce_weight(3, 1.0) == 3.0
+        assert coerce_weight(0.5, 1.0) == 0.5
+        # bool subclasses int but is not a distance
+        assert coerce_weight(True, 1.0) == 1.0
+        assert coerce_weight(None, 1.0) == 1.0
+        assert coerce_weight("7", 1.0) == 1.0
+        with pytest.raises(AnalyticsError):
+            coerce_weight(-2, 1.0)
+
+
+class TestWcc:
+    def test_components(self, graph):
+        got = graph.analytics().wcc()
+        assert got.component == {1: 1, 2: 1, 3: 1, 4: 1, 5: 5, 6: 5}
+        assert got.component_count() == 2
+        assert got.converged
+
+    def test_max_iterations_cutoff(self, graph):
+        got = graph.analytics().wcc(max_iterations=1)
+        assert not got.converged
+
+
+class TestPageRank:
+    def test_ranks_form_a_distribution(self, graph):
+        got = graph.analytics().pagerank(max_iterations=25)
+        assert got.iterations == 25
+        assert not got.converged  # cutoff, not convergence
+        assert sum(got.rank.values()) == pytest.approx(1.0, abs=1e-9)
+        # 4 collects from the whole 1->...->4 chain; 1 and 5 only get
+        # base + dangling mass
+        assert got.rank[4] > got.rank[1]
+
+    def test_tolerance_convergence(self, graph):
+        got = graph.analytics().pagerank(max_iterations=200, tolerance=1e-12)
+        assert got.converged
+        assert got.iterations < 200
+        assert got.delta < 1e-12
+        assert graph.stats()["analytics_converged"] == 1
+
+    def test_damping_validated(self, graph):
+        with pytest.raises(AnalyticsError):
+            graph.analytics().pagerank(damping=1.5)
+        with pytest.raises(AnalyticsError):
+            graph.analytics().pagerank(max_iterations=0)
+
+
+class TestBudgets:
+    def test_partial_progress_on_statement_budget(self):
+        g = Db2Graph.open(make_db(), OVERLAY, cache=False)
+        an = g.analytics(budget=QueryBudget(max_sql_statements=3))
+        with pytest.raises(BudgetExceededError) as info:
+            an.wcc()
+        partial = info.value.partial
+        assert isinstance(partial, WccResult)
+        assert not partial.converged
+        assert partial.component  # the scan completed before the trip
+
+    def test_partial_progress_on_bfs(self):
+        g = Db2Graph.open(make_db(), OVERLAY, cache=False)
+        an = g.analytics(budget=QueryBudget(max_sql_statements=2))
+        with pytest.raises(BudgetExceededError) as info:
+            an.bfs(1)
+        assert isinstance(info.value.partial, BfsResult)
+
+    def test_graph_level_budget_is_inherited(self):
+        g = Db2Graph.open(
+            make_db(), OVERLAY, cache=False,
+            budget=QueryBudget(max_sql_statements=2),
+        )
+        with pytest.raises(BudgetExceededError):
+            g.analytics().wcc()
+
+
+class TestObservability:
+    def test_counters_and_stats(self, graph):
+        graph.analytics().bfs(1)
+        stats = graph.stats()
+        assert stats["analytics_steps"] == 3  # frontier sizes [1, 2, 1]
+        assert stats["analytics_converged"] == 1
+        assert stats["frontier_samples"] == 3
+        assert stats["frontier_max"] == 2
+        graph.reset_stats()
+        stats = graph.stats()
+        assert stats["analytics_steps"] == 0
+        assert stats["frontier_samples"] == 0
+        assert stats["frontier_max"] == 0
+
+    def test_histogram_mirrors_step_counter(self, graph):
+        graph.analytics().wcc()
+        stats = graph.stats()
+        assert stats["frontier_samples"] == stats["analytics_steps"]
+
+
+class TestBulkRepeatStrategy:
+    def _graphs(self):
+        db = make_db()
+        plain = Db2Graph.open(db, OVERLAY, bulk=False)
+        bulk = Db2Graph.open(db, OVERLAY, bulk=True)
+        return plain, bulk
+
+    def test_eligible_plan_is_rewritten(self):
+        _, bulk = self._graphs()
+        t = bulk.traversal().V().repeat(__.out()).times(2)
+        t.compile()
+        kinds = [type(s) for s in t.steps]
+        assert BulkRepeatStep in kinds
+        assert RepeatStep not in [k for k in kinds if k is not BulkRepeatStep]
+
+    def test_multiset_equivalence(self):
+        plain, bulk = self._graphs()
+        chains = [
+            lambda g: g.V().repeat(__.out()).times(2).id_().toList(),
+            lambda g: g.V().repeat(__.both()).times(2).id_().toList(),
+            lambda g: g.V().repeat(__.out()).times(2).emit().id_().toList(),
+            lambda g: g.V(1).repeat(__.out()).until(__.has("id", 4)).id_().toList(),
+        ]
+        for chain in chains:
+            assert Counter(chain(plain.traversal())) == Counter(
+                chain(bulk.traversal())
+            )
+
+    def test_path_observation_disables_bulk(self):
+        _, bulk = self._graphs()
+        t = bulk.traversal().V().repeat(__.out()).times(2).path()
+        t.compile()
+        assert not any(isinstance(s, BulkRepeatStep) for s in t.steps)
+
+    def test_non_vertex_body_disables_bulk(self):
+        _, bulk = self._graphs()
+        t = bulk.traversal().V().repeat(__.outE().inV()).times(2)
+        t.compile()
+        assert not any(isinstance(s, BulkRepeatStep) for s in t.steps)
+
+    def test_bulk_issues_fewer_statements(self):
+        # small batches so per-traverser duplication spills into extra
+        # IN-list statements; bulking dedups the whole frontier first
+        db = make_db()
+        plain = Db2Graph.open(db, OVERLAY, bulk=False, batch_size=4)
+        bulk = Db2Graph.open(db, OVERLAY, bulk=True, batch_size=4)
+        plain.traversal().V().repeat(__.both()).times(3).id_().toList()
+        baseline = plain.stats()["sql_queries"]
+        bulk.traversal().V().repeat(__.both()).times(3).id_().toList()
+        assert bulk.stats()["sql_queries"] < baseline
+
+    def test_repeat_emits_analytics_events(self):
+        _, bulk = self._graphs()
+        bulk.traversal().V(1).repeat(__.out()).times(3).id_().toList()
+        assert bulk.stats()["analytics_steps"] > 0
+
+
+class TestTableFunction:
+    def test_wcc_rows(self, graph):
+        graph.register_table_function()
+        db = graph.connection.database
+        rows = db.execute(
+            "SELECT v, c FROM TABLE(graphQuery('analytics', 'wcc')) "
+            "AS t (v BIGINT, c BIGINT) ORDER BY v"
+        ).rows
+        assert rows == [(1, 1), (2, 1), (3, 1), (4, 1), (5, 5), (6, 5)]
+
+    def test_bfs_rows_join_back(self, graph):
+        graph.register_table_function()
+        db = graph.connection.database
+        rows = db.execute(
+            "SELECT i.name, t.d FROM item AS i, "
+            "TABLE(graphQuery('analytics', 'bfs source=1')) "
+            "AS t (v BIGINT, d INT, p BIGINT) "
+            "WHERE i.id = t.v ORDER BY t.d, i.name"
+        ).rows
+        assert rows == [("a", 0), ("b", 1), ("c", 1), ("d", 2)]
+
+    def test_sssp_and_pagerank_specs(self, graph):
+        graph.register_table_function()
+        db = graph.connection.database
+        rows = db.execute(
+            "SELECT v, d FROM TABLE(graphQuery('analytics', "
+            "'sssp source=1 weight=w')) AS t (v BIGINT, d DOUBLE, p BIGINT) "
+            "ORDER BY v"
+        ).rows
+        assert rows == [(1, 0.0), (2, 2.0), (3, 3.0), (4, 7.0)]
+        rows = db.execute(
+            "SELECT v FROM TABLE(graphQuery('analytics', "
+            "'pagerank max_iterations=5')) AS t (v BIGINT, r DOUBLE)"
+        ).rows
+        assert len(rows) == 6
+
+    def test_unknown_algorithm_rejected(self, graph):
+        graph.register_table_function()
+        db = graph.connection.database
+        with pytest.raises(AnalyticsError):
+            db.execute(
+                "SELECT v FROM TABLE(graphQuery('analytics', 'dijkstra')) "
+                "AS t (v BIGINT)"
+            )
+
+    def test_missing_required_argument_rejected(self, graph):
+        graph.register_table_function()
+        db = graph.connection.database
+        with pytest.raises(AnalyticsError):
+            db.execute(
+                "SELECT v FROM TABLE(graphQuery('analytics', 'bfs')) "
+                "AS t (v BIGINT)"
+            )
+
+
+class TestServiceIntegration:
+    def test_analytics_through_a_session(self):
+        svc = GraphService(make_db(), OVERLAY, ServiceConfig(workers=2))
+        try:
+            with svc.open_session() as session:
+                result = session.run(lambda s: s.analytics().wcc())
+                assert result.component_count() == 2
+                depths = session.run(lambda s: s.analytics().bfs(1).depth)
+                assert depths == {1: 0, 2: 1, 3: 1, 4: 2}
+        finally:
+            svc.shutdown(timeout=10)
+
+    def test_in_memory_provider_also_works(self):
+        from repro.graph import InMemoryGraph
+
+        mem = InMemoryGraph()
+        for v in (1, 2, 3):
+            mem.add_vertex(v, "item")
+        mem.add_edge("link", 1, 2)
+        mem.add_edge("link", 2, 3)
+        got = GraphAnalytics(mem).bfs(1)
+        assert got.depth == {1: 0, 2: 1, 3: 2}

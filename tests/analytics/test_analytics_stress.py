@@ -1,0 +1,213 @@
+"""Stress and chaos tests for the bulk analytics engine (ISSUE 9
+satellite 3).
+
+Stress: 8 threads — four WCC readers running through GraphService
+sessions while four DML writers commit new vertices (each atomically
+linked into the first component).  Every reader must observe a result
+consistent with *some* serializable snapshot: base vertices keep their
+component, every visible new vertex is labeled with the component it
+was committed into, and nothing else exists.  Afterwards the lock
+table is clean, the analytics counters reconcile, and a final WCC
+equals the pure-Python reference over the final database state.
+
+Chaos: a seeded FaultInjector fires transient faults mid-frontier;
+per-statement retries must mask them so BFS/WCC return results
+identical to a fault-free run — frontier vertices are neither
+duplicated (depths would shift) nor dropped (vertices would vanish).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.core import Db2Graph
+from repro.relational import Database
+from repro.relational.errors import DeadlockError, LockTimeoutError
+from repro.resilience import FaultInjector, RetryPolicy
+from repro.service import GraphService, ServiceConfig
+from repro.testing.oracle import reference_wcc
+from repro.testing import materialize_oracle
+
+OVERLAY = {
+    "v_tables": [
+        {"table_name": "node", "id": "id", "fix_label": True,
+         "label": "'node'", "properties": ["id"]},
+    ],
+    "e_tables": [
+        {"table_name": "link", "src_v_table": "node", "src_v": "src",
+         "dst_v_table": "node", "dst_v": "dst",
+         "implicit_edge_id": True, "fix_label": True, "label": "'link'"},
+    ],
+}
+
+
+def make_db() -> Database:
+    """Two chain components: 1-2-3-4 and 5-6-7-8.  Writers attach new
+    nodes (ids 100+) to node 1, which stays its component's sorted-min
+    label ("1" < "100" < "2" stringwise)."""
+    db = Database()
+    db.execute("CREATE TABLE node (id INT PRIMARY KEY)")
+    db.execute("CREATE TABLE link (src INT, dst INT)")
+    db.execute(
+        "INSERT INTO node VALUES (1), (2), (3), (4), (5), (6), (7), (8)"
+    )
+    db.execute("INSERT INTO link VALUES (1, 2), (2, 3), (3, 4)")
+    db.execute("INSERT INTO link VALUES (5, 6), (6, 7), (7, 8)")
+    return db
+
+
+def no_sleep_retry(max_attempts: int = 4) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=max_attempts, sleep=lambda _s: None, rng=random.Random(0)
+    )
+
+
+@pytest.mark.stress
+@pytest.mark.timeout(120)
+def test_concurrent_wcc_against_committing_writers():
+    db = make_db()
+    svc = GraphService(db, OVERLAY, ServiceConfig(workers=4, queue_depth=64))
+    n_readers, n_writers, rounds = 4, 4, 12
+    results: list[dict] = []
+    results_lock = threading.Lock()
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_readers + n_writers)
+
+    def reader():
+        try:
+            session = svc.open_session()
+            barrier.wait()
+            try:
+                for _ in range(rounds):
+                    got = session.run(lambda s: s.analytics().wcc())
+                    with results_lock:
+                        results.append(dict(got.component))
+            finally:
+                session.close()
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    def writer(offset):
+        try:
+            conn = db.connect()
+            barrier.wait()
+            for i in range(rounds):
+                node_id = 100 + offset * rounds + i
+                for _attempt in range(50):
+                    try:
+                        conn.execute("BEGIN")
+                        conn.execute("INSERT INTO node VALUES (?)", [node_id])
+                        conn.execute(
+                            "INSERT INTO link VALUES (1, ?)", [node_id]
+                        )
+                        conn.commit()
+                        break
+                    except (DeadlockError, LockTimeoutError):
+                        conn.rollback()
+                else:
+                    raise AssertionError("writer starved after 50 retries")
+        except BaseException as exc:  # noqa: BLE001 — surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(n_readers)]
+    threads += [threading.Thread(target=writer, args=(k,)) for k in range(n_writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=90.0)
+        assert not thread.is_alive(), "stress thread wedged"
+    try:
+        assert not errors, errors[:3]
+        assert len(results) == n_readers * rounds
+
+        # Every observed result is some serializable snapshot: base
+        # vertices keep their components, every visible new vertex is
+        # in component 1 (it was committed atomically with its link).
+        for component in results:
+            for v in (1, 2, 3, 4):
+                assert component[v] == 1
+            for v in (5, 6, 7, 8):
+                assert component[v] == 5
+            for v, label in component.items():
+                if v >= 100:
+                    assert label == 1, f"vertex {v} labeled {label}"
+
+        # Nothing holds or waits on a lock once the dust settles.
+        assert db.lock_manager.is_clean()
+
+        # The frontier histogram mirrors the step counter 1:1 even
+        # under 8-thread interleaving.
+        with svc.open_session() as session:
+            stats = session.run(lambda s: s.graph.stats())
+            assert stats["analytics_steps"] > 0
+            assert stats["frontier_samples"] == stats["analytics_steps"]
+
+            # A quiesced WCC agrees with the reference over the final
+            # database state: all committed writes present, in comp 1.
+            final = session.run(lambda s: s.analytics().wcc())
+        oracle = materialize_oracle(db, OVERLAY)
+        assert final.component == reference_wcc(oracle)
+        assert sum(1 for v in final.component if v >= 100) == n_writers * rounds
+        assert final.component_count() == 2
+    finally:
+        svc.shutdown(timeout=10)
+
+
+@pytest.mark.chaos
+@pytest.mark.timeout(60)
+class TestAnalyticsChaos:
+    def test_bfs_identical_under_injected_faults(self):
+        db = make_db()
+        clean = Db2Graph.open(db, OVERLAY, cache=False)
+        want_bfs = clean.analytics().bfs(1)
+        want_wcc = clean.analytics().wcc()
+
+        chaotic = Db2Graph.open(
+            db, OVERLAY, cache=False, retry_policy=no_sleep_retry(4)
+        )
+        injector = FaultInjector(seed=17)
+        injector.add("lock_timeout", table="link", times=2)
+        injector.add("error", table="node", times=1)
+        injector.add("error", at_statement=3, times=1)
+        db.fault_injector = injector
+        try:
+            got_bfs = chaotic.analytics().bfs(1)
+            got_wcc = chaotic.analytics().wcc()
+        finally:
+            db.fault_injector = None
+
+        # Retried frontier statements neither duplicated nor dropped
+        # vertices: depths, parents, and components are bit-identical.
+        assert got_bfs.depth == want_bfs.depth
+        assert got_bfs.parent == want_bfs.parent
+        assert got_bfs.frontier_sizes == want_bfs.frontier_sizes
+        assert got_wcc.component == want_wcc.component
+
+        stats = chaotic.stats()
+        assert stats["faults_injected"] == injector.fires > 0
+        assert stats["retry_attempts"] >= injector.fires
+        assert stats["sql_errors"] == injector.fires
+        assert db.lock_manager.is_clean()
+
+    def test_probability_fault_schedule_is_reproducible(self):
+        def run():
+            db = make_db()
+            graph = Db2Graph.open(
+                db, OVERLAY, cache=False, retry_policy=no_sleep_retry(5)
+            )
+            injector = FaultInjector(seed=29)
+            injector.add("error", probability=0.2, times=None)
+            db.fault_injector = injector
+            try:
+                result = graph.analytics().wcc()
+            finally:
+                db.fault_injector = None
+            return dict(result.component), injector.fires
+
+        first = run()
+        second = run()
+        assert first == second
+        assert first[0] == {1: 1, 2: 1, 3: 1, 4: 1, 5: 5, 6: 5, 7: 5, 8: 5}

@@ -40,6 +40,7 @@ def assert_counters_match_events(graph, recorder):
     assert_cache_counters_match_events(graph, recorder)
     assert_durability_counters_match_events(graph, recorder)
     assert_service_counters_match_events(graph, recorder)
+    assert_analytics_counters_match_events(graph, recorder)
 
 
 def assert_parallel_counters_match_events(graph, recorder):
@@ -110,6 +111,40 @@ def assert_service_counters_match_events(graph, recorder):
 
     depth = graph.registry.histogram(M.SERVICE_QUEUE_DEPTH)
     assert depth.count == recorder.count(tracing.SERVICE_QUEUED)
+
+
+def assert_analytics_counters_match_events(graph, recorder):
+    """The bulk-analytics counters keep the 1:1 invariant — one
+    ``analytics.step`` event per step counter increment, one
+    ``analytics.converged`` event per natural convergence, and the
+    ``frontier.size`` histogram mirrored observation-for-event (the
+    same shape as ``service.queue_depth``).  Outside analytics runs
+    every pair is identically zero."""
+    stats = graph.stats()
+    assert stats["analytics_steps"] == recorder.count(tracing.ANALYTICS_STEP)
+    assert stats["analytics_converged"] == recorder.count(
+        tracing.ANALYTICS_CONVERGED
+    )
+    from repro.obs import metrics as M
+
+    frontier = graph.registry.histogram(M.FRONTIER_SIZE)
+    assert frontier.count == recorder.count(tracing.FRONTIER_SIZE)
+    sizes = [e.get("size") for e in recorder.named(tracing.FRONTIER_SIZE)]
+    if sizes:
+        assert frontier.max == max(sizes)
+
+
+def test_analytics_counters_match_events(traced):
+    graph, recorder = traced
+    an = graph.analytics()
+    an.bfs("patient::1", direction="both")
+    an.wcc()
+    an.pagerank(max_iterations=3)
+    stats = graph.stats()
+    assert stats["analytics_steps"] > 0
+    assert stats["analytics_converged"] == 2  # bfs + wcc; pagerank was cut off
+    assert stats["frontier_samples"] == stats["analytics_steps"]
+    assert_counters_match_events(graph, recorder)
 
 
 def test_fixed_label_elimination_counters_match_events(traced):
