@@ -1,0 +1,310 @@
+"""Replication serving capacity, lag, and failover time (DESIGN.md
+"Replication & failover").
+
+Not a paper figure — the paper inherits Db2's HADR standbys (§1, §7) —
+but the reproduction's own WAL-shipping replication has three
+behaviours worth quantifying:
+
+* **Read throughput 0 -> 2 standbys** — the same closed-loop read-only
+  traversal mix served through ``GraphService`` with no replication,
+  one standby, and two standbys.  Standby-served reads skip the
+  primary entirely (their sessions bind a replica's database), so the
+  interesting numbers are the routing overhead per request and the
+  share of reads the standbys absorb.
+* **Replication lag vs write rate (async)** — bursts of autocommit
+  writes against an async standby behind a deterministically delayed
+  network.  Each commit pumps one protocol round, so the unacked
+  window (the advertised loss bound) grows with the burst and drains
+  once the writer pauses; recorded per burst size: peak window, window
+  at burst end, and pump rounds to fully drain.
+* **Failover time-to-recovery** — kill-and-promote against a sync
+  standby after W committed writes: wall-clock from ``promote()`` to a
+  fresh session's first successful traversal on the survivor, plus the
+  promoted node's acked-commit loss (must be zero in sync mode).
+
+Acceptance bars: standby routing stays within 3x of the unreplicated
+read path, peak lag grows monotonically with burst size and always
+drains to zero, and sync failover loses no acked commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.durability import DurabilityConfig
+from repro.relational.database import Database
+from repro.replication import (
+    NetworkFaultInjector,
+    ReplicationCluster,
+    ReplicationConfig,
+)
+from repro.service import GraphService, ServiceConfig
+
+N_ITEMS = 200
+READS = 150  # closed-loop read requests per throughput round
+WRITE_EVERY = 15  # one primary write interleaved per this many reads
+LAG_BURSTS = [8, 32, 128]
+FAILOVER_WRITES = [50, 200]
+
+_THROUGHPUT: list[dict[str, float]] = []
+_LAG: list[dict[str, float]] = []
+_FAILOVER: list[dict[str, float]] = []
+
+OVERLAY = {
+    "v_tables": [
+        {"table_name": "item", "id": "id", "fix_label": True,
+         "label": "'item'", "properties": ["id", "name"]},
+    ],
+    "e_tables": [
+        {"table_name": "link", "src_v_table": "item", "src_v": "src",
+         "dst_v_table": "item", "dst_v": "dst",
+         "implicit_edge_id": True, "fix_label": True, "label": "'link'"},
+    ],
+}
+
+
+def _durable_db(tmp_path_factory, label: str) -> Database:
+    wal_dir = tmp_path_factory.mktemp(f"repl-{label}")
+    db = Database(
+        name=f"bench-{label}",
+        durability=DurabilityConfig(dir=wal_dir, fsync=False),
+    )
+    db.execute("CREATE TABLE item (id INT PRIMARY KEY, name VARCHAR)")
+    db.execute("CREATE TABLE link (src INT, dst INT)")
+    connection = db.connect()
+    connection.insert_rows(
+        "item", [(i, f"item-{i}") for i in range(1, N_ITEMS + 1)]
+    )
+    connection.insert_rows(
+        "link", [(i, i + 1) for i in range(1, N_ITEMS)]
+    )
+    return db
+
+
+# -- read throughput, 0 -> 2 standbys -----------------------------------------
+
+
+@pytest.mark.parametrize("replicas", [0, 1, 2])
+def test_read_throughput(benchmark, tmp_path_factory, replicas):
+    timings: list[float] = []
+    shares: list[dict[str, int]] = []
+
+    def run_once():
+        db = _durable_db(tmp_path_factory, f"read-{replicas}")
+        replication = (
+            ReplicationConfig(replicas=replicas) if replicas else None
+        )
+        service = GraphService(
+            db, OVERLAY, ServiceConfig(workers=2), replication=replication
+        )
+        try:
+            sessions = [
+                service.open_session(read_only=True) for _ in range(2)
+            ]
+            next_id = N_ITEMS + 1
+            start = time.perf_counter()
+            for i in range(READS):
+                session = sessions[i % len(sessions)]
+                session.run(lambda s: s.g.V().count().next())
+                if i % WRITE_EVERY == WRITE_EVERY - 1:
+                    # A trickle of primary writes keeps the ship +
+                    # sync-ack path on the clock, as in real serving.
+                    db.execute(
+                        f"INSERT INTO item VALUES ({next_id}, 'w{next_id}')"
+                    )
+                    next_id += 1
+            elapsed = time.perf_counter() - start
+            timings.append(elapsed)
+            shares.append(
+                {
+                    "replica": sum(s.replica_reads for s in sessions),
+                    "fallthrough": sum(
+                        s.fallthrough_reads for s in sessions
+                    ),
+                }
+            )
+        finally:
+            service.shutdown(timeout=5.0)
+            db.close()
+        return READS
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    best = min(timings)
+    share = shares[timings.index(best)]
+    _THROUGHPUT.append(
+        {
+            "replicas": replicas,
+            "seconds": best,
+            "reads_per_s": READS / best,
+            "replica_reads": share["replica"],
+            "fallthrough": share["fallthrough"],
+        }
+    )
+
+
+# -- replication lag vs write rate (async) ------------------------------------
+
+
+def test_lag_vs_write_rate(tmp_path_factory):
+    """Deterministic (seeded delay network, no wall-clock in the
+    metric): burst W autocommit writes, watch the unacked window."""
+    for burst in LAG_BURSTS:
+        db = _durable_db(tmp_path_factory, f"lag-{burst}")
+        cluster = ReplicationCluster(
+            db,
+            ReplicationConfig(replicas=1, ack="async"),
+            injector=NetworkFaultInjector(delay=1.0, max_delay=6, seed=11),
+        )
+        try:
+            peak = 0
+            start = time.perf_counter()
+            for i in range(burst):
+                db.execute(
+                    f"INSERT INTO item VALUES ({N_ITEMS + 1 + i}, 'b{i}')"
+                )
+                peak = max(peak, cluster.unacked_window())
+            elapsed = time.perf_counter() - start
+            at_end = cluster.unacked_window()
+            drain_rounds = 0
+            while cluster.unacked_window() and drain_rounds < 10_000:
+                cluster.pump(1)
+                drain_rounds += 1
+            assert cluster.unacked_window() == 0
+            _LAG.append(
+                {
+                    "burst": burst,
+                    "writes_per_s": burst / elapsed,
+                    "peak_window": peak,
+                    "end_window": at_end,
+                    "drain_rounds": drain_rounds,
+                }
+            )
+        finally:
+            db.close()
+    peaks = [r["peak_window"] for r in _LAG]
+    assert peaks == sorted(peaks)  # lag grows with the burst
+
+
+# -- failover time-to-recovery ------------------------------------------------
+
+
+@pytest.mark.parametrize("writes", FAILOVER_WRITES)
+def test_failover_time_to_recovery(benchmark, tmp_path_factory, writes):
+    timings: list[dict[str, float]] = []
+
+    def run_once():
+        db = _durable_db(tmp_path_factory, f"fo-{writes}")
+        service = GraphService(
+            db,
+            OVERLAY,
+            ServiceConfig(workers=2),
+            replication=ReplicationConfig(replicas=1),
+        )
+        try:
+            for i in range(writes):
+                db.execute(
+                    f"INSERT INTO item VALUES ({N_ITEMS + 1 + i}, 'f{i}')"
+                )
+            db.durability.dead = True  # simulated primary power cut
+            start = time.perf_counter()
+            report = service.promote()
+            promoted = time.perf_counter()
+            session = service.open_session()
+            count = session.run(lambda s: s.g.V().count().next())
+            recovered = time.perf_counter()
+            assert report["lost_commits"] == 0  # sync ack: zero loss
+            assert count == N_ITEMS + writes
+            timings.append(
+                {
+                    "promote": promoted - start,
+                    "first_read": recovered - promoted,
+                    "total": recovered - start,
+                }
+            )
+        finally:
+            service.shutdown(timeout=5.0)
+        return writes
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    best = min(timings, key=lambda t: t["total"])
+    _FAILOVER.append(
+        {
+            "writes": writes,
+            "promote_ms": best["promote"] * 1e3,
+            "first_read_ms": best["first_read"] * 1e3,
+            "total_ms": best["total"] * 1e3,
+        }
+    )
+
+
+# -- report -------------------------------------------------------------------
+
+
+def test_replication_report(collector):
+    assert [r["replicas"] for r in _THROUGHPUT] == [0, 1, 2]
+    assert len(_LAG) == len(LAG_BURSTS)
+    assert [r["writes"] for r in _FAILOVER] == FAILOVER_WRITES
+
+    baseline = _THROUGHPUT[0]["reads_per_s"]
+    for row in _THROUGHPUT[1:]:
+        # Standby routing adds per-request overhead; it must stay
+        # within 3x of the unreplicated read path.
+        assert row["reads_per_s"] * 3 >= baseline
+        assert row["replica_reads"] > 0
+
+    collector.add(
+        "replication",
+        format_table(
+            ["standbys", "reads/s", "standby reads", "fallthrough"],
+            [
+                [
+                    int(r["replicas"]),
+                    f"{r['reads_per_s']:.0f}",
+                    int(r["replica_reads"]),
+                    int(r["fallthrough"]),
+                ]
+                for r in _THROUGHPUT
+            ],
+            title="Closed-loop read-only throughput vs number of hot standbys",
+        ),
+    )
+    collector.add(
+        "replication",
+        format_table(
+            ["burst writes", "writes/s", "peak window", "end window",
+             "drain rounds"],
+            [
+                [
+                    int(r["burst"]),
+                    f"{r['writes_per_s']:.0f}",
+                    int(r["peak_window"]),
+                    int(r["end_window"]),
+                    int(r["drain_rounds"]),
+                ]
+                for r in _LAG
+            ],
+            title="Async replication lag (unacked commits) vs write burst, "
+            "delayed network",
+        ),
+    )
+    collector.add(
+        "replication",
+        format_table(
+            ["writes before crash", "promote ms", "first read ms",
+             "total ms"],
+            [
+                [
+                    int(r["writes"]),
+                    f"{r['promote_ms']:.1f}",
+                    f"{r['first_read_ms']:.1f}",
+                    f"{r['total_ms']:.1f}",
+                ]
+                for r in _FAILOVER
+            ],
+            title="Failover time-to-recovery (sync standby, zero acked-commit "
+            "loss)",
+        ),
+    )

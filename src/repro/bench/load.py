@@ -33,6 +33,20 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
 
+def backoff_delay(
+    retry_after: float, consecutive: int, max_backoff: float = 0.25
+) -> float:
+    """Capped exponential backoff seeded by the service's hint.
+
+    The first backpressure response waits the service's ``retry_after``
+    estimate (floored at 1ms — a zero hint must still yield); each
+    consecutive one doubles the wait, capped at ``max_backoff``.  A
+    completed request resets the streak.
+    """
+    base = max(retry_after, 1e-3)
+    return min(max_backoff, base * (2.0 ** max(0, consecutive - 1)))
+
+
 @dataclass
 class LoadResult:
     """Outcome of one load-generation run."""
@@ -44,6 +58,8 @@ class LoadResult:
     failed: int = 0
     rejected: int = 0
     shed: int = 0
+    backoffs: int = 0
+    backoff_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
 
     @property
@@ -79,6 +95,7 @@ class LoadResult:
             "failed": self.failed,
             "rejected": self.rejected,
             "shed": self.shed,
+            "backoffs": self.backoffs,
             "p50_ms": round(self.p50_ms, 3),
             "p95_ms": round(self.p95_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
@@ -92,13 +109,20 @@ def run_closed_loop(
     duration_seconds: float = 2.0,
     think_seconds: float = 0.0,
     warmup_requests: int = 2,
+    max_backoff: float = 0.25,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> LoadResult:
     """Closed-loop clients: one per session, submit → wait → think.
 
     ``work`` is the request callable (receives the session).  Rejected
-    submissions back off by the hint and retry; they do not count as
-    completions.  Warmup requests per session are excluded from the
-    measured window.
+    *and shed* submissions honor the service's ``retry_after`` hint
+    with capped exponential backoff (:func:`backoff_delay`) before
+    resubmitting — an overloaded service is never hammered with
+    immediate retries, so overload benchmarks measure honest client
+    behavior.  Neither counts as a completion.  Warmup requests per
+    session are excluded from the measured window.  ``sleep`` is
+    injectable so tests can observe the backoff schedule without real
+    waiting.
     """
     sessions = [service.open_session() for _ in range(n_sessions)]
     result = LoadResult("closed", n_sessions, duration_seconds)
@@ -113,6 +137,17 @@ def run_closed_loop(
                 pass
         start_gate.wait()
         deadline = time.monotonic() + duration_seconds
+        consecutive = 0  # backpressure streak; resets on completion
+
+        def back_off(retry_after: float) -> None:
+            nonlocal consecutive
+            consecutive += 1
+            delay = backoff_delay(retry_after, consecutive, max_backoff)
+            with lock:
+                result.backoffs += 1
+                result.backoff_seconds += delay
+            sleep(delay)
+
         while time.monotonic() < deadline:
             t0 = time.monotonic()
             try:
@@ -120,16 +155,18 @@ def run_closed_loop(
             except AdmissionRejectedError as exc:
                 with lock:
                     result.rejected += 1
-                time.sleep(min(exc.retry_after, 0.05))
+                back_off(exc.retry_after)
                 continue
-            except RequestShedError:
+            except RequestShedError as exc:
                 with lock:
                     result.shed += 1
+                back_off(exc.retry_after)
                 continue
             except Exception:
                 with lock:
                     result.failed += 1
                 continue
+            consecutive = 0
             latency_ms = (time.monotonic() - t0) * 1000.0
             with lock:
                 result.completed += 1

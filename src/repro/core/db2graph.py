@@ -74,6 +74,9 @@ class Db2Graph:
         self.cache: GraphCache | None = None
         # Bulk repeat() evaluation (repro.analytics); set by open(bulk=...).
         self.bulk = False
+        # ReplicationCluster (repro.replication); set by open(replication=...).
+        # None = single-node operation.
+        self.replication = None
 
     @classmethod
     def open(
@@ -92,6 +95,7 @@ class Db2Graph:
         batch_size: int | None = None,
         cache: CacheConfig | bool | GraphCache | None = None,
         durability: Any = None,
+        replication: Any = None,
         registry: MetricsRegistry | None = None,
         recorder: TraceRecorder | None = None,
         pool: FanoutPool | None = None,
@@ -161,6 +165,17 @@ class Db2Graph:
         database that is already durable — from ``Database.open(...)``
         or the ``REPRO_WAL_DIR`` environment knob consulted at
         ``Database()`` construction — is left untouched.
+
+        ``replication`` attaches WAL-shipping hot standbys
+        (:mod:`repro.replication`): ``None`` consults
+        ``REPRO_REPL_REPLICAS`` (off by default, and silently off when
+        the database is not durable — the stream *is* the WAL), an
+        ``int`` is a replica count, a
+        :class:`~repro.replication.ReplicationConfig` sets ack mode and
+        the staleness contract, and a prebuilt
+        :class:`~repro.replication.ReplicationCluster` is shared as-is
+        (a database that already has a cluster attached reuses it).
+        The cluster lives on ``graph.replication``.
         """
         if isinstance(database, Connection):
             connection = database
@@ -207,6 +222,7 @@ class Db2Graph:
         # engine underneath it (lock waits, deadlocks, sql errors), so
         # stats()/traces reconcile across layers.
         connection.database.bind_observability(registry, recorder)
+        cluster = cls._resolve_replication(connection.database, replication)
         owns_pool = pool is None
         if pool is None:
             workers = resolve_parallelism(parallelism)
@@ -227,7 +243,39 @@ class Db2Graph:
         graph._owns_pool = owns_pool
         graph.cache = graph_cache
         graph.bulk = bulk
+        graph.replication = cluster
         return graph
+
+    @staticmethod
+    def _resolve_replication(database: Database, replication: Any):
+        """Attach (or reuse) a replication cluster for ``database``.
+
+        Env-driven activation (``replication=None`` +
+        ``REPRO_REPL_REPLICAS``) is silently skipped on a non-durable
+        database so suite-wide soak runs don't break in-memory tests;
+        an *explicit* request against a non-durable database raises.
+        """
+        from ..replication import ReplicationCluster
+        from ..replication.config import resolve_replication_config
+
+        if isinstance(replication, ReplicationCluster):
+            return replication
+        if database.durability is not None and database.durability.replication is not None:
+            # The database already ships its WAL — share that cluster.
+            return database.durability.replication.cluster
+        config = resolve_replication_config(replication)
+        if config is None:
+            return None
+        if database.durability is None:
+            if replication is None:
+                return None  # env knob + in-memory database: silently off
+            from ..replication.errors import ReplicationError
+
+            raise ReplicationError(
+                "replication requires a durable database (pass durability=... "
+                "or open the database with a WAL directory)"
+            )
+        return ReplicationCluster(database, config)
 
     @classmethod
     def open_auto(
@@ -391,6 +439,48 @@ class Db2Graph:
             "checkpoints_written": self.registry.counter(M.CHECKPOINTS_WRITTEN).value,
             "recovery_replayed": self.registry.counter(M.RECOVERY_REPLAYED).value,
             "recovery_discarded": self.registry.counter(M.RECOVERY_DISCARDED).value,
+            # replication & failover (repro.replication)
+            "repl_shipped": self.registry.counter(M.REPL_SHIPPED).value,
+            "repl_applied": self.registry.counter(M.REPL_APPLIED).value,
+            "repl_acked": self.registry.counter(M.REPL_ACKED).value,
+            "repl_fenced": self.registry.counter(M.REPL_FENCED).value,
+            "repl_retransmits": self.registry.counter(M.REPL_RETRANSMITS).value,
+            "repl_read_fallthrough": self.registry.counter(M.REPL_READ_FALLTHROUGH).value,
+            "failover_promotions": self.registry.counter(M.FAILOVER_PROMOTIONS).value,
+            "repl_lag_samples": self.registry.histogram(M.REPL_LAG).count,
+            "repl_lag_max": (
+                self.registry.histogram(M.REPL_LAG).max
+                if self.registry.histogram(M.REPL_LAG).count
+                else 0
+            ),
+            # structured state (dict-or-None, not counters): what crash
+            # recovery found at open, and the live replication topology
+            "recovery_report": self._recovery_report_dict(),
+            "replication": self.replication.status() if self.replication else None,
+        }
+
+    def _recovery_report_dict(self) -> dict[str, Any] | None:
+        report = self.connection.database.recovery_report
+        if report is None:
+            return None
+        from dataclasses import asdict
+
+        return asdict(report)
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/topology summary (mirrored by GraphService.health):
+        whether this node is durable and alive, what recovery did at
+        open, and — when replicated — epoch, per-replica apply state,
+        and failover history."""
+        database = self.connection.database
+        durability = database.durability
+        return {
+            "database": database.name,
+            "durable": durability is not None,
+            "alive": durability is None or not durability.dead,
+            "last_logged_csn": durability.last_logged_csn if durability else None,
+            "recovery_report": self._recovery_report_dict(),
+            "replication": self.replication.status() if self.replication else None,
         }
 
     def metrics(self) -> dict[str, Any]:

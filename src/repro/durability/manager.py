@@ -77,6 +77,11 @@ class DurabilityManager:
         self.wal_bytes = 0
         self.wal_flush_count = 0
         self.checkpoints_written = 0
+        # Replication node handle (repro.replication) or None.  Set by
+        # the cluster on the current primary: every durable flush ships
+        # its frames into the replication stream, and writes are fenced
+        # once the node is deposed.
+        self.replication = None
 
     # -- paths ---------------------------------------------------------------
 
@@ -132,6 +137,8 @@ class DurabilityManager:
         """
         with self._lock:
             self._ensure_alive()
+            if self.replication is not None:
+                self.replication.ensure_primary()
             with self._buffers_lock:
                 ops = self._txn_ops.pop(txn.txn_id, [])
             if ops:
@@ -175,8 +182,16 @@ class DurabilityManager:
         """Append one DDL record and flush immediately."""
         with self._lock:
             self._ensure_alive()
+            if self.replication is not None:
+                self.replication.ensure_primary()
             self._append_records([{"k": "ddl", **record}])
             self._flush_locked()
+        if self.replication is not None:
+            # DDL has no commit record to piggyback the ack wait on;
+            # sync-ack replication waits here instead (outside the
+            # durability lock — the pump applies onto replica databases
+            # and must not serialize behind this one's WAL).
+            self.replication.on_ddl_durable()
 
     # -- WAL internals -------------------------------------------------------
 
@@ -227,6 +242,14 @@ class DurabilityManager:
             # must survive recovery even though the process dies before
             # acknowledging the commit.
             self._die("wal.after_flush")
+        if self.replication is not None:
+            # Ship strictly *after* the crash points: a primary that
+            # dies at wal.after_flush is durable locally but never
+            # shipped these frames, so they were never acked and a
+            # promoted replica lawfully lacks them.  Conversely every
+            # shipped frame is already durable here, so the stream can
+            # never run ahead of the primary's own log.
+            self.replication.ship(frames)
 
     # -- checkpoints ---------------------------------------------------------
 

@@ -221,6 +221,18 @@ SERVICE_SESSIONS_CLOSED = "service.session.close"
 ANALYTICS_STEPS = "analytics.step"
 ANALYTICS_CONVERGED = "analytics.converged"
 FRONTIER_SIZE = "frontier.size"
+# Replication & failover (repro.replication) — each counter mirrors a
+# 1:1 trace event; the replication-lag histogram follows the
+# service.queue_depth pattern (its observation count equals the number
+# of ``repl.lag`` events, one sample per processed ack).
+REPL_SHIPPED = "repl.shipped"
+REPL_APPLIED = "repl.applied"
+REPL_ACKED = "repl.acked"
+REPL_FENCED = "repl.fenced"
+REPL_RETRANSMITS = "repl.retransmits"
+REPL_READ_FALLTHROUGH = "repl.read.fallthrough"
+FAILOVER_PROMOTIONS = "failover.promotions"
+REPL_LAG = "repl.lag"
 
 
 def eliminated_counter_name(rule: str) -> str:

@@ -92,6 +92,27 @@ event name             attributes
                        natural convergence (frontier drained / fixpoint /
                        tolerance met), as opposed to a depth or iteration
                        cutoff
+``repl.ship``          ``frames``, ``from_seq``, ``epoch`` — one batch of
+                       durable WAL frames appended to the replication
+                       stream by the primary
+``repl.apply``         ``replica``, ``kind`` (``txn``/``ddl``), ``csn`` —
+                       a replica finished redo-applying one committed
+                       group or DDL record
+``repl.ack``           ``replica``, ``acked_seq`` — a replica's cumulative
+                       ack advanced at the primary (carried by its fetch)
+``repl.fenced``        ``where``, ``seen_epoch``, ``local_epoch`` — a
+                       stale-epoch frame batch was rejected on append, or
+                       a deposed primary's write was refused
+``repl.retransmit``    ``replica``, ``from_seq`` — the primary re-served
+                       frames it had already sent (loss/tear recovery)
+``repl.read.fallthrough`` ``session``, ``needed_csn``, ``applied_csn`` —
+                       a replica read could not meet its staleness bound
+                       and was rerouted to the primary
+``failover.promote``   ``replica``, ``epoch``, ``applied_csn`` — a replica
+                       was promoted to primary under a new fencing epoch
+``repl.lag``           ``replica``, ``lag`` — replication-lag sample (CSNs
+                       behind the primary) taken at each processed ack
+                       (mirrors one ``repl.lag`` histogram observation)
 =====================  =====================================================
 
 Every event carries a process-wide monotonically increasing
@@ -236,3 +257,11 @@ SERVICE_SESSION_CLOSE = "service.session.close"
 ANALYTICS_STEP = "analytics.step"
 FRONTIER_SIZE = "frontier.size"
 ANALYTICS_CONVERGED = "analytics.converged"
+REPL_SHIP = "repl.ship"
+REPL_APPLY = "repl.apply"
+REPL_ACK = "repl.ack"
+REPL_FENCED = "repl.fenced"
+REPL_RETRANSMIT = "repl.retransmit"
+REPL_READ_FALLTHROUGH = "repl.read.fallthrough"
+FAILOVER_PROMOTE = "failover.promote"
+REPL_LAG = "repl.lag"

@@ -452,6 +452,11 @@ class TransactionManager:
         # through it so the WAL group is flushed *before* the versions
         # become visible (durable-before-visible).
         self.durability = None
+        # Replication node handle (repro.replication) or None.  When
+        # set, commit is fenced (a deposed primary's writes are rejected
+        # before any local effect) and, after the commit completes
+        # locally, the handle may wait for replica acks (sync-ack mode).
+        self.replication = None
 
     def begin(self, isolation: str = Transaction.READ_COMMITTED) -> Transaction:
         with self._lock:
@@ -466,12 +471,23 @@ class TransactionManager:
     def commit(self, txn: Transaction) -> int:
         if not txn.is_active:
             raise TransactionError(f"transaction {txn.txn_id} is not active")
+        if self.replication is not None:
+            # Fencing: a deposed primary must reject the write before
+            # any local effect (no CSN allocated, nothing logged).
+            self.replication.ensure_primary()
         now = self.clock.now()
         with self._lock:
             self._csn += 1
             csn = self._csn
-            self._commit_times.append(now)
-            self._commit_csns.append(csn)
+            if txn.created or txn.ended:
+                # Only ops-bearing commits enter the AS OF history: a
+                # no-op commit (e.g. a DELETE matching zero rows) stamps
+                # no versions and writes no WAL group, so recording it
+                # would make the in-memory history strictly richer than
+                # anything recovery or a replica can rebuild — and it
+                # cannot change what any AS OF snapshot sees.
+                self._commit_times.append(now)
+                self._commit_csns.append(csn)
 
         def stamp() -> None:
             for _storage, _rowid, version in txn.created:
@@ -498,6 +514,13 @@ class TransactionManager:
                 for hook in self.commit_hooks:
                     hook(written)
         self._release_locks(txn)
+        if self.replication is not None:
+            # Sync-ack mode pumps the replication transport until every
+            # live replica has redo-applied this commit's frames (or
+            # raises ReplicationAckTimeout — the commit stays durable
+            # and visible locally, but is *uncertain* on the replicated
+            # timeline).  Async mode pumps once, opportunistically.
+            self.replication.on_commit(csn)
         return csn
 
     def rollback(self, txn: Transaction) -> None:
@@ -527,6 +550,20 @@ class TransactionManager:
         if up_to_csn is None:
             return pairs
         return [(time, csn) for time, csn in pairs if csn <= up_to_csn]
+
+    def note_replicated_commit(self, csn: int, now: float, txn_id: int = 0) -> None:
+        """Advance the CSN clock and AS OF history for one redo-applied
+        commit (replica apply path — the commit keeps the *primary's*
+        CSN and wallclock stamps, so temporal queries agree across
+        nodes).  Also tracks the highest replayed transaction id so a
+        promoted replica allocates fresh ids."""
+        with self._lock:
+            if csn > self._csn:
+                self._csn = csn
+                self._commit_times.append(now)
+                self._commit_csns.append(csn)
+            if txn_id >= self._next_txn_id:
+                self._next_txn_id = txn_id + 1
 
     def restore_state(
         self, csn: int, next_txn_id: int, history: list[tuple[float, int]]

@@ -1,0 +1,71 @@
+"""Replication-layer errors.
+
+Fencing rejections are *permanent* for the raising node: a deposed
+primary can never become primary again under its old epoch, so
+``FencedWriteError`` is not transient and the retry classifier must let
+it propagate.  ``ReplicationAckTimeout`` is the sync-ack "commit
+uncertain" outcome: the transaction IS durable and visible locally, but
+the configured replica acknowledgements did not arrive in time — the
+caller must treat the commit as possibly-lost-on-failover, exactly like
+a client whose COMMIT reply packet was dropped.
+"""
+
+from __future__ import annotations
+
+
+class ReplicationError(Exception):
+    """Base class for every replication-layer failure."""
+
+
+class FencedWriteError(ReplicationError):
+    """A deposed primary attempted a write after losing its epoch.
+
+    Raised before any local effect, so a fenced node's writes are
+    rejected rather than silently diverging from the promoted timeline.
+    """
+
+    transient = False
+
+    def __init__(self, message: str, epoch: int = 0, current_epoch: int = 0):
+        super().__init__(message)
+        self.epoch = epoch
+        self.current_epoch = current_epoch
+
+
+class ReplicationAckTimeout(ReplicationError):
+    """Sync-ack mode: the commit is locally durable and visible, but
+    replica acknowledgements did not arrive within the pump budget.
+
+    The commit's outcome on the replicated timeline is *uncertain*: if
+    the primary survives, nothing was lost; if it dies before the
+    frames ship, a promoted replica will not have this transaction.
+    Callers that require zero-loss semantics must not treat a commit
+    that raised this as acknowledged.
+    """
+
+    transient = False
+
+    def __init__(self, message: str, csn: int = 0, acked: int = 0, needed: int = 0):
+        super().__init__(message)
+        self.csn = csn
+        self.acked = acked
+        self.needed = needed
+
+
+class NotPrimaryError(ReplicationError):
+    """A primary-only operation was invoked on a replica node."""
+
+
+class StaleReadError(ReplicationError):
+    """A replica read's staleness bound could not be met and no
+    fall-through target was available."""
+
+    def __init__(self, message: str, needed_csn: int = 0, applied_csn: int = 0):
+        super().__init__(message)
+        self.needed_csn = needed_csn
+        self.applied_csn = applied_csn
+
+
+class DivergenceError(ReplicationError):
+    """The divergence detector found primary and replica states that
+    are not byte-identical (CRC chain or state digest mismatch)."""

@@ -1,0 +1,297 @@
+"""Simulated in-process transport with seeded network faults.
+
+The replication protocol is deliberately *pull-based and threadless*:
+the cluster owns a :class:`SimulatedTransport` whose virtual clock only
+moves when ``advance()`` is called (one "pump round").  Every message —
+replica fetches and primary frame batches alike — takes at least one
+tick to arrive, so a full fetch → reply → apply cycle costs two rounds
+and an ack becomes visible to the primary on the third.  Determinism
+falls out for free: same seed, same send sequence, same delivery
+schedule, which is what makes the network-chaos battery reproducible.
+
+Faults are decided per *send* by a :class:`NetworkFaultInjector`
+(mirroring the statement-level :class:`~repro.resilience.faults
+.FaultInjector` idiom: seeded rng, bounded windows, per-kind stats):
+
+* **drop** — the message never arrives,
+* **duplicate** — two copies arrive, possibly with different delays,
+* **delay** — delivery is pushed several ticks out,
+* **reorder** — messages due in the same round are shuffled,
+* **partition** — seeded or scripted tick windows during which traffic
+  between (a pair of, or all) nodes is dropped,
+* **torn frame** — a ``frames`` batch arrives with the last frame's
+  bytes truncated, exercising the replica's CRC/length framing checks.
+
+The protocol must converge under every combination because fetches are
+idempotent (a fetch re-states ``from_seq``; re-served frames below a
+replica's ``next_seq`` are skipped) and acks are cumulative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Traffic between ``a`` and ``b`` (both ``None`` = all pairs) is
+    dropped while ``start <= tick < end``."""
+
+    start: int
+    end: int
+    a: str | None = None
+    b: str | None = None
+
+    def blocks(self, tick: int, src: str, dst: str) -> bool:
+        if not (self.start <= tick < self.end):
+            return False
+        if self.a is None and self.b is None:
+            return True
+        return {self.a, self.b} == {src, dst}
+
+
+class NetworkFaultInjector:
+    """Seeded per-send fault decisions for :class:`SimulatedTransport`.
+
+    ::
+
+        net = NetworkFaultInjector(seed=7, drop=0.1, duplicate=0.05,
+                                   delay=0.2, max_delay=4, reorder=0.3,
+                                   torn=0.05)
+        net.partition(start=10, end=25)            # total partition
+        net.partition(start=40, end=50, a="primary", b="replica-0")
+
+    Rates are independent probabilities consulted in a fixed order
+    (partition → drop → torn → duplicate → delay) so a given seed
+    always yields the same schedule.  ``heal()`` clears partitions —
+    chaos sweeps end with a healed network so convergence is possible.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        max_delay: int = 4,
+        reorder: float = 0.0,
+        torn: float = 0.0,
+    ):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.drop_rate = drop
+        self.duplicate_rate = duplicate
+        self.delay_rate = delay
+        self.max_delay = max(1, max_delay)
+        self.reorder_rate = reorder
+        self.torn_rate = torn
+        self.partitions: list[PartitionWindow] = []
+        # Per-kind fire counts (the chaos battery asserts these against
+        # transport stats so a sweep that injected nothing is caught).
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.torn = 0
+        self.partitioned = 0
+
+    def partition(
+        self, start: int, end: int, a: str | None = None, b: str | None = None
+    ) -> PartitionWindow:
+        window = PartitionWindow(start, end, a, b)
+        self.partitions.append(window)
+        return window
+
+    def heal(self) -> None:
+        self.partitions.clear()
+
+    # -- transport hooks -----------------------------------------------------
+
+    def on_send(
+        self, tick: int, src: str, dst: str, msg: dict[str, Any]
+    ) -> list[tuple[int, dict[str, Any]]]:
+        """Decide the fate of one send; returns ``(extra_delay, msg)``
+        deliveries (empty = dropped)."""
+        for window in self.partitions:
+            if window.blocks(tick, src, dst):
+                self.partitioned += 1
+                self.dropped += 1
+                return []
+        if self.drop_rate and self.rng.random() < self.drop_rate:
+            self.dropped += 1
+            return []
+        if (
+            self.torn_rate
+            and msg.get("kind") == "frames"
+            and msg.get("frames")
+            and self.rng.random() < self.torn_rate
+        ):
+            msg = self._tear(msg)
+            self.torn += 1
+        deliveries = [(0, msg)]
+        if self.duplicate_rate and self.rng.random() < self.duplicate_rate:
+            self.duplicated += 1
+            deliveries.append((self.rng.randrange(self.max_delay), dict(msg)))
+        if self.delay_rate and self.rng.random() < self.delay_rate:
+            self.delayed += 1
+            deliveries = [
+                (extra + 1 + self.rng.randrange(self.max_delay), m)
+                for extra, m in deliveries
+            ]
+        return deliveries
+
+    def on_deliver(self, due: list["_InFlight"]) -> list["_InFlight"]:
+        """Optionally shuffle the messages due in one round."""
+        if len(due) > 1 and self.reorder_rate and self.rng.random() < self.reorder_rate:
+            self.reordered += 1
+            shuffled = list(due)
+            self.rng.shuffle(shuffled)
+            return shuffled
+        return due
+
+    def _tear(self, msg: dict[str, Any]) -> dict[str, Any]:
+        """Truncate the last frame of a ``frames`` batch mid-bytes, the
+        wire analogue of ``wal.mid_record``'s torn tail."""
+        frames = list(msg["frames"])
+        last = frames[-1]
+        frames[-1] = last[: max(1, len(last) // 2)]
+        torn_msg = dict(msg)
+        torn_msg["frames"] = frames
+        torn_msg["torn"] = True
+        return torn_msg
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "torn": self.torn,
+            "partitioned": self.partitioned,
+        }
+
+    def __repr__(self) -> str:
+        return f"NetworkFaultInjector(seed={self.seed}, {self.stats()})"
+
+
+@dataclass
+class _InFlight:
+    """One scheduled delivery; ``order`` breaks ties deterministically."""
+
+    due_tick: int
+    order: int
+    src: str
+    dst: str
+    msg: dict[str, Any]
+
+
+class SimulatedTransport:
+    """Tick-driven message fabric between named nodes.
+
+    ``send`` schedules (subject to the fault injector); ``advance``
+    moves the clock one tick and hands every due message to the
+    receiver callback registered for its destination.  Undeliverable
+    messages (destination never registered, or unregistered after a
+    failover detaches a node) are counted and dropped — exactly what a
+    real network does with packets for a dead host.
+    """
+
+    def __init__(self, injector: NetworkFaultInjector | None = None):
+        self.injector = injector or NetworkFaultInjector()
+        self.tick = 0
+        self._order = 0
+        self._inflight: list[_InFlight] = []
+        self._receivers: dict[str, Callable[[str, dict[str, Any]], None]] = {}
+        self.sent = 0
+        self.delivered = 0
+        self.undeliverable = 0
+
+    def register(self, node: str, receive: Callable[[str, dict[str, Any]], None]) -> None:
+        self._receivers[node] = receive
+
+    def unregister(self, node: str) -> None:
+        self._receivers.pop(node, None)
+
+    def send(self, src: str, dst: str, msg: dict[str, Any]) -> None:
+        self.sent += 1
+        for extra_delay, delivered_msg in self.injector.on_send(
+            self.tick, src, dst, msg
+        ):
+            self._order += 1
+            self._inflight.append(
+                _InFlight(
+                    # Every message takes at least one tick.
+                    due_tick=self.tick + 1 + extra_delay,
+                    order=self._order,
+                    src=src,
+                    dst=dst,
+                    msg=delivered_msg,
+                )
+            )
+
+    def advance(self) -> int:
+        """One pump round: move the clock, deliver everything due.
+        Returns the number of messages delivered."""
+        self.tick += 1
+        due = [m for m in self._inflight if m.due_tick <= self.tick]
+        if not due:
+            return 0
+        self._inflight = [m for m in self._inflight if m.due_tick > self.tick]
+        due.sort(key=lambda m: (m.due_tick, m.order))
+        count = 0
+        for inflight in self.injector.on_deliver(due):
+            receive = self._receivers.get(inflight.dst)
+            if receive is None:
+                self.undeliverable += 1
+                continue
+            receive(inflight.src, inflight.msg)
+            self.delivered += 1
+            count += 1
+        return count
+
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    def drain(self, rounds: int = 64) -> None:
+        """Advance until nothing is in flight (bounded by ``rounds``)."""
+        for _ in range(rounds):
+            if not self._inflight:
+                return
+            self.advance()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "undeliverable": self.undeliverable,
+            "pending": len(self._inflight),
+            **self.injector.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedTransport(tick={self.tick}, sent={self.sent}, "
+            f"pending={len(self._inflight)})"
+        )
+
+
+def chaos_schedule(seed: int) -> NetworkFaultInjector:
+    """Build the seeded chaos injector used by the network-fault sweeps:
+    moderate rates of every fault kind plus one seeded partition window,
+    all derived from ``seed`` so each sweep case is a distinct schedule."""
+    rng = random.Random(seed * 2654435761 % (2**32))
+    injector = NetworkFaultInjector(
+        seed=seed,
+        drop=0.05 + rng.random() * 0.15,
+        duplicate=0.05 + rng.random() * 0.10,
+        delay=0.10 + rng.random() * 0.20,
+        max_delay=2 + rng.randrange(4),
+        reorder=0.10 + rng.random() * 0.30,
+        torn=0.03 + rng.random() * 0.07,
+    )
+    start = 5 + rng.randrange(20)
+    injector.partition(start=start, end=start + 3 + rng.randrange(10))
+    return injector

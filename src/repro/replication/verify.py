@@ -1,0 +1,137 @@
+"""Divergence detection: CRC chains plus deterministic state digests.
+
+Two independent fingerprints prove a primary and its replicas are
+identical after any fault schedule:
+
+* **The frame chain** — the primary folds every shipped frame into a
+  rolling CRC32; each replica folds every *applied* frame the same way.
+  Equal chains mean the replica applied exactly the shipped byte
+  sequence, in order, with nothing skipped, duplicated, or torn — even
+  if a wrong application happened to produce the right rows.
+* **The state digest** — a SHA-256 over the full logical durable state
+  (schemas, every committed row version with its CSN/wallclock stamps,
+  secondary indexes, views, grants, and the AS OF commit history),
+  serialized with the WAL codec so the bytes are deterministic.  Equal
+  digests mean the *states* are identical — even if the chains were
+  computed over different stream positions (e.g. comparing a promoted
+  survivor against a recovered image of the old primary).
+
+Deliberately excluded from the digest: ``next_rowid`` (a rolled-back
+insert consumes a rowid on the primary that a replica never sees — an
+allocator position, not state), ``next_txn_id`` (same argument), and
+``ddl_generation`` (a cache-coherence clock, bumped extra on promotion
+and recovery by design).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any
+
+from ..durability.checkpoint import serialize_schema
+from ..durability.codec import encode_value
+from .errors import DivergenceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational.database import Database
+    from .cluster import ReplicationCluster
+
+
+def state_digest(database: "Database") -> str:
+    """Deterministic hex digest of the database's committed state."""
+    tables: list[Any] = []
+    for table in sorted(database.catalog.tables(), key=lambda t: t.name.lower()):
+        storage = table.storage
+        with storage._mutate_lock:
+            versions: list[Any] = []
+            for rowid in sorted(storage._rows):
+                for version in storage._rows[rowid]:
+                    if version.begin_csn is None:
+                        continue  # uncommitted — not state yet
+                    versions.append(
+                        [
+                            rowid,
+                            tuple(version.values),
+                            version.begin_csn,
+                            version.begin_time,
+                            version.end_csn,
+                            version.end_time,
+                        ]
+                    )
+            indexes = sorted(
+                [
+                    [ix.name, ix.table_name, list(ix.columns), ix.kind, ix.unique]
+                    for ix in storage.indexes.values()
+                ]
+            )
+        tables.append(
+            [serialize_schema(storage.schema), table.owner, versions, indexes]
+        )
+    views = sorted(
+        [view.name, view.sql_text or "", view.owner]
+        for view in database.catalog.views_in_creation_order()
+    )
+    grants = sorted(
+        [user, table, sorted(privs)]
+        for user, table, privs in database.access.dump_grants()
+    )
+    history = database.txn_manager.commit_history()
+    payload = encode_value(
+        {
+            "tables": tables,
+            "views": views,
+            "grants": grants,
+            "history": [[t, c] for t, c in history],
+        }
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def check_divergence(
+    cluster: "ReplicationCluster", catchup_rounds: int = 500
+) -> dict[str, Any]:
+    """Pump until every live replica is at the head of the stream, then
+    prove bit-identical states: frame chains must equal the primary's
+    shipped chain and state digests must equal the primary's digest.
+
+    Raises :class:`DivergenceError` on any mismatch (including failure
+    to catch up within ``catchup_rounds`` — an unconverged schedule is
+    indistinguishable from divergence and must fail loudly, not pass
+    vacuously).  Callers running under network chaos should ``heal()``
+    the fault injector first.
+    """
+    with cluster._lock:
+        live = cluster.live_replicas()
+        for _ in range(catchup_rounds):
+            if all(r.next_seq == len(cluster.log) for r in live):
+                break
+            cluster.pump(1)
+        else:
+            lagging = {
+                r.replica_id: r.next_seq for r in live if r.next_seq != len(cluster.log)
+            }
+            raise DivergenceError(
+                f"replicas failed to reach stream head {len(cluster.log)} "
+                f"within {catchup_rounds} rounds: {lagging}"
+            )
+        primary_digest = state_digest(cluster.database)
+        report: dict[str, Any] = {
+            "digest": primary_digest,
+            "chain": cluster.ship_chain,
+            "frames": len(cluster.log),
+            "replicas": [],
+        }
+        for replica in live:
+            if replica.chain != cluster.ship_chain:
+                raise DivergenceError(
+                    f"{replica.replica_id} frame chain {replica.chain:#010x} != "
+                    f"primary {cluster.ship_chain:#010x}"
+                )
+            digest = state_digest(replica.database)
+            if digest != primary_digest:
+                raise DivergenceError(
+                    f"{replica.replica_id} state digest {digest[:16]}… != "
+                    f"primary {primary_digest[:16]}…"
+                )
+            report["replicas"].append(replica.replica_id)
+        return report

@@ -46,12 +46,23 @@ class RequestShedError(ServiceError):
 
     Deadline-aware scheduling: running a query whose caller already
     gave up wastes a worker, so the dispatcher drops it and delivers
-    this error (with the time it sat queued) instead.
+    this error (with the time it sat queued) instead.  ``retry_after``
+    carries the same drain-rate estimate as admission rejections, so a
+    shed caller can back off exactly like a rejected one instead of
+    hammering an already-behind queue.
     """
 
-    def __init__(self, message: str, queued_seconds: float = 0.0):
+    transient = True
+
+    def __init__(
+        self,
+        message: str,
+        queued_seconds: float = 0.0,
+        retry_after: float = 0.0,
+    ):
         super().__init__(message)
         self.queued_seconds = queued_seconds
+        self.retry_after = retry_after
 
 
 class SessionClosedError(ServiceError):

@@ -39,6 +39,12 @@ rollbacks) with wall-clock-free monotonic start/end stamps.
   commit that had not started when the read finished.
 * **Append integrity** — every committed insert is present exactly
   once in the final state; no aborted insert survives.
+* **Replica reads are legal stale snapshots** — a read marked
+  ``replica=True`` (served by a hot standby) is exempt from the
+  real-time recency lower bound and from session monotonicity (the
+  staleness contract permits both), but it must still be a consistent
+  committed prefix, can never observe a future commit, and must cover
+  its ``min_csn`` read-your-writes token when one was presented.
 """
 
 from __future__ import annotations
@@ -74,6 +80,14 @@ class HistoryOp:
     error: str | None = None
     isolation: str | None = None  # begin: "snapshot" / "read_committed"
     source: str = "sql"  # read: "sql" or "gremlin"
+    # Replica reads: served by a hot standby under the staleness
+    # contract.  A replica read is a *legal stale snapshot* — it may
+    # lag arbitrarily behind real time (the recency lower bound is
+    # waived) but must still be some consistent committed prefix, and
+    # must include at least ``min_csn`` when a read-your-writes token
+    # was presented.
+    replica: bool = False
+    min_csn: int | None = None
 
 
 class HistoryRecorder:
@@ -315,6 +329,22 @@ def check_history(
             rt_lo, rt_hi = realtime_bounds(begin.start, begin.end)
         else:
             rt_lo, rt_hi = realtime_bounds(op.start, op.end)
+        if op.replica:
+            # A replica read is contractually stale: it need not be as
+            # recent as real time demands of a primary read (rt_lo is
+            # waived), but it can never observe a commit from the
+            # future (rt_hi still binds) and — when a read-your-writes
+            # token was presented — must include it.
+            rt_lo = 0.0
+        if op.min_csn is not None:
+            if hi < op.min_csn:
+                violate(
+                    f"read-your-writes violation at index {op.index} "
+                    f"(session {op.session}): token csn {op.min_csn} not "
+                    f"visible (feasible snapshot ends at {hi})"
+                )
+                continue
+            lo = max(lo, float(op.min_csn))
         lo, hi = max(lo, rt_lo), min(hi, rt_hi)
         if lo > hi:
             violate(
@@ -333,7 +363,13 @@ def check_history(
                 )
                 continue
             txn_interval[op.txn] = (t_lo, t_hi)
-        # session monotonicity: greedy non-decreasing snapshot choice
+        # session monotonicity: greedy non-decreasing snapshot choice.
+        # Replica reads are exempt: the staleness contract lawfully
+        # lets them travel behind a fresher primary-served (fallen-
+        # through) read of the same session, so they neither constrain
+        # nor advance the session's monotonic cursor.
+        if op.replica:
+            continue
         prev = session_snapshot.get(op.session, 0.0)
         chosen = max(lo, prev)
         if chosen > hi:

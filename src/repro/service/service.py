@@ -36,6 +36,19 @@ One metrics registry and trace recorder span the service, every
 session's graph handle, and the relational engine underneath, so
 ``service.*`` counters reconcile 1:1 with their trace events alongside
 every existing pair.
+
+With ``replication=`` the service additionally fronts a
+:class:`~repro.replication.ReplicationCluster`: ``open_session(
+read_only=True)`` binds the session to a hot standby and each of its
+requests is routed there when the staleness contract holds (the
+replica has applied the request's ``min_csn`` read-your-writes token
+and its lag is within ``max_staleness_csn``), falling through to the
+primary otherwise (``repl.read.fallthrough``).  A heartbeat monitor
+watches the primary's durability state and, on death, performs a
+fenced promotion: the most caught-up standby becomes the primary, all
+sessions close (every one is bound to the deposed node), the shared
+database handle swaps to the survivor, and the shared read cache is
+rebuilt so no pre-failover entry can serve.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import Future
+from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Callable
 
@@ -55,6 +69,7 @@ from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import TraceRecorder
 from ..relational.database import Database
+from ..replication.errors import ReplicationError
 from .admission import AdmissionQueue, Request
 from .config import ServiceConfig
 from .errors import (
@@ -78,6 +93,7 @@ class GraphService:
         *,
         cache: CacheConfig | bool | None = None,
         optimized: bool = True,
+        replication: Any = None,
     ):
         self.database = database
         if isinstance(overlay, (str, Path)):
@@ -112,6 +128,7 @@ class GraphService:
         # commit in any session invalidates every session's cached
         # reads (the epoch registry lives on the shared database).
         cache_config = resolve_cache_config(cache)
+        self._cache_config = cache_config  # kept: rebuilt on failover
         self.cache: GraphCache | None = (
             GraphCache(
                 database, cache_config, registry=self.registry, recorder=self.trace
@@ -119,6 +136,13 @@ class GraphService:
             if cache_config is not None
             else None
         )
+
+        # Replication: attach (or reuse) a cluster on the shared
+        # database.  Same resolution as Db2Graph.open(replication=...):
+        # pass-through cluster > already-attached cluster > explicit
+        # config/count > REPRO_REPL_* env knobs > off.
+        self.replication = Db2Graph._resolve_replication(database, replication)
+        self._replica_rr = itertools.count()  # round-robin standby pick
 
         self.sessions: dict[int, GraphSession] = {}
         self._sessions_lock = threading.Lock()
@@ -136,6 +160,19 @@ class GraphService:
             target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
         )
         self._dispatcher.start()
+
+        # Heartbeat monitor: watches the primary's durability state and
+        # auto-promotes a standby when the primary dies.
+        self.heartbeats = 0
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat: threading.Thread | None = None
+        if self.replication is not None:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-service-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat.start()
 
     # -- observability -------------------------------------------------------
 
@@ -163,6 +200,36 @@ class GraphService:
             "queue_depth": self.queue.depth(),
             "queue_depth_max": depth_hist.max if depth_hist.count else 0,
             "queue_depth_samples": depth_hist.count,
+            # replication / failover (zero / None when not replicated)
+            "read_fallthrough": self.registry.counter(
+                M.REPL_READ_FALLTHROUGH
+            ).value,
+            "failover_promotions": self.registry.counter(
+                M.FAILOVER_PROMOTIONS
+            ).value,
+            "heartbeats": self.heartbeats,
+            "replication": self.replication.status() if self.replication else None,
+        }
+
+    def health(self) -> dict[str, Any]:
+        """Liveness/topology summary, mirroring ``Db2Graph.health()``:
+        the (current) primary's durability state and recovery report,
+        the service's load, and — when replicated — the cluster's
+        epoch, per-replica apply state, and failover history."""
+        database = self.database
+        durability = database.durability
+        report = database.recovery_report
+        return {
+            "database": database.name,
+            "durable": durability is not None,
+            "alive": durability is None or not durability.dead,
+            "last_logged_csn": durability.last_logged_csn if durability else None,
+            "recovery_report": asdict(report) if report is not None else None,
+            "sessions_open": len(self.sessions),
+            "queue_depth": self.queue.depth(),
+            "draining": self.queue.closed,
+            "heartbeats": self.heartbeats,
+            "replication": self.replication.status() if self.replication else None,
         }
 
     # -- session lifecycle ---------------------------------------------------
@@ -173,10 +240,17 @@ class GraphService:
         budget: Any = None,
         retry_policy: Any = None,
         batch_size: int | None = None,
+        read_only: bool = False,
     ) -> GraphSession:
         """Open a logical session: its own connection and graph handle
         (independent transaction/budget/retry scopes) over the shared
-        database, registry, cache, and worker pool."""
+        database, registry, cache, and worker pool.
+
+        ``read_only=True`` on a replicated service binds the session to
+        a hot standby (round-robin across live replicas); its requests
+        are served there whenever the staleness contract holds and fall
+        through to the primary otherwise.  Without replication the flag
+        is a no-op — every request runs on the primary."""
         with self._sessions_lock:
             if self._stopping:
                 raise ServiceError("service is shut down")
@@ -202,13 +276,67 @@ class GraphService:
                 recorder=self.trace,
                 pool=self.pool,
             )
+            replica_id = replica_connection = replica_graph = None
+            if read_only and self.replication is not None:
+                replica_id, replica_connection, replica_graph = (
+                    self._bind_replica(user, budget, retry_policy, batch_size)
+                )
             session = GraphSession(
-                self, session_id, user, connection, graph, budget=budget
+                self,
+                session_id,
+                user,
+                connection,
+                graph,
+                budget=budget,
+                read_only=read_only,
+                replica_id=replica_id,
+                replica_connection=replica_connection,
+                replica_graph=replica_graph,
             )
             self.sessions[session_id] = session
         self.registry.counter(M.SERVICE_SESSIONS_OPENED).increment()
-        self.trace.emit(tracing.SERVICE_SESSION_OPEN, session=session_id, user=user)
+        self.trace.emit(
+            tracing.SERVICE_SESSION_OPEN,
+            session=session_id,
+            user=user,
+            read_only=read_only,
+        )
         return session
+
+    def _bind_replica(
+        self,
+        user: str,
+        budget: Any,
+        retry_policy: Any,
+        batch_size: int | None,
+    ) -> tuple[str | None, Any, Any]:
+        """Pick a live standby round-robin and open a graph handle over
+        its database.  The handle shares the service's registry, trace,
+        and worker pool (replica-served reads count in the same 1:1
+        counter/event streams) but never the primary-bound read cache —
+        cache epochs live per database.  Returns ``(None, None, None)``
+        when no standby is live (the session just always falls
+        through)."""
+        cluster = self.replication
+        with cluster._lock:
+            live = cluster.live_replicas()
+            if not live:
+                return None, None, None
+            replica = live[next(self._replica_rr) % len(live)]
+        connection = replica.database.connect(user)
+        graph = Db2Graph.open(
+            connection,
+            self.overlay,
+            optimized=self.optimized,
+            budget=budget,
+            retry_policy=retry_policy,
+            batch_size=batch_size,
+            cache=False,
+            registry=self.registry,
+            recorder=self.trace,
+            pool=self.pool,
+        )
+        return replica.replica_id, connection, graph
 
     def close_session(self, session: GraphSession, timeout: float | None = None) -> None:
         """Close one session: fail its queued requests, let the
@@ -232,6 +360,11 @@ class GraphService:
             # locks and undo state don't outlive the session.
             session.connection.rollback()
             rolled_back = True
+        if session.replica_connection is not None:
+            replica_txn = session.replica_connection.current_txn
+            if replica_txn is not None and replica_txn.is_active:
+                session.replica_connection.rollback()
+                rolled_back = True
         session.rolled_back_on_close = rolled_back
         self.registry.counter(M.SERVICE_SESSIONS_CLOSED).increment()
         self.trace.emit(
@@ -248,6 +381,7 @@ class GraphService:
         fn: Callable[[GraphSession], Any],
         budget: Any = None,
         label: str = "",
+        min_csn: int | None = None,
     ) -> Future:
         effective_budget = budget if budget is not None else session.budget
         future: Future = Future()
@@ -261,9 +395,27 @@ class GraphService:
             queued = now - enqueued_at
             return queued if queued > deadline else None
 
+        if session.read_only and self.replication is not None:
+
+            def invoke() -> Any:
+                # Route at execution time (not submit time): the
+                # replica's apply position when the request actually
+                # runs is what the staleness contract judges.
+                graph = self._route_read(session, min_csn)
+                session._set_routed_graph(graph)
+                try:
+                    return fn(session)
+                finally:
+                    session._set_routed_graph(None)
+
+        else:
+
+            def invoke() -> Any:
+                return fn(session)
+
         request = Request(
             session_id=session.session_id,
-            fn=lambda: fn(session),
+            fn=invoke,
             future=future,
             budget=effective_budget,
             enqueued_at=enqueued_at,
@@ -273,6 +425,49 @@ class GraphService:
         )
         self.queue.push(request)
         return future
+
+    def _route_read(self, session: GraphSession, min_csn: int | None):
+        """Pick the graph handle a read-only request runs against.
+
+        The bound replica serves when it has applied the request's
+        ``min_csn`` read-your-writes token and its lag against the
+        primary's last logged CSN is within ``max_staleness_csn``; the
+        replica gets a short catch-up window (``catchup_rounds`` pump
+        rounds) to qualify first.  Anything else — no live replica, the
+        replica was promoted away, the contract cannot be met — falls
+        through to the primary-bound handle (counted 1:1 as
+        ``repl.read.fallthrough``)."""
+        cluster = self.replication
+        token = min_csn or 0
+        replica = None
+        if session.replica_graph is not None and session.replica_id is not None:
+            try:
+                replica = cluster.get_replica(session.replica_id)
+            except ReplicationError:
+                replica = None  # promoted away or detached
+        if replica is not None and replica.alive:
+            config = cluster.config
+            durability = cluster.database.durability
+            for attempt in range(config.catchup_rounds + 1):
+                primary_csn = (
+                    durability.last_logged_csn if durability is not None else 0
+                )
+                if replica.can_serve(
+                    primary_csn, config.max_staleness_csn, token
+                ):
+                    session.replica_reads += 1
+                    return session.replica_graph
+                if attempt < config.catchup_rounds:
+                    cluster.pump(1)
+        session.fallthrough_reads += 1
+        self.registry.counter(M.REPL_READ_FALLTHROUGH).increment()
+        self.trace.emit(
+            tracing.REPL_READ_FALLTHROUGH,
+            session=session.session_id,
+            replica=session.replica_id,
+            min_csn=token,
+        )
+        return session._graph
 
     # -- dispatch ------------------------------------------------------------
 
@@ -301,17 +496,20 @@ class GraphService:
     def _shed(self, request: Request, queued_seconds: float) -> None:
         with self._accounting_lock:
             self.shed += 1
+        retry_after = self.queue.retry_after(self.queue.depth())
         self.registry.counter(M.SERVICE_SHED).increment()
         self.trace.emit(
             tracing.SERVICE_SHED,
             session=request.session_id,
             queued_seconds=queued_seconds,
+            retry_after=retry_after,
         )
         request.future.set_exception(
             RequestShedError(
                 f"request shed: deadline expired after {queued_seconds:.3f}s "
                 "in the admission queue",
                 queued_seconds=queued_seconds,
+                retry_after=retry_after,
             )
         )
 
@@ -335,6 +533,60 @@ class GraphService:
 
         return run
 
+    # -- failover ------------------------------------------------------------
+
+    def promote(self, replica_id: str | None = None) -> dict[str, Any]:
+        """Fenced failover at the service level.
+
+        The cluster promotes the named (default: most caught-up)
+        standby under a new epoch; the service then closes every open
+        session — each one is bound, through its connection, graph
+        handle, and cache epochs, to the deposed primary — swaps the
+        shared database to the survivor, and rebuilds the shared read
+        cache against it so no pre-failover entry can serve.  Clients
+        reconnect by opening fresh sessions, exactly like clients of a
+        real HADR takeover.
+        """
+        cluster = self.replication
+        if cluster is None:
+            raise ServiceError("service is not replicated; nothing to promote")
+        report = cluster.promote(replica_id)
+        with self._sessions_lock:
+            sessions = list(self.sessions.values())
+        for session in sessions:
+            try:
+                self.close_session(session, timeout=1.0)
+            except Exception:  # noqa: BLE001 — session dies either way
+                # A session bound to a crashed primary can fail its
+                # close-time rollback; it is unusable regardless.
+                pass
+        self.database = cluster.database
+        if self._cache_config is not None:
+            self.cache = GraphCache(
+                self.database,
+                self._cache_config,
+                registry=self.registry,
+                recorder=self.trace,
+            )
+        return report
+
+    def _heartbeat_loop(self) -> None:
+        """Health monitor: each beat checks the primary's durability
+        state; on death (with ``auto_promote`` and a live standby) it
+        triggers :meth:`promote`."""
+        cluster = self.replication
+        interval = cluster.config.heartbeat_interval
+        while not self._stop_heartbeat.wait(interval):
+            self.heartbeats += 1
+            if not cluster.primary_dead:
+                continue
+            if not cluster.config.auto_promote or not cluster.live_replicas():
+                continue
+            try:
+                self.promote()
+            except ReplicationError:
+                continue  # nothing promotable this beat; try the next
+
     # -- drain / shutdown ----------------------------------------------------
 
     def drain(self, timeout: float | None = None) -> bool:
@@ -352,6 +604,9 @@ class GraphService:
     def shutdown(self, timeout: float | None = None) -> bool:
         """Drain, stop the dispatcher, close every session (rolling
         back abandoned transactions), and release the worker pool."""
+        self._stop_heartbeat.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout)
         drained = self.drain(timeout)
         self._stopping = True
         self.queue.close()

@@ -15,6 +15,15 @@ execute on the caller's thread.  ``submit`` returns a
 ``execute`` is the Gremlin-string convenience.  Closing a session
 fails its queued requests, waits out any in-flight one, and rolls back
 an abandoned open transaction so no lock outlives the session.
+
+A **read-only** session on a replicated service additionally carries a
+second graph handle bound to a hot standby.  Per request the service
+routes between them under the staleness contract: the replica serves
+when its ``applied_csn`` covers the request's ``min_csn``
+read-your-writes token and its lag is within ``max_staleness_csn``,
+otherwise the request falls through to the primary.  The routing
+decision is installed per request via a thread-local override on
+:attr:`graph`, so the same request callable works on either target.
 """
 
 from __future__ import annotations
@@ -44,20 +53,47 @@ class GraphSession:
         connection: "Connection",
         graph: "Db2Graph",
         budget: Any = None,
+        read_only: bool = False,
+        replica_id: str | None = None,
+        replica_connection: "Connection | None" = None,
+        replica_graph: "Db2Graph | None" = None,
     ):
         self.service = service
         self.session_id = session_id
         self.user = user
         self.connection = connection
-        self.graph = graph
+        self._graph = graph
         self.budget = budget
+        self.read_only = read_only
+        # Replica binding (read-only sessions on a replicated service).
+        self.replica_id = replica_id
+        self.replica_connection = replica_connection
+        self.replica_graph = replica_graph
+        # Requests served by the replica vs fallen through to primary.
+        self.replica_reads = 0
+        self.fallthrough_reads = 0
         self.closed = False
+        # Per-request routing override (set by the service worker while
+        # a routed request runs on it; thread-local so concurrent
+        # requests of one session can route independently).
+        self._routing = threading.local()
         # In-flight request count; close() waits for it to reach zero
         # (graceful: a running query finishes, then the session dies).
         self._inflight = 0
         self._inflight_cond = threading.Condition()
         # Set by close() to roll back an abandoned explicit transaction.
         self.rolled_back_on_close = False
+
+    @property
+    def graph(self) -> "Db2Graph":
+        """The graph handle this thread's current request should use:
+        the routed target while a read-only request runs on a worker,
+        else the session's primary-bound handle."""
+        override = getattr(self._routing, "graph", None)
+        return override if override is not None else self._graph
+
+    def _set_routed_graph(self, graph: "Db2Graph | None") -> None:
+        self._routing.graph = graph
 
     # -- submitting work -----------------------------------------------------
 
@@ -66,30 +102,45 @@ class GraphSession:
         fn: Callable[["GraphSession"], Any],
         budget: Any = None,
         label: str = "",
+        min_csn: int | None = None,
     ) -> "Future":
         """Queue ``fn(session)`` through admission control.
 
         ``budget`` overrides the session budget for this request; its
-        deadline also governs queue-time shedding.  Raises
+        deadline also governs queue-time shedding.  ``min_csn`` is the
+        read-your-writes token for a read-only session: the CSN a
+        previous ``Connection.commit()`` returned; the request is only
+        served by a replica that has applied at least that commit (else
+        it falls through to the primary).  Raises
         :class:`~repro.service.errors.AdmissionRejectedError` when the
         queue is full and :class:`SessionClosedError` after close().
         """
         if self.closed:
             raise SessionClosedError(f"session {self.session_id} is closed")
-        return self.service._submit(self, fn, budget=budget, label=label)
+        return self.service._submit(
+            self, fn, budget=budget, label=label, min_csn=min_csn
+        )
 
     def run(
         self,
         fn: Callable[["GraphSession"], Any],
         budget: Any = None,
         timeout: float | None = None,
+        min_csn: int | None = None,
     ) -> Any:
         """Submit and wait: the synchronous convenience."""
-        return self.submit(fn, budget=budget).result(timeout)
+        return self.submit(fn, budget=budget, min_csn=min_csn).result(timeout)
 
-    def execute(self, gremlin: str, timeout: float | None = None) -> Any:
+    def execute(
+        self,
+        gremlin: str,
+        timeout: float | None = None,
+        min_csn: int | None = None,
+    ) -> Any:
         """Run a Gremlin query string through this session."""
-        return self.run(lambda s: s.graph.execute(gremlin), timeout=timeout)
+        return self.run(
+            lambda s: s.graph.execute(gremlin), timeout=timeout, min_csn=min_csn
+        )
 
     @property
     def g(self) -> "GraphTraversalSource":

@@ -41,6 +41,7 @@ def assert_counters_match_events(graph, recorder):
     assert_durability_counters_match_events(graph, recorder)
     assert_service_counters_match_events(graph, recorder)
     assert_analytics_counters_match_events(graph, recorder)
+    assert_replication_counters_match_events(graph, recorder)
 
 
 def assert_parallel_counters_match_events(graph, recorder):
@@ -132,6 +133,28 @@ def assert_analytics_counters_match_events(graph, recorder):
     sizes = [e.get("size") for e in recorder.named(tracing.FRONTIER_SIZE)]
     if sizes:
         assert frontier.max == max(sizes)
+
+
+def assert_replication_counters_match_events(graph, recorder):
+    """The replication / failover counters keep the 1:1 invariant —
+    one ``repl.ship`` event per shipped-batch counter increment, one
+    ``repl.apply``/``repl.ack``/``repl.fenced``/``repl.retransmit``/
+    ``repl.read.fallthrough``/``failover.promote`` event per counter,
+    and the ``repl.lag`` histogram mirrored observation-for-event.
+    Outside a replicated cluster every pair is identically zero."""
+    stats = graph.stats()
+    assert stats["repl_shipped"] == recorder.count(tracing.REPL_SHIP)
+    assert stats["repl_applied"] == recorder.count(tracing.REPL_APPLY)
+    assert stats["repl_acked"] == recorder.count(tracing.REPL_ACK)
+    assert stats["repl_fenced"] == recorder.count(tracing.REPL_FENCED)
+    assert stats["repl_retransmits"] == recorder.count(tracing.REPL_RETRANSMIT)
+    assert stats["repl_read_fallthrough"] == recorder.count(
+        tracing.REPL_READ_FALLTHROUGH
+    )
+    assert stats["failover_promotions"] == recorder.count(
+        tracing.FAILOVER_PROMOTE
+    )
+    assert stats["repl_lag_samples"] == recorder.count(tracing.REPL_LAG)
 
 
 def test_analytics_counters_match_events(traced):
@@ -379,7 +402,13 @@ def test_reset_stats_zeroes_everything(paper_graph):
 
     graph.reset_stats()
     after = graph.stats()
-    assert after == {key: 0 for key in after}, after
+    # Every int counter reads zero; the structured sub-reports
+    # (recovery_report, replication topology) are state, not counters,
+    # and are None here (unreplicated in-memory graph).
+    ints = {k: v for k, v in after.items() if isinstance(v, int)}
+    assert ints == {k: 0 for k in ints}, after
+    assert after["recovery_report"] is None
+    assert after["replication"] is None
     assert len(recorder) == 0
     # the per-rule breakdown resets too
     assert all(v == 0 for v in graph.metrics().values() if isinstance(v, int))

@@ -1,0 +1,126 @@
+"""Direct unit tests for the crash-simulation harness itself
+(:mod:`repro.durability.sim`): the batteries lean on ``run_to_crash``,
+``arm_crash`` occurrence counting, and reopen-time config plumbing, so
+each of those contracts gets pinned here in isolation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.durability import SimulatedCrash
+from repro.resilience.faults import SimulatedCrashError
+
+pytestmark = pytest.mark.crash
+
+
+def test_run_to_crash_reports_firing(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    sim.arm_crash("wal.before_flush", occurrence=1)
+    assert sim.run_to_crash(lambda d: d.execute("INSERT INTO t VALUES (1)"))
+    rule = sim.injector.crash_points[0]
+    assert rule.fired
+
+
+def test_run_to_crash_false_on_clean_run_and_propagates_other_errors(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    db = sim.open()
+    assert not sim.run_to_crash(
+        lambda d: d.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    )
+    # Only SimulatedCrashError is swallowed; real bugs surface.
+    with pytest.raises(Exception, match="(?i)syntax|parse|unsupported"):
+        sim.run_to_crash(lambda d: d.execute("THIS IS NOT SQL"))
+    db.close()
+
+
+def test_arm_crash_occurrence_counts_hits_not_statements(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    # Occurrence 3 counts from arming time: two flushes survive, the
+    # third dies.
+    sim.arm_crash("wal.after_flush", occurrence=3)
+    assert not sim.run_to_crash(lambda d: d.execute("INSERT INTO t VALUES (1)"))
+    assert not sim.run_to_crash(lambda d: d.execute("INSERT INTO t VALUES (2)"))
+    assert sim.run_to_crash(lambda d: d.execute("INSERT INTO t VALUES (3)"))
+    recovered = sim.reopen()
+    # The first two flushes completed, the third was after_flush (the
+    # flush itself landed) — all three rows are durable.
+    assert len(recovered.execute("SELECT * FROM t").rows) == 3
+
+
+def test_occurrence_is_relative_to_arming_point(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    db.execute("INSERT INTO t VALUES (1)")  # pre-arm flushes don't count
+    hits_before = sim.injector.point_hits.get("wal.before_flush", 0)
+    assert hits_before >= 2
+    sim.arm_crash("wal.before_flush", occurrence=1)
+    assert sim.run_to_crash(lambda d: d.execute("INSERT INTO t VALUES (2)"))
+    recovered = sim.reopen()
+    # The armed flush never completed: row 2 lost, row 1 durable.
+    assert recovered.execute("SELECT * FROM t").rows == [(1,)]
+
+
+def test_open_twice_and_arm_without_open_raise(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    sim.open()
+    with pytest.raises(RuntimeError, match="already open"):
+        sim.open()
+    sim.crash()
+    with pytest.raises(RuntimeError, match="no open database"):
+        sim.arm_crash("wal.before_flush")
+
+
+def test_crash_marks_manager_dead_and_counts(tmp_path):
+    sim = SimulatedCrash(dir=str(tmp_path / "wal"))
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    durability = db.durability
+    assert sim.crashes == 0
+    sim.crash()
+    assert sim.crashes == 1 and sim.db is None and sim.injector is None
+    assert durability.dead  # the abandoned incarnation can never write
+    sim.open()
+    sim.reopen()
+    assert sim.crashes == 2
+
+
+def test_reopen_plumbs_config_and_fresh_injector(tmp_path):
+    wal_dir = str(tmp_path / "wal")
+    sim = SimulatedCrash(dir=wal_dir, checkpoint_every=7, seed=3)
+    config = sim.config()
+    assert str(config.dir) == wal_dir
+    assert config.checkpoint_every == 7
+    assert config.fsync is False
+
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    sim.arm_crash("wal.before_flush", occurrence=10)  # never reached
+    old_injector = sim.injector
+    recovered = sim.reopen()
+    # Same directory (the state survived), same knobs on the new
+    # incarnation, and a *fresh* injector — armed points never leak
+    # into the recovered instance.
+    assert str(recovered.durability.config.dir) == wal_dir
+    assert recovered.durability.config.checkpoint_every == 7
+    assert sim.injector is not old_injector
+    assert sim.injector.crash_points == []
+    assert recovered.fault_injector is sim.injector
+    assert recovered.catalog.has_table("t")
+
+
+def test_default_dir_is_a_fresh_tempdir():
+    sim = SimulatedCrash()
+    assert os.path.isdir(sim.dir)
+    assert SimulatedCrash().dir != sim.dir
+    db = sim.open()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    assert sim.reopen().catalog.has_table("t")
+    sim.crash()

@@ -1,0 +1,158 @@
+"""Fenced failover: a deposed primary's writes are rejected before any
+local effect, its late flushes are dropped at the ship boundary, and its
+in-flight old-epoch frames are rejected by replicas on append.  The
+split-brain write path is *rejected*, not merged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.config import DurabilityConfig
+from repro.obs import metrics as obs_metrics
+from repro.relational import Database
+from repro.replication import (
+    FencedWriteError,
+    ReplicationCluster,
+    ReplicationConfig,
+    ReplicationError,
+    check_divergence,
+)
+
+pytestmark = pytest.mark.replication
+
+
+def make_cluster(tmp_path, replicas=2, **cfg):
+    db = Database(
+        name="primary",
+        durability=DurabilityConfig(dir=str(tmp_path / "primary"), fsync=False),
+    )
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR)")
+    db.execute("INSERT INTO t VALUES (1, 'one')")
+    cluster = ReplicationCluster(db, ReplicationConfig(replicas=replicas, **cfg))
+    return db, cluster
+
+
+def fenced_count(db):
+    return db.obs_registry.counter(obs_metrics.REPL_FENCED).value
+
+
+def test_promotion_bumps_epoch_and_new_primary_accepts_writes(tmp_path):
+    old_db, cluster = make_cluster(tmp_path)
+    report = cluster.promote()
+    assert report["epoch"] == 2 and report["lost_commits"] == 0
+    assert cluster.epoch == 2
+    assert cluster.database is not old_db
+    cluster.database.execute("INSERT INTO t VALUES (2, 'two')")
+    survivor = cluster.live_replicas()[0]
+    assert survivor.epoch == 2
+    rows = survivor.database.execute("SELECT v FROM t WHERE id = 2").rows
+    assert rows == [("two",)]
+    check_divergence(cluster)
+
+
+def test_deposed_primary_write_rejected_before_local_effect(tmp_path):
+    old_db, cluster = make_cluster(tmp_path)
+    history_before = old_db.txn_manager.commit_history()
+    cluster.promote()
+    with pytest.raises(FencedWriteError) as exc:
+        old_db.execute("INSERT INTO t VALUES (99, 'split-brain')")
+    assert exc.value.epoch == 1 and exc.value.current_epoch == 2
+    # Before any local effect: no CSN allocated, nothing logged, and the
+    # failed row is not visible on the deposed node either.
+    assert old_db.txn_manager.commit_history() == history_before
+    assert old_db.execute("SELECT * FROM t WHERE id = 99").rows == []
+    assert fenced_count(cluster.database) >= 1
+
+
+def test_deposed_primary_ddl_rejected(tmp_path):
+    old_db, cluster = make_cluster(tmp_path)
+    cluster.promote()
+    with pytest.raises(FencedWriteError):
+        old_db.execute("CREATE TABLE late (id INT)")
+    assert not cluster.database.catalog.has_table("late")
+
+
+def test_late_flush_from_deposed_primary_is_dropped_at_ship_boundary(tmp_path):
+    old_db, cluster = make_cluster(tmp_path)
+    old_handle = cluster.handle
+    cluster.promote()
+    frames_before = len(cluster.log)
+    chain_before = cluster.ship_chain
+    # A flush the deposed node still manages to push (e.g. the close()
+    # rollback-group flush) must not reach the stream.
+    old_handle.ship([b"zombie-frame"])
+    old_db.close()
+    assert len(cluster.log) == frames_before
+    assert cluster.ship_chain == chain_before
+
+
+def test_old_epoch_inflight_frames_rejected_on_append(tmp_path):
+    _, cluster = make_cluster(tmp_path, replicas=2)
+    replica = cluster.live_replicas()[0]
+    stale = {"kind": "frames", "epoch": cluster.epoch - 1 or 0, "base": 0, "frames": [b"x"]}
+    seq_before = replica.next_seq
+    fenced_before = fenced_count(cluster.database)
+    replica.on_message("primary", dict(stale, epoch=0))
+    assert replica.rejected_batches == 1
+    assert replica.next_seq == seq_before  # nothing appended
+    assert fenced_count(cluster.database) == fenced_before + 1
+
+
+def test_replica_adopts_higher_epoch_from_stream(tmp_path):
+    _, cluster = make_cluster(tmp_path, replicas=1)
+    replica = cluster.live_replicas()[0]
+    assert replica.epoch == 1
+    replica.on_message(
+        "primary", {"kind": "frames", "epoch": 5, "base": replica.next_seq, "frames": []}
+    )
+    assert replica.epoch == 5
+    # ...and now rejects frames from every epoch below 5.
+    replica.on_message(
+        "primary", {"kind": "frames", "epoch": 4, "base": replica.next_seq, "frames": [b"x"]}
+    )
+    assert replica.rejected_batches == 1
+
+
+def test_promote_picks_most_caught_up_replica_by_default(tmp_path):
+    db, cluster = make_cluster(tmp_path, replicas=2, ack="async")
+    lagging = cluster.live_replicas()[0]
+    lagging.alive = False  # stop it fetching while writes flow
+    db.execute("INSERT INTO t VALUES (2, 'two')")
+    cluster.pump(8)
+    lagging.alive = True
+    report = cluster.promote()
+    assert report["promoted"] == "replica-1"
+    assert cluster.database.execute("SELECT * FROM t WHERE id = 2").rows
+
+
+def test_promote_named_and_error_cases(tmp_path):
+    _, cluster = make_cluster(tmp_path, replicas=2)
+    with pytest.raises(ReplicationError):
+        cluster.promote("replica-7")
+    dead = cluster.get_replica("replica-0")
+    dead.kill()
+    with pytest.raises(ReplicationError):
+        cluster.promote("replica-0")
+    report = cluster.promote("replica-1")
+    assert report["promoted"] == "replica-1"
+    with pytest.raises(ReplicationError):  # only the dead one remains
+        cluster.promote()
+
+
+def test_async_promotion_loss_is_within_advertised_window(tmp_path):
+    db, cluster = make_cluster(tmp_path, replicas=1, ack="async")
+    replica = cluster.live_replicas()[0]
+    replica.alive = False  # partition the standby away from the stream
+    for i in range(2, 6):
+        db.execute(f"INSERT INTO t VALUES ({i}, 'v{i}')")
+    window = cluster.unacked_window()
+    assert window >= 4
+    replica.alive = True
+    report = cluster.promote("replica-0")
+    assert 0 < report["lost_commits"] <= window
+    # The survivor's timeline simply never had the unshipped commits.
+    assert cluster.database.execute("SELECT * FROM t WHERE id = 5").rows == []
+    # The truncated stream and fresh WAL accept new writes cleanly.
+    cluster.database.execute("INSERT INTO t VALUES (100, 'post')")
+    assert cluster.database.execute("SELECT v FROM t WHERE id = 100").rows == [("post",)]

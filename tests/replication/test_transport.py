@@ -1,0 +1,165 @@
+"""Unit tests for the simulated transport and network fault injector:
+deterministic seeded faults (drop, duplicate, delay, reorder, torn
+frames, partitions), tick-based delivery ordering, and the per-fault
+stats the chaos sweeps assert against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication import (
+    NetworkFaultInjector,
+    PartitionWindow,
+    SimulatedTransport,
+    chaos_schedule,
+)
+
+pytestmark = pytest.mark.replication
+
+
+class Sink:
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, src, msg):
+        self.messages.append((src, msg))
+
+
+def make_pair(injector=None):
+    transport = SimulatedTransport(injector)
+    sink = Sink()
+    transport.register("a", lambda s, m: None)
+    transport.register("b", sink)
+    return transport, sink
+
+
+def test_clean_transport_delivers_next_tick_in_order():
+    transport, sink = make_pair()
+    for i in range(5):
+        transport.send("a", "b", {"kind": "frames", "n": i})
+    assert sink.messages == []  # nothing delivers before advance()
+    delivered = transport.advance()
+    assert delivered == 5
+    assert [m["n"] for _, m in sink.messages] == [0, 1, 2, 3, 4]
+    assert transport.pending() == 0
+
+
+def test_drop_and_duplicate_are_seeded_and_counted():
+    inj = NetworkFaultInjector(seed=7, drop=0.5, duplicate=0.5)
+    transport, sink = make_pair(inj)
+    for i in range(200):
+        transport.send("a", "b", {"kind": "frames", "n": i})
+    while transport.pending():
+        transport.advance()
+    stats = inj.stats()
+    assert stats["dropped"] > 0 and stats["duplicated"] > 0
+    assert len(sink.messages) == 200 - stats["dropped"] + stats["duplicated"]
+
+
+def test_same_seed_same_schedule():
+    def run(seed):
+        inj = NetworkFaultInjector(
+            seed=seed, drop=0.3, duplicate=0.2, delay=0.3, reorder=0.4
+        )
+        transport, sink = make_pair(inj)
+        for i in range(100):
+            transport.send("a", "b", {"kind": "frames", "n": i})
+        for _ in range(20):
+            transport.advance()
+        return [m["n"] for _, m in sink.messages], inj.stats()
+
+    assert run(42) == run(42)
+    assert run(42) != run(43)
+
+
+def test_delay_defers_delivery_but_never_loses():
+    inj = NetworkFaultInjector(seed=3, delay=1.0, max_delay=4)
+    transport, sink = make_pair(inj)
+    for i in range(50):
+        transport.send("a", "b", {"kind": "frames", "n": i})
+    first = transport.advance()
+    assert first < 50  # some messages were pushed past the next tick
+    for _ in range(10):
+        transport.advance()
+    assert len(sink.messages) == 50
+    assert inj.stats()["delayed"] > 0
+
+
+def test_torn_frames_truncate_only_frames_messages():
+    inj = NetworkFaultInjector(seed=1, torn=1.0)
+    transport, sink = make_pair(inj)
+    frame = b"x" * 64
+    transport.send("a", "b", {"kind": "frames", "frames": [frame]})
+    transport.send("a", "b", {"kind": "fetch", "from": 0})
+    transport.advance()
+    torn_msgs = [m for _, m in sink.messages if m["kind"] == "frames"]
+    fetches = [m for _, m in sink.messages if m["kind"] == "fetch"]
+    assert len(torn_msgs[0]["frames"][0]) == 32  # truncated to half
+    assert fetches[0]["from"] == 0  # fetch untouched
+    assert inj.stats()["torn"] == 1
+
+
+def test_partition_window_blocks_named_pair_only():
+    window = PartitionWindow(start=2, end=5, a="a", b="b")
+    assert window.blocks(2, "a", "b") and window.blocks(4, "b", "a")
+    assert not window.blocks(1, "a", "b")  # before the window
+    assert not window.blocks(5, "a", "b")  # end is exclusive
+    assert not window.blocks(3, "a", "c")  # other pairs unaffected
+    total = PartitionWindow(start=0, end=10)
+    assert total.blocks(0, "x", "y")
+
+
+def test_partition_blocks_window_then_heals():
+    inj = NetworkFaultInjector(seed=0)
+    transport, sink = make_pair(inj)
+    inj.partition(start=0, end=2, a="a", b="b")
+    transport.send("a", "b", {"kind": "frames", "n": 1})
+    transport.advance()
+    assert sink.messages == []
+    assert inj.stats()["partitioned"] == 1
+    # after the window closes the link carries traffic again
+    transport.advance()  # tick 2
+    transport.send("a", "b", {"kind": "frames", "n": 2})
+    transport.advance()
+    assert [m["n"] for _, m in sink.messages] == [2]
+
+
+def test_heal_clears_partitions_and_stops_injection():
+    inj = NetworkFaultInjector(seed=5)
+    inj.partition(start=0, end=10**9)
+    transport, sink = make_pair(inj)
+    transport.send("a", "b", {"kind": "frames", "n": 1})
+    transport.advance()
+    assert sink.messages == []
+    inj.heal()
+    transport.send("a", "b", {"kind": "frames", "n": 2})
+    transport.advance()
+    assert [m["n"] for _, m in sink.messages] == [2]
+
+
+def test_unregistered_destination_is_counted_not_raised():
+    transport, _ = make_pair()
+    transport.send("a", "ghost", {"kind": "frames"})
+    transport.advance()  # must not raise
+    transport.unregister("b")
+    transport.send("a", "b", {"kind": "frames"})
+    transport.advance()
+
+
+def test_chaos_schedule_is_deterministic_and_varied():
+    a, b = chaos_schedule(11), chaos_schedule(11)
+    assert (a.drop_rate, a.duplicate_rate, a.delay_rate, a.reorder_rate, a.torn_rate) == (
+        b.drop_rate,
+        b.duplicate_rate,
+        b.delay_rate,
+        b.reorder_rate,
+        b.torn_rate,
+    )
+    assert a.partitions and a.partitions[0] == b.partitions[0]
+    c = chaos_schedule(12)
+    assert (a.drop_rate, a.delay_rate, a.reorder_rate) != (
+        c.drop_rate,
+        c.delay_rate,
+        c.reorder_rate,
+    )
